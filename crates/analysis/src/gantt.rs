@@ -1,0 +1,99 @@
+//! ASCII Gantt rendering of allocation timelines.
+//!
+//! Turns the engine's per-processor interval records into a terminal
+//! chart: one row per processor, time bucketed into columns, each cell a
+//! glyph encoding the allocated height (log-scaled). Used by the examples
+//! and handy when debugging a policy's schedule.
+
+use parapage_cache::Time;
+use parapage_core::Interval;
+
+/// Height glyphs from stalled (' ') through tiny ('·') to full ('█').
+const GLYPHS: [char; 8] = [' ', '·', '▁', '▂', '▄', '▅', '▇', '█'];
+
+/// Renders timelines as an ASCII Gantt chart with `width` columns.
+///
+/// Each cell shows the height held at the *start* of its time bucket,
+/// log-scaled relative to `max_height` (usually `k`). Processors are rows,
+/// labelled `P0…`; a final axis line marks the horizon.
+pub fn gantt(
+    timelines: &[Vec<Interval>],
+    horizon: Time,
+    max_height: usize,
+    width: usize,
+) -> String {
+    assert!(width >= 2 && max_height >= 1);
+    let horizon = horizon.max(1);
+    let mut out = String::new();
+    for (x, tl) in timelines.iter().enumerate() {
+        out.push_str(&format!("P{x:<3}|"));
+        for col in 0..width {
+            let t = horizon * col as u64 / width as u64;
+            let h = tl
+                .iter()
+                .find(|iv| iv.start <= t && t < iv.end)
+                .map(|iv| iv.height)
+                .unwrap_or(0);
+            out.push(glyph(h, max_height));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "    +{}\n     0{:>width$}\n",
+        "-".repeat(width),
+        format!("t={horizon}"),
+        width = width - 1
+    ));
+    out
+}
+
+fn glyph(height: usize, max_height: usize) -> char {
+    if height == 0 {
+        return GLYPHS[0];
+    }
+    // Log scale: k/2^i maps down one glyph per halving.
+    let ratio = max_height as f64 / height as f64;
+    let level = (7.0 - ratio.log2()).clamp(1.0, 7.0) as usize;
+    GLYPHS[level]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: Time, end: Time, height: usize) -> Interval {
+        Interval { start, end, height }
+    }
+
+    #[test]
+    fn renders_one_row_per_processor() {
+        let tls = vec![
+            vec![iv(0, 50, 8), iv(50, 100, 64)],
+            vec![iv(0, 100, 0)],
+        ];
+        let s = gantt(&tls, 100, 64, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // 2 rows + axis + label
+        assert!(lines[0].starts_with("P0"));
+        assert!(lines[1].starts_with("P1"));
+        // Stalled processor renders spaces.
+        assert!(lines[1][5..].trim().is_empty());
+    }
+
+    #[test]
+    fn taller_allocations_use_denser_glyphs() {
+        let a = glyph(64, 64);
+        let b = glyph(8, 64);
+        let c = glyph(0, 64);
+        assert_eq!(a, '█');
+        assert_ne!(a, b);
+        assert_eq!(c, ' ');
+    }
+
+    #[test]
+    fn full_height_marks_every_column() {
+        let tls = vec![vec![iv(0, 10, 32)]];
+        let s = gantt(&tls, 10, 32, 10);
+        assert_eq!(s.lines().next().unwrap().matches('█').count(), 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Lower bounds on the offline optimal makespan `T_OPT`.
+//!
+//! The offline parallel paging problem is NP-hard (paper ref \[19\]), so the
+//! experiments report competitive ratios against lower bounds on `T_OPT`;
+//! a measured ratio is then an *upper bound* on the true competitive ratio,
+//! which is the conservative direction for validating the paper's
+//! `O(log p)` claims.
+//!
+//! Two bounds are combined:
+//!
+//! 1. **Per-processor bound** (certified): even if OPT gave processor `i`
+//!    the entire cache `k` for its whole run, it pays at least
+//!    `nᵢ + (s−1)·MIN(Rᵢ, k)` where `MIN` is Belady's offline minimum miss
+//!    count. `T_OPT ≥ maxᵢ` of these.
+//! 2. **Aggregate impact bound** (estimate): OPT allocates at most `k`
+//!    pages at any instant, so `k·T_OPT ≥ Σᵢ Iᵢ` where `Iᵢ` is the memory
+//!    impact OPT spends on processor `i`, which is at least processor `i`'s
+//!    optimal green-paging impact. We compute the green optimum over
+//!    power-of-two compartmentalized boxes (an upper bound on the
+//!    unconstrained green optimum) and divide by the WLOG constant
+//!    [`IMPACT_NORMALIZATION`] — the paper's §2 normalization arguments
+//!    bound the gap by a constant; 4 covers rounding heights to powers of
+//!    two (≤2×) and compartmentalization (≤2×). This component is an
+//!    estimate, clearly labelled as such in EXPERIMENTS.md.
+
+use parapage_cache::{min_misses, PageId, Time};
+use parapage_core::green_opt_fast;
+
+/// Constant dividing the box-restricted green-OPT impact to estimate the
+/// unconstrained optimum (see module docs).
+pub const IMPACT_NORMALIZATION: f64 = 4.0;
+
+/// Certified bound: `maxᵢ (nᵢ + (s−1)·belady_misses(Rᵢ, k))`.
+pub fn per_proc_bound(seqs: &[Vec<PageId>], k: usize, s: u64) -> Time {
+    seqs.iter()
+        .map(|seq| seq.len() as u64 + (s - 1) * min_misses(seq, k))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Estimated bound: `Σᵢ greenOPT(Rᵢ) / (IMPACT_NORMALIZATION · k)`, with
+/// green OPT computed over heights `{1, 2, 4, …, k}`.
+pub fn impact_bound_estimate(seqs: &[Vec<PageId>], k: usize, s: u64) -> Time {
+    let mut heights = Vec::new();
+    let mut h = 1usize;
+    while h <= k {
+        heights.push(h);
+        h *= 2;
+    }
+    let total: u128 = seqs
+        .iter()
+        .map(|seq| green_opt_fast(seq, &heights, s).impact)
+        .sum();
+    ((total as f64) / (IMPACT_NORMALIZATION * k as f64)) as Time
+}
+
+/// Combined lower bound: the max of the per-processor bound and the impact
+/// estimate.
+pub fn opt_lower_bound(seqs: &[Vec<PageId>], k: usize, s: u64) -> Time {
+    per_proc_bound(seqs, k, s).max(impact_bound_estimate(seqs, k, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_cache::ProcId;
+
+    fn ns(x: u32, v: u64) -> PageId {
+        PageId::namespaced(ProcId(x), v)
+    }
+
+    #[test]
+    fn per_proc_bound_is_longest_sequence_time() {
+        // Two procs: cyc(4) fits in k=8 -> only 4 compulsory misses.
+        let seqs: Vec<Vec<PageId>> = (0..2)
+            .map(|x| (0..100).map(|i| ns(x, i % 4)).collect())
+            .collect();
+        let b = per_proc_bound(&seqs, 8, 10);
+        // 100 requests + 9 extra per compulsory miss * 4.
+        assert_eq!(b, 100 + 9 * 4);
+    }
+
+    #[test]
+    fn per_proc_bound_counts_unavoidable_misses() {
+        // Fresh stream of 50: all misses even with full cache.
+        let seqs = vec![(0..50).map(|i| ns(0, i)).collect::<Vec<_>>()];
+        assert_eq!(per_proc_bound(&seqs, 8, 10), 50 + 9 * 50);
+    }
+
+    #[test]
+    fn impact_bound_grows_with_processor_count() {
+        // Many processors each with substantial work: the aggregate impact
+        // bound must eventually exceed the per-processor bound.
+        let mk = |p: usize| -> Vec<Vec<PageId>> {
+            (0..p as u32)
+                .map(|x| (0..200).map(|i| ns(x, i % 16)).collect())
+                .collect()
+        };
+        let k = 32;
+        let s = 10;
+        let small = impact_bound_estimate(&mk(2), k, s);
+        let large = impact_bound_estimate(&mk(16), k, s);
+        assert!(large > 4 * small);
+    }
+
+    #[test]
+    fn combined_bound_takes_the_max() {
+        let seqs = vec![(0..50).map(|i| ns(0, i)).collect::<Vec<_>>()];
+        let lb = opt_lower_bound(&seqs, 8, 10);
+        assert_eq!(lb, per_proc_bound(&seqs, 8, 10).max(impact_bound_estimate(&seqs, 8, 10)));
+        assert!(lb >= per_proc_bound(&seqs, 8, 10));
+    }
+
+    #[test]
+    fn empty_workload_has_zero_bound() {
+        assert_eq!(opt_lower_bound(&[], 8, 10), 0);
+    }
+}

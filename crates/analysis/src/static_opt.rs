@@ -1,0 +1,279 @@
+//! Exact optimal *static* cache partitioning.
+//!
+//! The parallel paging OPT is NP-hard in general, but restricted to
+//! *static* partitions — processor `i` owns `cᵢ` pages for the whole run,
+//! `Σcᵢ ≤ k` — the optimum is polynomial, because LRU service time at every
+//! capacity comes from one Mattson pass:
+//!
+//! * **makespan** objective: binary-search the target `T` and check
+//!   feasibility with `Σᵢ min{c : timeᵢ(c) ≤ T} ≤ k`;
+//! * **total completion time** objective: a knapsack-style DP over
+//!   processors × capacity (`O(p·k²)`; marginal utilities need not be
+//!   convex, so greedy is not exact).
+//!
+//! These exact optima anchor the experiments: they dominate the
+//! `STATIC-EQUAL` strawman by construction, and any *dynamic* policy that
+//! beats them demonstrates genuine value from reallocating over time —
+//! which is precisely the paper's subject.
+
+use parapage_cache::{miss_curve, MissCurve, PageId, Time};
+
+/// An exact static-partition solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticPartitionOpt {
+    /// Pages given to each processor (sums to ≤ k).
+    pub allocation: Vec<usize>,
+    /// The achieved objective value (makespan or total time).
+    pub objective: u64,
+}
+
+fn curves(seqs: &[Vec<PageId>], k: usize) -> Vec<MissCurve> {
+    seqs.iter().map(|seq| miss_curve(seq, k)).collect()
+}
+
+/// Minimum pages for `curve`'s processor to finish within `t` (None if even
+/// `k` pages are not enough).
+fn min_capacity_for(curve: &MissCurve, k: usize, s: u64, t: Time) -> Option<usize> {
+    // service_time(c) is non-increasing in c; binary search the first c
+    // meeting the target.
+    if curve.service_time(k, s) > t {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, k);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if curve.service_time(mid, s) <= t {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Exact optimal static partition for **makespan**.
+///
+/// Returns the allocation and the optimal makespan over all static
+/// partitions of at most `k` pages (processors may receive 0 pages; with
+/// `s ≥ 2` a zero-page processor still progresses, all-miss).
+///
+/// ```
+/// use parapage_analysis::static_opt_makespan;
+/// use parapage_cache::{PageId, ProcId};
+///
+/// // Proc 0 cycles 12 pages, proc 1 cycles 2; k = 14 fits both exactly.
+/// let seqs: Vec<Vec<PageId>> = [(0u32, 12u64), (1, 2)]
+///     .iter()
+///     .map(|&(x, w)| (0..100).map(|i| PageId::namespaced(ProcId(x), i % w)).collect())
+///     .collect();
+/// let opt = static_opt_makespan(&seqs, 14, 10);
+/// assert!(opt.allocation[0] >= 12 && opt.allocation[1] >= 2);
+/// assert_eq!(opt.objective, 100 + 9 * 12); // compulsory misses only
+/// ```
+pub fn static_opt_makespan(seqs: &[Vec<PageId>], k: usize, s: u64) -> StaticPartitionOpt {
+    let curves = curves(seqs, k);
+    // Candidate makespans: service times of each processor at each capacity
+    // (the objective takes one of these values). Binary search over the
+    // sorted candidate set.
+    let mut candidates: Vec<u64> = curves
+        .iter()
+        .flat_map(|c| (0..=k).map(move |cap| c.service_time(cap, s)))
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let feasible = |t: Time| -> Option<Vec<usize>> {
+        let mut total = 0usize;
+        let mut alloc = Vec::with_capacity(curves.len());
+        for c in &curves {
+            let need = min_capacity_for(c, k, s, t)?;
+            total += need;
+            if total > k {
+                return None;
+            }
+            alloc.push(need);
+        }
+        Some(alloc)
+    };
+
+    // Guarantee a feasible fallback candidate: the all-miss time of the
+    // longest sequence (a zero-page allocation for everyone is feasible).
+    let worst: u64 = seqs.iter().map(|q| q.len() as u64 * s).max().unwrap_or(0);
+    if !candidates.contains(&worst) {
+        candidates.push(worst);
+        candidates.sort_unstable();
+    }
+    let mut lo = 0usize;
+    let mut hi = candidates.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if feasible(candidates[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let objective = candidates[lo];
+    let allocation = feasible(objective).expect("binary search invariant");
+    StaticPartitionOpt {
+        allocation,
+        objective,
+    }
+}
+
+/// Exact optimal static partition for **total (≡ mean) completion time**,
+/// by DP over processors × capacity.
+pub fn static_opt_total_time(seqs: &[Vec<PageId>], k: usize, s: u64) -> StaticPartitionOpt {
+    let curves = curves(seqs, k);
+    let p = curves.len();
+    if p == 0 {
+        return StaticPartitionOpt {
+            allocation: vec![],
+            objective: 0,
+        };
+    }
+    // dp[b] = min total time over the processors handled so far using at
+    // most b pages; with no processors placed the time is 0 for any budget.
+    let mut dp = vec![0u64; k + 1];
+    let mut choices: Vec<Vec<usize>> = Vec::with_capacity(p);
+    for curve in &curves {
+        let mut next = vec![u64::MAX; k + 1];
+        let mut choice = vec![0usize; k + 1];
+        for b in 0..=k {
+            for give in 0..=b {
+                let prev = dp[b - give];
+                if prev == u64::MAX {
+                    continue;
+                }
+                let t = prev + curve.service_time(give, s);
+                if t < next[b] {
+                    next[b] = t;
+                    choice[b] = give;
+                }
+            }
+        }
+        choices.push(choice);
+        dp = next;
+    }
+    // Best budget is k (monotone), but scan to be safe.
+    let mut best_b = 0;
+    for b in 0..=k {
+        if dp[b] <= dp[best_b] {
+            best_b = b;
+        }
+    }
+    let objective = dp[best_b];
+    // Reconstruct.
+    let mut allocation = vec![0usize; p];
+    let mut b = best_b;
+    for i in (0..p).rev() {
+        allocation[i] = choices[i][b];
+        b -= allocation[i];
+    }
+    StaticPartitionOpt {
+        allocation,
+        objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_cache::ProcId;
+
+    fn cyc(x: u32, width: u64, len: usize) -> Vec<PageId> {
+        (0..len)
+            .map(|i| PageId::namespaced(ProcId(x), i as u64 % width))
+            .collect()
+    }
+
+    #[test]
+    fn gives_cache_to_the_hungry_processor() {
+        // Proc 0 cycles 12 pages, proc 1 cycles 2; k = 14 fits both.
+        let seqs = vec![cyc(0, 12, 200), cyc(1, 2, 200)];
+        let opt = static_opt_makespan(&seqs, 14, 10);
+        assert!(opt.allocation[0] >= 12);
+        assert!(opt.allocation[1] >= 2);
+        // Both fit: only compulsory misses; makespan = 200 + 9*12.
+        assert_eq!(opt.objective, 200 + 9 * 12);
+    }
+
+    #[test]
+    fn beats_equal_partition_on_skew() {
+        let seqs = vec![cyc(0, 20, 300), cyc(1, 2, 300)];
+        let k = 24;
+        let s = 10;
+        let opt = static_opt_makespan(&seqs, k, s);
+        // Equal partition: 12 pages each -> proc 0 thrashes (all miss).
+        let equal_makespan = {
+            let c0 = miss_curve(&seqs[0], k).service_time(12, s);
+            let c1 = miss_curve(&seqs[1], k).service_time(12, s);
+            c0.max(c1)
+        };
+        assert!(
+            opt.objective < equal_makespan / 2,
+            "opt {} vs equal {equal_makespan}",
+            opt.objective
+        );
+    }
+
+    #[test]
+    fn makespan_allocation_is_feasible_and_consistent() {
+        let seqs = vec![cyc(0, 5, 100), cyc(1, 9, 150), cyc(2, 3, 80)];
+        let k = 16;
+        let s = 8;
+        let opt = static_opt_makespan(&seqs, k, s);
+        assert!(opt.allocation.iter().sum::<usize>() <= k);
+        let achieved = seqs
+            .iter()
+            .zip(&opt.allocation)
+            .map(|(q, &c)| miss_curve(q, k).service_time(c, s))
+            .max()
+            .unwrap();
+        assert_eq!(achieved, opt.objective);
+    }
+
+    #[test]
+    fn total_time_dp_matches_brute_force_small() {
+        let seqs = vec![cyc(0, 4, 60), cyc(1, 6, 60)];
+        let k = 8;
+        let s = 5;
+        let opt = static_opt_total_time(&seqs, k, s);
+        // Brute force all splits.
+        let c0 = miss_curve(&seqs[0], k);
+        let c1 = miss_curve(&seqs[1], k);
+        let brute = (0..=k)
+            .map(|a| c0.service_time(a, s) + c1.service_time(k - a, s))
+            .min()
+            .unwrap();
+        assert_eq!(opt.objective, brute);
+        assert!(opt.allocation.iter().sum::<usize>() <= k);
+    }
+
+    #[test]
+    fn total_time_never_exceeds_makespan_times_p() {
+        let seqs = vec![cyc(0, 4, 100), cyc(1, 8, 100), cyc(2, 2, 100)];
+        let k = 12;
+        let s = 6;
+        let total = static_opt_total_time(&seqs, k, s);
+        let mk = static_opt_makespan(&seqs, k, s);
+        assert!(total.objective <= mk.objective * 3);
+        assert!(mk.objective as u128 <= total.objective as u128);
+    }
+
+    #[test]
+    fn empty_input() {
+        let opt = static_opt_makespan(&[], 8, 5);
+        assert_eq!(opt.objective, 0);
+        assert!(static_opt_total_time(&[], 8, 5).allocation.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_processor_still_finishes() {
+        // k = 1, two procs: someone gets nothing and runs all-miss.
+        let seqs = vec![cyc(0, 1, 50), cyc(1, 1, 50)];
+        let opt = static_opt_makespan(&seqs, 1, 10);
+        assert!(opt.allocation.iter().sum::<usize>() <= 1);
+        assert_eq!(opt.objective, 50 * 10); // the 0-page proc misses all
+    }
+}

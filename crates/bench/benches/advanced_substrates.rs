@@ -1,0 +1,102 @@
+//! Microbench: the extended substrates — SHARDS sampling vs exact Mattson,
+//! the Fenwick-accelerated green-OPT DP vs the naive one, ARC vs LRU, and
+//! the exact static-partition optimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parapage::analysis::{static_opt_makespan, static_opt_total_time};
+use parapage::prelude::*;
+
+fn trace(n: usize) -> Vec<PageId> {
+    let mut b = SeqBuilder::new(ProcId(0), 77);
+    b.zipf(1024, 0.9, n / 2).cyclic(200, n / 4).fresh_stream(n / 4);
+    b.build()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let seq = trace(200_000);
+    let mut group = c.benchmark_group("stack_distance");
+    group.sample_size(10);
+    group.bench_function("exact_mattson", |b| {
+        b.iter(|| black_box(miss_curve(&seq, 512)))
+    });
+    group.bench_function("shards_rate_0.1", |b| {
+        b.iter(|| black_box(sampled_miss_curve(&seq, 512, 0.1)))
+    });
+    group.bench_function("shards_rate_0.01", |b| {
+        b.iter(|| black_box(sampled_miss_curve(&seq, 512, 0.01)))
+    });
+    group.finish();
+}
+
+fn bench_green_opt_variants(c: &mut Criterion) {
+    let params = ModelParams::new(16, 128, 16);
+    let seq = trace(20_000);
+    let heights = params.box_heights();
+    let mut group = c.benchmark_group("green_opt_variants");
+    group.sample_size(10);
+    group.bench_function("naive_dp", |b| {
+        b.iter(|| black_box(green_opt(&seq, &heights, params.s).impact))
+    });
+    group.bench_function("fenwick_dp", |b| {
+        b.iter(|| black_box(green_opt_fast(&seq, &heights, params.s).impact))
+    });
+    group.finish();
+}
+
+fn bench_arc_vs_lru(c: &mut Criterion) {
+    let seq = trace(100_000);
+    let mut group = c.benchmark_group("arc_vs_lru");
+    group.sample_size(15);
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(256);
+            let m = seq.iter().filter(|&&p| !cache.access(p).is_hit()).count();
+            black_box(m)
+        })
+    });
+    group.bench_function("arc", |b| {
+        b.iter(|| {
+            let mut cache = ArcCache::new(256);
+            let m = seq.iter().filter(|&&p| !cache.access(p).is_hit()).count();
+            black_box(m)
+        })
+    });
+    group.bench_function("two_queue", |b| {
+        b.iter(|| {
+            let mut cache = TwoQueueCache::new(256);
+            let m = seq.iter().filter(|&&p| !cache.access(p).is_hit()).count();
+            black_box(m)
+        })
+    });
+    group.finish();
+}
+
+fn bench_static_opt(c: &mut Criterion) {
+    let seqs: Vec<Vec<PageId>> = (0..8)
+        .map(|x| {
+            let mut b = SeqBuilder::new(ProcId(x), 5);
+            b.cyclic(8 << (x % 4), 5000);
+            b.build()
+        })
+        .collect();
+    let mut group = c.benchmark_group("static_opt");
+    group.sample_size(10);
+    group.bench_function("makespan_objective", |b| {
+        b.iter(|| black_box(static_opt_makespan(&seqs, 128, 16).objective))
+    });
+    group.bench_function("total_time_objective", |b| {
+        b.iter(|| black_box(static_opt_total_time(&seqs, 128, 16).objective))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_green_opt_variants,
+    bench_arc_vs_lru,
+    bench_static_opt
+);
+criterion_main!(benches);

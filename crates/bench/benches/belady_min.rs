@@ -1,0 +1,29 @@
+//! Microbench: Belady MIN simulation (S1) — the per-processor component of
+//! the certified `T_OPT` lower bound.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+
+fn bench_belady(c: &mut Criterion) {
+    let n = 100_000;
+    let zipf = {
+        let mut b = SeqBuilder::new(ProcId(0), 3);
+        b.zipf(2048, 0.8, n);
+        b.build()
+    };
+    let cyclic: Vec<PageId> = (0..n).map(|i| PageId(i as u64 % 700)).collect();
+
+    let mut group = c.benchmark_group("belady_min");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("zipf", |b| b.iter(|| black_box(min_misses(&zipf, 256))));
+    group.bench_function("cyclic_thrash", |b| {
+        b.iter(|| black_box(min_misses(&cyclic, 256)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_belady);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Microbench: one memory box (S3) — `run_box` at the heights the paging
+//! algorithms actually allocate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+
+fn bench_box(c: &mut Criterion) {
+    let seq: Vec<PageId> = (0..200_000).map(|i| PageId(i as u64 % 96)).collect();
+    let s = 16;
+    let mut group = c.benchmark_group("run_box");
+    group.sample_size(20);
+    for height in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(height), &height, |b, &h| {
+            b.iter(|| black_box(run_box(&seq, 0, h, s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_box);
+criterion_main!(benches);

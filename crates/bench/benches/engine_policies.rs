@@ -1,0 +1,52 @@
+//! Microbench: the full execution engine (S5) end-to-end, one measurement
+//! per policy on a fixed mixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+use parapage_bench::recipes;
+
+fn bench_engine(c: &mut Criterion) {
+    let p = 8usize;
+    let k = 128;
+    let params = ModelParams::new(p, k, 16);
+    let w = build_workload(&recipes::mixed_specs(p, k, 2000), 5);
+    let opts = EngineOpts::default();
+
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(15);
+    group.bench_function("det_par", |b| {
+        b.iter(|| {
+            let mut det = DetPar::new(&params);
+            black_box(run_engine(&mut det, w.seqs(), &params, &opts).makespan)
+        })
+    });
+    group.bench_function("rand_par", |b| {
+        b.iter(|| {
+            let mut rp = RandPar::new(&params, 7);
+            black_box(run_engine(&mut rp, w.seqs(), &params, &opts).makespan)
+        })
+    });
+    group.bench_function("static_partition", |b| {
+        b.iter(|| {
+            let mut st = StaticPartition::new(&params);
+            black_box(run_engine(&mut st, w.seqs(), &params, &opts).makespan)
+        })
+    });
+    group.bench_function("blackbox_green", |b| {
+        b.iter(|| {
+            let pagers: Vec<RandGreen> =
+                (0..p as u64).map(|i| RandGreen::new(&params, i)).collect();
+            let mut bb = BlackboxGreenPacker::new(&params, pagers);
+            black_box(run_engine(&mut bb, w.seqs(), &params, &opts).makespan)
+        })
+    });
+    group.bench_function("shared_lru", |b| {
+        b.iter(|| black_box(run_shared_lru(w.seqs(), k, 16).makespan))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

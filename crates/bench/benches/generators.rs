@@ -1,0 +1,47 @@
+//! Microbench: workload generators (S9/S10), including the adversarial
+//! instance builder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+
+fn bench_generators(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("cyclic", |b| {
+        b.iter(|| {
+            let mut sb = SeqBuilder::new(ProcId(0), 1);
+            sb.cyclic(64, n);
+            black_box(sb.build())
+        })
+    });
+    group.bench_function("zipf", |b| {
+        b.iter(|| {
+            let mut sb = SeqBuilder::new(ProcId(0), 1);
+            sb.zipf(4096, 0.9, n);
+            black_box(sb.build())
+        })
+    });
+    group.bench_function("polluted_cycle", |b| {
+        b.iter(|| {
+            let mut sb = SeqBuilder::new(ProcId(0), 1);
+            sb.polluted_cycle(63, n, 16);
+            black_box(sb.build())
+        })
+    });
+    group.finish();
+
+    c.bench_function("adversarial_instance_p32", |b| {
+        b.iter(|| {
+            let cfg = AdversarialConfig::scaled(32, 128, 128, 0.05);
+            black_box(AdversarialInstance::build(cfg))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbench: green paging machinery (S4) — RAND-GREEN execution and the
+//! offline OPT dynamic program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+use parapage_bench::recipes;
+
+fn bench_green(c: &mut Criterion) {
+    let params = ModelParams::new(16, 128, 16);
+    let seq = recipes::green_sequence(128, 4);
+
+    let mut group = c.benchmark_group("green_paging");
+    group.sample_size(10);
+    group.bench_function("rand_green_run", |b| {
+        b.iter(|| {
+            let mut g = RandGreen::new(&params, 9);
+            black_box(run_green(&mut g, &seq, &params).impact)
+        })
+    });
+    group.bench_function("adaptive_green_run", |b| {
+        b.iter(|| {
+            let mut g = AdaptiveGreen::new(&params);
+            black_box(run_green(&mut g, &seq, &params).impact)
+        })
+    });
+    group.bench_function("green_opt_dp", |b| {
+        b.iter(|| black_box(green_opt_normalized(&seq, &params).impact))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_green);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbench: LRU cache access throughput — the innermost loop of every
+//! simulation in the workspace (S1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+
+fn seqs() -> Vec<(&'static str, Vec<PageId>, usize)> {
+    let n = 100_000;
+    vec![
+        (
+            "hit_heavy_cyclic",
+            (0..n).map(|i| PageId(i as u64 % 64)).collect(),
+            256,
+        ),
+        (
+            "miss_heavy_cyclic",
+            (0..n).map(|i| PageId(i as u64 % 512)).collect(),
+            256,
+        ),
+        (
+            "zipf_mixed",
+            {
+                let mut b = SeqBuilder::new(ProcId(0), 1);
+                b.zipf(4096, 0.9, n);
+                b.build()
+            },
+            256,
+        ),
+    ]
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_access");
+    group.sample_size(20);
+    for (name, seq, cap) in seqs() {
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || LruCache::new(cap),
+                |mut cache| {
+                    let mut misses = 0u64;
+                    for &p in &seq {
+                        if !cache.access(p).is_hit() {
+                            misses += 1;
+                        }
+                    }
+                    black_box(misses)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let seq: Vec<PageId> = (0..50_000).map(|i| PageId(i as u64 % 300)).collect();
+    c.bench_function("lru_resize_oscillation", |b| {
+        b.iter_batched(
+            || LruCache::new(256),
+            |mut cache| {
+                for (i, &p) in seq.iter().enumerate() {
+                    if i % 1000 == 0 {
+                        cache.resize(if (i / 1000) % 2 == 0 { 64 } else { 256 });
+                    }
+                    black_box(cache.access(p));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_lru, bench_resize);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbench: Mattson single-pass miss curve (S2) versus running one LRU
+//! simulation per capacity — the speedup that makes the green-OPT DP and
+//! the lower-bound calculator affordable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use parapage::prelude::*;
+
+fn workload(n: usize) -> Vec<PageId> {
+    let mut b = SeqBuilder::new(ProcId(0), 2);
+    b.zipf(2048, 0.8, n);
+    b.build()
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let seq = workload(100_000);
+    let mut group = c.benchmark_group("miss_curve");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(seq.len() as u64));
+
+    group.bench_function("mattson_single_pass", |b| {
+        b.iter(|| black_box(miss_curve(&seq, 512)))
+    });
+
+    group.bench_function("naive_per_capacity_x8", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for cap in [1usize, 2, 4, 16, 64, 128, 256, 512] {
+                let mut cache = LruCache::new(cap);
+                total += seq.iter().filter(|&&p| !cache.access(p).is_hit()).count() as u64;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve);
+criterion_main!(benches);

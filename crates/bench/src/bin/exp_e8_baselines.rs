@@ -1,0 +1,65 @@
+//! E8 — positioning against practical baselines (the paper's §1
+//! motivation): the oblivious DET-PAR/RAND-PAR versus static partition,
+//! adaptive proportional partition, and a globally shared LRU, across
+//! workload families.
+
+use parapage::prelude::*;
+use parapage_bench::{emit, parse_cli, recipes};
+use rayon::prelude::*;
+
+fn main() {
+    let cli = parse_cli();
+    let p = if cli.quick { 8 } else { 16 };
+    let k = 16 * p;
+    let s = 16u64;
+    let len = if cli.quick { 2000 } else { 6000 };
+    let params = ModelParams::new(p, k, s);
+
+    let families: Vec<(&str, Vec<SeqSpec>)> = vec![
+        ("mixed", recipes::mixed_specs(p, k, len)),
+        ("skewed", recipes::skewed_specs(p, k, len)),
+        ("uniform", recipes::uniform_specs(p, k, len)),
+        (
+            "fresh-heavy",
+            (0..p)
+                .map(|x| {
+                    if x % 2 == 0 {
+                        SeqSpec::Fresh { len }
+                    } else {
+                        SeqSpec::Cyclic { width: k / 4, len }
+                    }
+                })
+                .collect(),
+        ),
+    ];
+
+    for (fam, specs) in families {
+        let w = build_workload(&specs, cli.seed);
+        let lb = opt_lower_bound(w.seqs(), k, s);
+
+        let names = ["DET-PAR", "RAND-PAR", "STATIC", "PROP-MISS", "UCP", "SHARED-LRU"];
+        let results: Vec<RunResult> = (0..6usize)
+            .into_par_iter()
+            .map(|i| match i {
+                0 => recipes::run_policy(&mut DetPar::new(&params), &w, &params),
+                1 => recipes::run_policy(&mut RandPar::new(&params, cli.seed), &w, &params),
+                2 => recipes::run_policy(&mut StaticPartition::new(&params), &w, &params),
+                3 => recipes::run_policy(&mut PropMissPartition::new(&params), &w, &params),
+                4 => recipes::run_policy(&mut UcpPartition::new(&params), &w, &params),
+                _ => run_shared_lru(w.seqs(), k, s),
+            })
+            .collect();
+
+        let mut table = Table::new(["policy", "makespan", "vs LB", "mean compl", "miss %"]);
+        for (name, r) in names.iter().zip(&results) {
+            table.row([
+                name.to_string(),
+                r.makespan.to_string(),
+                format!("{:.2}", r.makespan as f64 / lb as f64),
+                format!("{:.0}", r.mean_completion()),
+                format!("{:.1}", 100.0 * r.stats.miss_ratio()),
+            ]);
+        }
+        emit(&format!("E8: workload `{fam}` (p={p}, k={k}, LB={lb})"), &table, &cli);
+    }
+}

@@ -1,0 +1,209 @@
+//! Belady's offline MIN algorithm — the optimal replacement policy.
+//!
+//! MIN evicts the resident page whose next use lies farthest in the future.
+//! It is the per-processor *lower bound* on misses for any replacement policy
+//! with the same capacity, which is exactly what the `T_OPT` lower-bound
+//! calculator in `parapage-analysis` needs: even OPT, giving a processor the
+//! entire cache `k` forever, cannot beat `hits + s·min_misses(R, k)` time on
+//! that processor's sequence.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::policy::Access;
+use crate::types::PageId;
+
+/// Position used for "never accessed again".
+const INFINITY: usize = usize::MAX;
+
+/// Precomputed next-use indices: `next[i]` is the position of the next access
+/// to `seq[i]`'s page strictly after `i`, or [`INFINITY`].
+fn next_use(seq: &[PageId]) -> Vec<usize> {
+    let mut next = vec![INFINITY; seq.len()];
+    let mut last: HashMap<PageId, usize> = HashMap::new();
+    for (i, &page) in seq.iter().enumerate().rev() {
+        if let Some(&j) = last.get(&page) {
+            next[i] = j;
+        }
+        last.insert(page, i);
+    }
+    next
+}
+
+/// Simulates Belady's MIN over `seq` with the given `capacity` and returns
+/// the number of misses (including compulsory first-touch misses).
+///
+/// Runs in O(n log k) using a lazily-invalidated max-heap of next uses.
+///
+/// ```
+/// use parapage_cache::{min_misses, PageId};
+/// let seq: Vec<PageId> = [1, 2, 3, 1, 2, 3].iter().map(|&v| PageId(v)).collect();
+/// // Capacity 3 holds the whole working set: only 3 compulsory misses.
+/// assert_eq!(min_misses(&seq, 3), 3);
+/// // Capacity 2: MIN does better than LRU's 6 misses.
+/// assert_eq!(min_misses(&seq, 2), 4);
+/// ```
+pub fn min_misses(seq: &[PageId], capacity: usize) -> u64 {
+    let mut sim = BeladyCache::new(seq, capacity);
+    let mut misses = 0u64;
+    for _ in 0..seq.len() {
+        if sim.step() == Some(Access::Miss) {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+/// A stepping simulator for Belady's MIN over a fixed sequence.
+///
+/// Unlike the online caches this is constructed *with* the sequence (MIN is
+/// clairvoyant) and consumed one request at a time via [`BeladyCache::step`].
+pub struct BeladyCache<'a> {
+    seq: &'a [PageId],
+    next: Vec<usize>,
+    capacity: usize,
+    pos: usize,
+    /// page -> next use at the time it was last touched (for lazy heap
+    /// invalidation).
+    resident: HashMap<PageId, usize>,
+    /// max-heap of (next_use, page); stale entries are skipped on pop.
+    heap: BinaryHeap<(usize, PageId)>,
+}
+
+impl<'a> BeladyCache<'a> {
+    /// Prepares a MIN simulation of `seq` with the given capacity.
+    pub fn new(seq: &'a [PageId], capacity: usize) -> Self {
+        BeladyCache {
+            seq,
+            next: next_use(seq),
+            capacity,
+            pos: 0,
+            resident: HashMap::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of requests already served.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Serves the next request; `None` once the sequence is exhausted.
+    pub fn step(&mut self) -> Option<Access> {
+        if self.pos >= self.seq.len() {
+            return None;
+        }
+        let page = self.seq[self.pos];
+        let nxt = self.next[self.pos];
+        let outcome = if self.resident.contains_key(&page) {
+            self.resident.insert(page, nxt);
+            self.heap.push((nxt, page));
+            Access::Hit
+        } else {
+            if self.capacity > 0 {
+                if self.resident.len() >= self.capacity {
+                    self.evict_farthest();
+                }
+                self.resident.insert(page, nxt);
+                self.heap.push((nxt, page));
+            }
+            Access::Miss
+        };
+        self.pos += 1;
+        Some(outcome)
+    }
+
+    fn evict_farthest(&mut self) {
+        while let Some((nxt, page)) = self.heap.pop() {
+            // Skip stale heap entries (page absent or entry outdated).
+            if self.resident.get(&page) == Some(&nxt) {
+                self.resident.remove(&page);
+                return;
+            }
+        }
+        unreachable!("resident set non-empty implies a live heap entry");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+    use crate::policy::Cache;
+
+    fn seq(vals: &[u64]) -> Vec<PageId> {
+        vals.iter().map(|&v| PageId(v)).collect()
+    }
+
+    fn lru_misses(s: &[PageId], cap: usize) -> u64 {
+        let mut c = LruCache::new(cap);
+        s.iter().filter(|&&p| !c.access(p).is_hit()).count() as u64
+    }
+
+    #[test]
+    fn next_use_indices() {
+        let s = seq(&[1, 2, 1, 3, 2]);
+        assert_eq!(next_use(&s), vec![2, 4, INFINITY, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn compulsory_misses_only_when_capacity_suffices() {
+        let s = seq(&[1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(min_misses(&s, 3), 3);
+    }
+
+    #[test]
+    fn textbook_belady_example() {
+        // Classic example: 1 2 3 4 1 2 5 1 2 3 4 5 with 3 frames -> 7 misses.
+        let s = seq(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        assert_eq!(min_misses(&s, 3), 7);
+    }
+
+    #[test]
+    fn min_never_exceeds_lru() {
+        let patterns: Vec<Vec<u64>> = vec![
+            (0..50).map(|i| i % 7).collect(),
+            (0..50).map(|i| (i * i) % 11).collect(),
+            (0..60).map(|i| if i % 3 == 0 { i } else { i % 5 }).collect(),
+        ];
+        for pat in patterns {
+            let s = seq(&pat);
+            for cap in 1..8 {
+                assert!(
+                    min_misses(&s, cap) <= lru_misses(&s, cap),
+                    "MIN beat by LRU on {pat:?} cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_misses_monotone_in_capacity() {
+        let s = seq(&(0..80).map(|i| (i * 13) % 17).collect::<Vec<_>>());
+        let mut prev = u64::MAX;
+        for cap in 1..=17 {
+            let m = min_misses(&s, cap);
+            assert!(m <= prev);
+            prev = m;
+        }
+        // Enough capacity -> only compulsory misses (17 distinct pages).
+        assert_eq!(min_misses(&s, 17), 17);
+    }
+
+    #[test]
+    fn zero_capacity_misses_everything() {
+        let s = seq(&[1, 1, 1]);
+        assert_eq!(min_misses(&s, 0), 3);
+    }
+
+    #[test]
+    fn stepper_reports_position() {
+        let s = seq(&[1, 2, 1]);
+        let mut b = BeladyCache::new(&s, 1);
+        assert_eq!(b.position(), 0);
+        assert_eq!(b.step(), Some(Access::Miss));
+        assert_eq!(b.step(), Some(Access::Miss));
+        assert_eq!(b.step(), Some(Access::Miss)); // cap 1: 2 displaced 1
+        assert_eq!(b.step(), None);
+        assert_eq!(b.position(), 3);
+    }
+}

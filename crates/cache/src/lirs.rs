@@ -1,0 +1,401 @@
+//! LIRS — Low Inter-reference Recency Set replacement (Jiang & Zhang,
+//! SIGMETRICS 2002).
+//!
+//! LIRS ranks pages by *reuse distance* rather than recency: pages with low
+//! inter-reference recency (LIR) own most of the cache; the rest (HIR)
+//! pass through a small resident queue, and a ghost presence in the
+//! recency stack lets a re-referenced HIR page prove its reuse distance and
+//! be promoted. Two properties matter for this workspace:
+//!
+//! * on loops slightly larger than the cache — exactly the paper's repeater
+//!   pattern — LIRS keeps a stable LIR subset resident and hits on it,
+//!   where LRU degrades to 0% hits;
+//! * one sequential scan cannot displace the LIR set.
+//!
+//! The implementation uses a stamp-versioned stack with lazy invalidation
+//! (amortized O(1) per access) and a periodic compaction to bound ghost
+//! growth.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::policy::{Access, Cache};
+use crate::types::PageId;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Lir,
+    HirResident,
+    /// Non-resident, but still in the stack (its reuse distance is being
+    /// tracked).
+    HirGhost,
+}
+
+/// A LIRS cache.
+#[derive(Clone, Debug)]
+pub struct LirsCache {
+    capacity: usize,
+    /// Target LIR pages (`capacity - hir_cap`).
+    lir_cap: usize,
+    /// Target resident HIR pages (≥ 1 for capacity ≥ 2).
+    hir_cap: usize,
+    state: HashMap<PageId, St>,
+    /// Recency stack (most recent at back), stamp-versioned.
+    stack: VecDeque<(PageId, u64)>,
+    /// Current stamp of each page's live stack entry.
+    in_stack: HashMap<PageId, u64>,
+    /// Resident HIR queue (front = eviction candidate).
+    queue: VecDeque<PageId>,
+    lir_count: usize,
+    resident: usize,
+    stamp: u64,
+}
+
+impl LirsCache {
+    /// Creates an empty LIRS cache; ~1/8 of the capacity (at least one
+    /// page, for capacities ≥ 2) is reserved for resident HIR pages.
+    pub fn new(capacity: usize) -> Self {
+        let hir_cap = if capacity >= 2 { (capacity / 8).max(1) } else { 0 };
+        LirsCache {
+            capacity,
+            lir_cap: capacity - hir_cap,
+            hir_cap,
+            state: HashMap::new(),
+            stack: VecDeque::new(),
+            in_stack: HashMap::new(),
+            queue: VecDeque::new(),
+            lir_count: 0,
+            resident: 0,
+            stamp: 0,
+        }
+    }
+
+    fn push_stack(&mut self, page: PageId) {
+        self.stamp += 1;
+        self.stack.push_back((page, self.stamp));
+        self.in_stack.insert(page, self.stamp);
+        // Compaction: bound the stack (ghosts + stale entries).
+        if self.stack.len() > 8 * self.capacity.max(4) {
+            let live = std::mem::take(&mut self.stack);
+            self.stack = live
+                .into_iter()
+                .filter(|(p, st)| self.in_stack.get(p) == Some(st))
+                .collect();
+        }
+    }
+
+    /// Removes stale/non-LIR entries from the stack bottom; evicted ghosts
+    /// are forgotten entirely (their reuse distance exceeded the stack).
+    fn prune(&mut self) {
+        while let Some(&(page, st)) = self.stack.front() {
+            if self.in_stack.get(&page) != Some(&st) {
+                self.stack.pop_front();
+                continue;
+            }
+            match self.state.get(&page) {
+                Some(St::Lir) => break,
+                Some(St::HirGhost) => {
+                    self.stack.pop_front();
+                    self.in_stack.remove(&page);
+                    self.state.remove(&page);
+                }
+                _ => {
+                    self.stack.pop_front();
+                    self.in_stack.remove(&page);
+                }
+            }
+        }
+    }
+
+    /// Demotes the LIR page at the stack bottom to resident HIR.
+    fn demote_bottom_lir(&mut self) {
+        self.prune();
+        if let Some(&(page, _)) = self.stack.front() {
+            debug_assert_eq!(self.state.get(&page), Some(&St::Lir));
+            self.state.insert(page, St::HirResident);
+            self.lir_count -= 1;
+            self.queue.push_back(page);
+            // Its stack entry leaves (it must re-prove its reuse distance).
+            self.stack.pop_front();
+            self.in_stack.remove(&page);
+            self.prune();
+        }
+    }
+
+    /// Evicts one resident page to make room.
+    fn evict_one(&mut self) {
+        if let Some(victim) = self.queue.pop_front() {
+            if self.state.get(&victim) == Some(&St::HirResident) {
+                self.resident -= 1;
+                if self.in_stack.contains_key(&victim) {
+                    self.state.insert(victim, St::HirGhost);
+                } else {
+                    self.state.remove(&victim);
+                }
+            }
+            return;
+        }
+        // No resident HIR (can happen transiently after resize): demote a
+        // LIR page and retry.
+        if self.lir_count > 0 {
+            self.demote_bottom_lir();
+            self.evict_one();
+        }
+    }
+
+    fn queue_remove(&mut self, page: PageId) {
+        if let Some(pos) = self.queue.iter().position(|&q| q == page) {
+            self.queue.remove(pos);
+        }
+    }
+}
+
+impl Cache for LirsCache {
+    fn access(&mut self, page: PageId) -> Access {
+        if self.capacity == 0 {
+            return Access::Miss;
+        }
+        if self.capacity == 1 {
+            // Degenerate: behave as a 1-slot LRU.
+            match self.state.get(&page) {
+                Some(St::Lir) => return Access::Hit,
+                _ => {
+                    self.state.retain(|_, s| *s != St::Lir);
+                    self.state.insert(page, St::Lir);
+                    return Access::Miss;
+                }
+            }
+        }
+        match self.state.get(&page).copied() {
+            Some(St::Lir) => {
+                let was_bottom = self
+                    .stack
+                    .front()
+                    .map(|&(p, st)| p == page && self.in_stack.get(&p) == Some(&st))
+                    .unwrap_or(false);
+                self.push_stack(page);
+                if was_bottom {
+                    self.prune();
+                }
+                Access::Hit
+            }
+            Some(St::HirResident) => {
+                if self.in_stack.contains_key(&page) {
+                    // Reuse distance proven: promote to LIR.
+                    self.state.insert(page, St::Lir);
+                    self.lir_count += 1;
+                    self.queue_remove(page);
+                    self.push_stack(page);
+                    while self.lir_count > self.lir_cap {
+                        self.demote_bottom_lir();
+                    }
+                } else {
+                    // Long reuse distance: stay HIR, refresh both positions.
+                    self.push_stack(page);
+                    self.queue_remove(page);
+                    self.queue.push_back(page);
+                }
+                Access::Hit
+            }
+            Some(St::HirGhost) => {
+                // Miss, but the ghost proves a short reuse distance.
+                while self.resident >= self.capacity {
+                    self.evict_one();
+                }
+                self.state.insert(page, St::Lir);
+                self.lir_count += 1;
+                self.resident += 1;
+                self.push_stack(page);
+                while self.lir_count > self.lir_cap {
+                    self.demote_bottom_lir();
+                }
+                Access::Miss
+            }
+            None => {
+                while self.resident >= self.capacity {
+                    self.evict_one();
+                }
+                self.resident += 1;
+                if self.lir_count < self.lir_cap {
+                    // Cold start: fill the LIR set first.
+                    self.state.insert(page, St::Lir);
+                    self.lir_count += 1;
+                    self.push_stack(page);
+                } else {
+                    self.state.insert(page, St::HirResident);
+                    self.push_stack(page);
+                    self.queue.push_back(page);
+                }
+                Access::Miss
+            }
+        }
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        if self.capacity == 1 {
+            return self.state.get(&page) == Some(&St::Lir);
+        }
+        matches!(
+            self.state.get(&page),
+            Some(St::Lir) | Some(St::HirResident)
+        )
+    }
+
+    fn len(&self) -> usize {
+        if self.capacity == 1 {
+            return usize::from(self.state.values().any(|s| *s == St::Lir));
+        }
+        self.resident
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        if capacity == self.capacity {
+            return;
+        }
+        if capacity <= 1 || self.capacity <= 1 {
+            // Crossing the degenerate boundary: rebuild from scratch (the
+            // degenerate representation does not carry over).
+            *self = LirsCache::new(capacity);
+            return;
+        }
+        self.capacity = capacity;
+        self.hir_cap = (capacity / 8).max(1);
+        self.lir_cap = capacity - self.hir_cap;
+        while self.resident > capacity {
+            self.evict_one();
+        }
+        while self.lir_count > self.lir_cap {
+            self.demote_bottom_lir();
+        }
+    }
+
+    fn clear(&mut self) {
+        let cap = self.capacity;
+        *self = LirsCache::new(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+
+    fn p(v: u64) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn hit_iff_resident_on_random_mix() {
+        let mut c = LirsCache::new(6);
+        let seq: Vec<u64> = (0..400).map(|i| (i * 7 + i * i / 3) % 23).collect();
+        for &v in &seq {
+            let was = c.contains(p(v));
+            let hit = c.access(p(v)).is_hit();
+            assert_eq!(hit, was, "page {v}");
+            assert!(c.contains(p(v)));
+            assert!(c.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn beats_lru_on_loop_slightly_larger_than_cache() {
+        // Cycle of 10 pages through caches of 8: LRU gets 0 hits; LIRS
+        // stabilizes a LIR subset and hits on it.
+        let mut lirs = LirsCache::new(8);
+        let mut lru = LruCache::new(8);
+        let mut lirs_hits = 0;
+        let mut lru_hits = 0;
+        for i in 0..1000u64 {
+            if lirs.access(p(i % 10)).is_hit() {
+                lirs_hits += 1;
+            }
+            if lru.access(p(i % 10)).is_hit() {
+                lru_hits += 1;
+            }
+        }
+        assert_eq!(lru_hits, 0);
+        assert!(
+            lirs_hits > 400,
+            "LIRS only hit {lirs_hits} times on the loop"
+        );
+    }
+
+    #[test]
+    fn scan_does_not_displace_the_lir_set() {
+        let mut c = LirsCache::new(8);
+        // Establish a hot LIR set {0..5} with reuse.
+        for _ in 0..4 {
+            for v in 0..6 {
+                c.access(p(v));
+            }
+        }
+        // Long one-shot scan.
+        for v in 1000..1100 {
+            c.access(p(v));
+        }
+        let hot_resident = (0..6).filter(|&v| c.contains(p(v))).count();
+        assert!(hot_resident >= 5, "scan displaced the LIR set: {hot_resident}/6");
+    }
+
+    #[test]
+    fn capacity_one_and_zero() {
+        let mut z = LirsCache::new(0);
+        assert_eq!(z.access(p(1)), Access::Miss);
+        assert_eq!(z.len(), 0);
+        let mut one = LirsCache::new(1);
+        assert_eq!(one.access(p(1)), Access::Miss);
+        assert_eq!(one.access(p(1)), Access::Hit);
+        assert_eq!(one.access(p(2)), Access::Miss);
+        assert!(!one.contains(p(1)));
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn resize_shrinks_safely() {
+        let mut c = LirsCache::new(12);
+        for i in 0..200u64 {
+            c.access(p(i % 15));
+        }
+        c.resize(4);
+        assert!(c.len() <= 4);
+        for i in 0..50u64 {
+            let was = c.contains(p(i % 6));
+            assert_eq!(c.access(p(i % 6)).is_hit(), was);
+            assert!(c.len() <= 4);
+        }
+        c.resize(16);
+        for i in 0..50u64 {
+            c.access(p(i % 6));
+        }
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LirsCache::new(8);
+        for i in 0..20u64 {
+            c.access(p(i % 5));
+        }
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.access(p(1)), Access::Miss);
+    }
+
+    #[test]
+    fn ghost_promotion_requires_reuse_within_stack() {
+        let mut c = LirsCache::new(4); // lir_cap 3, hir_cap 1
+        // Fill LIR with 0,1,2; 3 becomes resident HIR.
+        for v in 0..4 {
+            c.access(p(v));
+        }
+        // 4 evicts 3 (queue front) making 3 a ghost; 3's re-access promotes.
+        c.access(p(4));
+        assert!(!c.contains(p(3)));
+        let miss = !c.access(p(3)).is_hit();
+        assert!(miss);
+        assert!(c.contains(p(3)));
+    }
+}

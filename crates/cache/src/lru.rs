@@ -1,0 +1,297 @@
+//! O(1) least-recently-used cache backed by an arena-allocated intrusive
+//! doubly-linked list.
+//!
+//! LRU is the replacement policy the paper fixes (WLOG, its §2) inside every
+//! memory box, so this structure is the innermost loop of the whole
+//! workspace. Accesses never allocate once the arena has warmed up: evicted
+//! slots are recycled through a free list.
+
+use std::collections::HashMap;
+
+use crate::policy::{Access, Cache};
+use crate::types::PageId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// A resizable LRU cache.
+///
+/// * `access` — O(1) expected (one hash lookup + list splice).
+/// * `resize` — shrinking evicts the LRU tail; growing keeps contents.
+/// * `clear` — O(len), used at compartmentalized box boundaries.
+///
+/// ```
+/// use parapage_cache::{Cache, LruCache, PageId, Access};
+/// let mut c = LruCache::new(2);
+/// assert_eq!(c.access(PageId(1)), Access::Miss);
+/// assert_eq!(c.access(PageId(2)), Access::Miss);
+/// assert_eq!(c.access(PageId(1)), Access::Hit);
+/// assert_eq!(c.access(PageId(3)), Access::Miss); // evicts 2 (LRU)
+/// assert!(!c.contains(PageId(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// page -> arena slot
+    map: HashMap<PageId, u32>,
+    arena: Vec<Node>,
+    free: Vec<u32>,
+    /// most-recently-used slot
+    head: u32,
+    /// least-recently-used slot
+    tail: u32,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            arena: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Pages currently resident, most-recently-used first.
+    pub fn pages_mru_first(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.arena[cur as usize];
+            out.push(n.page);
+            cur = n.next;
+        }
+        out
+    }
+
+    /// Evicts and returns the least-recently-used page, if any.
+    pub fn pop_lru(&mut self) -> Option<PageId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let page = self.arena[slot as usize].page;
+        self.unlink(slot);
+        self.map.remove(&page);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.arena[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.arena[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        {
+            let n = &mut self.arena[slot as usize];
+            n.prev = NIL;
+            n.next = self.head;
+        }
+        if self.head != NIL {
+            self.arena[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn alloc(&mut self, page: PageId) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            slot
+        } else {
+            let slot = self.arena.len() as u32;
+            self.arena.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        }
+    }
+}
+
+impl Cache for LruCache {
+    fn access(&mut self, page: PageId) -> Access {
+        if let Some(&slot) = self.map.get(&page) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return Access::Hit;
+        }
+        if self.capacity == 0 {
+            return Access::Miss;
+        }
+        if self.map.len() >= self.capacity {
+            self.pop_lru();
+        }
+        let slot = self.alloc(page);
+        self.push_front(slot);
+        self.map.insert(page, slot);
+        Access::Miss
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > capacity {
+            self.pop_lru();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.arena.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u64) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn zero_capacity_streams_through() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.access(p(1)), Access::Miss);
+        assert_eq!(c.access(p(1)), Access::Miss);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        for v in 1..=3 {
+            assert_eq!(c.access(p(v)), Access::Miss);
+        }
+        // Touch 1 so that 2 becomes LRU.
+        assert_eq!(c.access(p(1)), Access::Hit);
+        assert_eq!(c.access(p(4)), Access::Miss);
+        assert!(!c.contains(p(2)));
+        assert!(c.contains(p(1)));
+        assert!(c.contains(p(3)));
+        assert!(c.contains(p(4)));
+    }
+
+    #[test]
+    fn mru_order_is_maintained() {
+        let mut c = LruCache::new(4);
+        for v in [1, 2, 3, 2, 1, 4] {
+            c.access(p(v));
+        }
+        assert_eq!(c.pages_mru_first(), vec![p(4), p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn shrink_evicts_lru_tail_grow_keeps_contents() {
+        let mut c = LruCache::new(4);
+        for v in 1..=4 {
+            c.access(p(v));
+        }
+        c.resize(2);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(p(3)) && c.contains(p(4)));
+        c.resize(10);
+        assert!(c.contains(p(3)) && c.contains(p(4)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = LruCache::new(4);
+        c.access(p(1));
+        c.access(p(2));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.access(p(1)), Access::Miss);
+    }
+
+    #[test]
+    fn cyclic_access_beyond_capacity_always_misses() {
+        // The classic LRU pathology the paper's repeater sequences exploit:
+        // cycling over capacity+1 pages misses every time.
+        let mut c = LruCache::new(4);
+        let mut misses = 0;
+        for round in 0..10 {
+            for v in 0..5 {
+                if c.access(p(v)) == Access::Miss {
+                    misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(misses, 50);
+    }
+
+    #[test]
+    fn cyclic_access_within_capacity_hits_after_warmup() {
+        let mut c = LruCache::new(5);
+        let mut misses = 0;
+        for _ in 0..10 {
+            for v in 0..5 {
+                if c.access(p(v)) == Access::Miss {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 5);
+    }
+
+    #[test]
+    fn pop_lru_returns_in_lru_order() {
+        let mut c = LruCache::new(3);
+        for v in [1, 2, 3] {
+            c.access(p(v));
+        }
+        c.access(p(1));
+        assert_eq!(c.pop_lru(), Some(p(2)));
+        assert_eq!(c.pop_lru(), Some(p(3)));
+        assert_eq!(c.pop_lru(), Some(p(1)));
+        assert_eq!(c.pop_lru(), None);
+    }
+}

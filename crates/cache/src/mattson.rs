@@ -1,0 +1,216 @@
+//! Mattson stack-distance analysis: the LRU miss count for *every* cache
+//! capacity from a single O(n log n) pass.
+//!
+//! LRU has the *inclusion property* (Mattson et al., IBM Systems Journal
+//! 1970): the contents of an LRU cache of capacity `c` are always a subset of
+//! those of capacity `c+1`. Consequently each access has a well-defined
+//! *stack distance* `d` — its depth in the LRU stack — and the access hits
+//! under capacity `c` iff `c ≥ d`. Recording the histogram of distances
+//! yields the full miss-ratio curve in one pass.
+//!
+//! This is the workhorse behind:
+//! * the offline green-paging OPT dynamic program (`parapage-core`), which
+//!   needs "how far does a box of height h get" for many heights;
+//! * the `T_OPT` lower-bound calculator (`parapage-analysis`);
+//! * property tests asserting the direct [`crate::LruCache`] simulator agrees
+//!   with the analytic curve for every capacity.
+
+use std::collections::HashMap;
+
+use crate::fenwick::Fenwick;
+use crate::types::PageId;
+
+/// Stack distance of each access: `Some(d)` means the access hits under any
+/// capacity `≥ d`; `None` marks a compulsory (first-touch) miss.
+///
+/// `d` counts the accessed page itself, so the minimum distance is 1
+/// (immediate re-access).
+pub fn stack_distances(seq: &[PageId]) -> Vec<Option<usize>> {
+    let n = seq.len();
+    let mut out = Vec::with_capacity(n);
+    let mut last: HashMap<PageId, usize> = HashMap::new();
+    // fw[i] = 1 iff time i is the most recent access of some page.
+    let mut fw = Fenwick::new(n);
+    for (i, &page) in seq.iter().enumerate() {
+        match last.get(&page).copied() {
+            None => out.push(None),
+            Some(prev) => {
+                // Distinct pages strictly between prev and i, plus the page
+                // itself.
+                let between = fw.range_sum(prev + 1, i.saturating_sub(1)) as usize;
+                out.push(Some(between + 1));
+                fw.add(prev, -1);
+            }
+        }
+        fw.add(i, 1);
+        last.insert(page, i);
+    }
+    out
+}
+
+/// The LRU miss count as a function of cache capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissCurve {
+    /// `misses[c]` = LRU misses with capacity `c`, for `c ∈ 0..=max_capacity`.
+    misses: Vec<u64>,
+    /// Number of requests in the analyzed sequence.
+    total: u64,
+    /// Number of distinct pages (equals misses at infinite capacity).
+    distinct: u64,
+}
+
+impl MissCurve {
+    /// LRU misses at capacity `c`; capacities beyond the curve's range clamp
+    /// to the infinite-capacity (compulsory-only) miss count.
+    pub fn misses(&self, c: usize) -> u64 {
+        if c < self.misses.len() {
+            self.misses[c]
+        } else {
+            self.distinct
+        }
+    }
+
+    /// LRU hits at capacity `c`.
+    pub fn hits(&self, c: usize) -> u64 {
+        self.total - self.misses(c)
+    }
+
+    /// Total requests analyzed.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct pages in the sequence.
+    pub fn distinct_pages(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Largest capacity explicitly tabulated.
+    pub fn max_capacity(&self) -> usize {
+        self.misses.len() - 1
+    }
+
+    /// Total service time at capacity `c` under miss penalty `s`
+    /// (`hits + s·misses`).
+    pub fn service_time(&self, c: usize, s: u64) -> u64 {
+        self.hits(c) + s * self.misses(c)
+    }
+}
+
+/// Computes the full LRU miss curve of `seq` for capacities `0..=max_capacity`.
+///
+/// ```
+/// use parapage_cache::{miss_curve, PageId};
+/// let seq: Vec<PageId> = [1, 2, 1, 3, 2, 1].iter().map(|&v| PageId(v)).collect();
+/// let curve = miss_curve(&seq, 4);
+/// assert_eq!(curve.misses(0), 6);   // no cache: every access misses
+/// assert_eq!(curve.misses(3), 3);   // whole working set fits: compulsory only
+/// assert!(curve.misses(1) >= curve.misses(2)); // monotone
+/// ```
+pub fn miss_curve(seq: &[PageId], max_capacity: usize) -> MissCurve {
+    let dists = stack_distances(seq);
+    let mut hist = vec![0u64; max_capacity + 2];
+    let mut compulsory = 0u64;
+    for d in &dists {
+        match d {
+            None => compulsory += 1,
+            Some(d) => {
+                let idx = (*d).min(max_capacity + 1);
+                hist[idx] += 1;
+            }
+        }
+    }
+    // misses(c) = compulsory + #(d > c).
+    let total = seq.len() as u64;
+    let mut misses = vec![0u64; max_capacity + 1];
+    let mut hits_upto = 0u64; // #(d <= c)
+    for c in 0..=max_capacity {
+        hits_upto += hist[c];
+        misses[c] = total - hits_upto;
+    }
+    MissCurve {
+        misses,
+        total,
+        distinct: compulsory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+    use crate::policy::Cache;
+
+    fn seq(vals: &[u64]) -> Vec<PageId> {
+        vals.iter().map(|&v| PageId(v)).collect()
+    }
+
+    fn lru_misses(s: &[PageId], cap: usize) -> u64 {
+        let mut c = LruCache::new(cap);
+        s.iter().filter(|&&p| !c.access(p).is_hit()).count() as u64
+    }
+
+    #[test]
+    fn distances_on_small_example() {
+        let s = seq(&[1, 2, 1, 1, 3, 2]);
+        let d = stack_distances(&s);
+        assert_eq!(
+            d,
+            vec![None, None, Some(2), Some(1), None, Some(3)]
+        );
+    }
+
+    #[test]
+    fn curve_matches_direct_lru_simulation() {
+        let patterns: Vec<Vec<u64>> = vec![
+            (0..100).map(|i| i % 9).collect(),
+            (0..100).map(|i| (i * 7) % 13).collect(),
+            (0..100)
+                .map(|i| if i % 4 == 0 { 100 + i } else { i % 6 })
+                .collect(),
+        ];
+        for pat in patterns {
+            let s = seq(&pat);
+            let curve = miss_curve(&s, 16);
+            for cap in 0..=16 {
+                assert_eq!(
+                    curve.misses(cap),
+                    lru_misses(&s, cap),
+                    "capacity {cap} on {pat:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let s = seq(&(0..200).map(|i| (i * i + i / 3) % 23).collect::<Vec<_>>());
+        let curve = miss_curve(&s, 30);
+        for c in 1..=30 {
+            assert!(curve.misses(c) <= curve.misses(c - 1));
+        }
+    }
+
+    #[test]
+    fn clamps_beyond_tabulated_capacity() {
+        let s = seq(&[1, 2, 3, 1]);
+        let curve = miss_curve(&s, 2);
+        assert_eq!(curve.misses(100), 3); // distinct pages
+        assert_eq!(curve.distinct_pages(), 3);
+    }
+
+    #[test]
+    fn service_time_accounts_for_miss_penalty() {
+        let s = seq(&[1, 1, 2]);
+        let curve = miss_curve(&s, 4);
+        // cap 2: misses = 2 (compulsory), hits = 1 -> 1 + 2s.
+        assert_eq!(curve.service_time(2, 10), 21);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let curve = miss_curve(&[], 4);
+        assert_eq!(curve.total_requests(), 0);
+        assert_eq!(curve.misses(0), 0);
+    }
+}

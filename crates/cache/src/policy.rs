@@ -1,0 +1,82 @@
+//! The common interface implemented by every online cache simulator.
+
+use crate::types::PageId;
+
+/// Outcome of a single page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The page was resident; the access costs one time step.
+    Hit,
+    /// The page was absent and has been fetched (evicting if necessary);
+    /// the access costs `s` time steps in the paper's model.
+    Miss,
+}
+
+impl Access {
+    /// `true` for [`Access::Hit`].
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, Access::Hit)
+    }
+
+    /// Time cost of this access under miss penalty `s` (hit = 1, miss = s).
+    #[inline]
+    pub fn cost(self, s: u64) -> u64 {
+        match self {
+            Access::Hit => 1,
+            Access::Miss => s,
+        }
+    }
+}
+
+/// An online cache with a fixed (but adjustable) capacity.
+///
+/// Implementations must uphold:
+///
+/// * `len() <= capacity()` at all times;
+/// * `access(p)` returns [`Access::Hit`] iff `contains(p)` held immediately
+///   before the call, and leaves `contains(p)` true afterwards (for
+///   `capacity() > 0`);
+/// * `clear()` empties the cache (the paper's *compartmentalized* box start).
+pub trait Cache {
+    /// Access `page`, fetching and possibly evicting on a miss.
+    ///
+    /// Accessing through a zero-capacity cache reports a miss and caches
+    /// nothing (the page is streamed through).
+    fn access(&mut self, page: PageId) -> Access;
+
+    /// Whether `page` is currently resident.
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Number of resident pages.
+    fn len(&self) -> usize;
+
+    /// `true` when no pages are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity in pages.
+    fn capacity(&self) -> usize;
+
+    /// Change the capacity. Growing keeps all contents; shrinking must evict
+    /// down to the new capacity according to the policy's own ranking (LRU
+    /// evicts least-recent first, etc.).
+    fn resize(&mut self, capacity: usize);
+
+    /// Evict everything (compartmentalized box boundary).
+    fn clear(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_cost_matches_model() {
+        assert_eq!(Access::Hit.cost(100), 1);
+        assert_eq!(Access::Miss.cost(100), 100);
+        assert!(Access::Hit.is_hit());
+        assert!(!Access::Miss.is_hit());
+    }
+}

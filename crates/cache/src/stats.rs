@@ -1,0 +1,81 @@
+//! Hit/miss accounting shared by the simulators.
+
+use std::ops::AddAssign;
+
+/// Running hit/miss counters for a cache or a simulation window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses served from cache.
+    pub hits: u64,
+    /// Number of accesses requiring a fetch from memory.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Records one access outcome.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses counted.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero for an empty window.
+    pub fn miss_ratio(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+
+    /// Service time under miss penalty `s` (hits cost 1, misses cost `s`).
+    pub fn service_time(&self, s: u64) -> u64 {
+        self.hits + s * self.misses
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::default();
+        s.record(true);
+        s.record(false);
+        s.record(false);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.service_time(10), 21);
+    }
+
+    #[test]
+    fn empty_window_has_zero_miss_ratio() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = CacheStats { hits: 1, misses: 2 };
+        a += CacheStats { hits: 3, misses: 4 };
+        assert_eq!(a, CacheStats { hits: 4, misses: 6 });
+    }
+}

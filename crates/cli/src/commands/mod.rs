@@ -1,0 +1,37 @@
+//! CLI subcommands.
+
+pub mod adversarial;
+pub mod audit;
+pub mod analyze;
+pub mod compare;
+pub mod gen;
+pub mod green;
+pub mod profile;
+pub mod run;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+parapage — online parallel paging simulators (SPAA 2022 reproduction)
+
+USAGE:
+  parapage <command> [--flags]
+
+COMMANDS:
+  run          run one policy on a workload
+                 --policy det-par|rand-par|static|prop-miss|ucp|bb-green|shared-lru
+                 --p N --k N --s N --workload mixed|skewed|uniform|fresh|zipf
+                 --len N --seed N [--trace FILE] [--gantt] [--compartmentalized]
+  compare      run every policy on the same workload (same flags as run)
+  adversarial  build a Theorem-4 instance and race policies against the
+                 Lemma-8 OPT schedule: --p N --k N [--s N] [--alpha F]
+  green        green paging on one sequence: RAND-GREEN / ADAPT-GREEN vs
+                 offline OPT: --p N --k N [--seeds N]
+  audit        run DET-PAR and audit Lemma-6 well-roundedness:
+                 --p N --k N [--slack F] (exits non-zero on violation)
+  profile      visualize green box profiles (OPT vs RAND-GREEN):
+                 --p N --k N [--seed N] [--width N]
+  analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]
+  gen          generate a workload and write it as a trace:
+                 --workload NAME --out FILE [--p N --k N --len N --seed N]
+  help         this text
+";

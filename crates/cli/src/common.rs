@@ -1,0 +1,126 @@
+//! Shared helpers for the CLI subcommands: workload construction and policy
+//! dispatch by name.
+
+use parapage::prelude::*;
+
+use crate::args::Args;
+
+/// Model parameters from `--p/--k/--s` (defaults 8/128/16).
+pub fn model_from(args: &Args) -> Result<ModelParams, String> {
+    let p: usize = args.get("p", 8)?;
+    let k: usize = args.get("k", 16 * p)?;
+    let s: u64 = args.get("s", 16)?;
+    if k < p {
+        return Err(format!("--k {k} must be at least --p {p}"));
+    }
+    if s < 2 {
+        return Err("--s must be at least 2".into());
+    }
+    Ok(ModelParams::new(p, k, s))
+}
+
+/// Builds the named workload family (`--workload`, default `mixed`).
+pub fn workload_from(args: &Args, params: &ModelParams) -> Result<Workload, String> {
+    let name = args.opt("workload").unwrap_or_else(|| "mixed".into());
+    let len: usize = args.get("len", 5000)?;
+    let seed: u64 = args.get("seed", 42)?;
+    if let Some(path) = args.opt("trace") {
+        return parapage::workloads::trace::load(std::path::Path::new(&path))
+            .map_err(|e| format!("--trace {path}: {e}"));
+    }
+    let (p, k) = (params.p, params.k);
+    let specs: Vec<SeqSpec> = match name.as_str() {
+        "mixed" => (0..p)
+            .map(|x| match x % 4 {
+                0 => SeqSpec::Cyclic { width: (k / 16).max(2), len },
+                1 => SeqSpec::Cyclic { width: k / 2, len },
+                2 => SeqSpec::Zipf { universe: (k / 2).max(4), theta: 0.9, len },
+                _ => SeqSpec::Phased {
+                    phases: vec![((k / 16).max(2), len / 2), (k / 2, len - len / 2)],
+                },
+            })
+            .collect(),
+        "skewed" => (0..p)
+            .map(|x| {
+                if x == 0 {
+                    SeqSpec::Cyclic { width: 3 * k / 4, len }
+                } else {
+                    SeqSpec::Cyclic { width: 4, len }
+                }
+            })
+            .collect(),
+        "uniform" => (0..p)
+            .map(|_| SeqSpec::Uniform { universe: (2 * k / p).max(2), len })
+            .collect(),
+        "fresh" => (0..p).map(|_| SeqSpec::Fresh { len }).collect(),
+        "zipf" => (0..p)
+            .map(|_| SeqSpec::Zipf { universe: k, theta: 0.9, len })
+            .collect(),
+        other => {
+            return Err(format!(
+                "unknown --workload `{other}` (mixed|skewed|uniform|fresh|zipf, \
+                 or --trace FILE)"
+            ))
+        }
+    };
+    Ok(build_workload(&specs, seed))
+}
+
+/// Runs the named policy (`det-par`, `rand-par`, `static`, `prop-miss`,
+/// `ucp`, `bb-green`, `shared-lru`) on the workload.
+pub fn run_named_policy(
+    name: &str,
+    w: &Workload,
+    params: &ModelParams,
+    opts: &EngineOpts,
+    seed: u64,
+) -> Result<RunResult, String> {
+    let res = match name {
+        "det-par" => {
+            let mut a = DetPar::new(params);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "rand-par" => {
+            let mut a = RandPar::new(params, seed);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "static" => {
+            let mut a = StaticPartition::new(params);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "prop-miss" => {
+            let mut a = PropMissPartition::new(params);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "ucp" => {
+            let mut a = UcpPartition::new(params);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "bb-green" => {
+            let pagers: Vec<RandGreen> = (0..params.p as u64)
+                .map(|i| RandGreen::new(params, seed ^ i))
+                .collect();
+            let mut a = BlackboxGreenPacker::new(params, pagers);
+            run_engine(&mut a, w.seqs(), params, opts)
+        }
+        "shared-lru" => run_shared_lru(w.seqs(), params.k, params.s),
+        other => {
+            return Err(format!(
+                "unknown --policy `{other}` (det-par|rand-par|static|prop-miss|\
+                 ucp|bb-green|shared-lru)"
+            ))
+        }
+    };
+    Ok(res)
+}
+
+/// All policy names, for `compare`.
+pub const ALL_POLICIES: &[&str] = &[
+    "det-par",
+    "rand-par",
+    "static",
+    "prop-miss",
+    "ucp",
+    "bb-green",
+    "shared-lru",
+];

@@ -1,0 +1,55 @@
+//! `parapage` — command-line interface to the parallel paging simulators.
+//!
+//! ```text
+//! parapage run         --policy det-par --p 8 --k 128 --workload mixed [--gantt]
+//! parapage compare     --p 8 --k 128 --workload skewed
+//! parapage adversarial --p 32 --k 128 [--alpha 0.05]
+//! parapage green       --p 8 --k 64 --workload mixed [--seeds 8]
+//! parapage analyze     --trace FILE [--max-cap 256]
+//! parapage gen         --workload mixed --p 8 --k 128 --out FILE
+//! ```
+//!
+//! Every subcommand prints an aligned table; see `parapage help` for flags.
+
+mod args;
+mod commands;
+mod common;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => commands::run::exec(&parsed),
+        "compare" => commands::compare::exec(&parsed),
+        "adversarial" => commands::adversarial::exec(&parsed),
+        "audit" => commands::audit::exec(&parsed),
+        "green" => commands::green::exec(&parsed),
+        "profile" => commands::profile::exec(&parsed),
+        "analyze" => commands::analyze::exec(&parsed),
+        "gen" => commands::gen::exec(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result.and_then(|()| parsed.finish()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

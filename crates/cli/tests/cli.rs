@@ -1,0 +1,140 @@
+//! End-to-end tests of the `parapage` binary: every subcommand runs, exits
+//! zero, and emits the expected table shapes; bad flags exit non-zero.
+
+use std::process::Command;
+
+fn parapage(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_parapage");
+    let out = Command::new(exe).args(args).output().expect("spawn parapage");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = parapage(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("adversarial"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let (ok, _, stderr) = parapage(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn run_det_par_reports_metrics() {
+    let (ok, stdout, stderr) = parapage(&[
+        "run", "--policy", "det-par", "--p", "4", "--k", "32", "--len", "500",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("miss ratio"));
+}
+
+#[test]
+fn run_with_gantt_renders_rows() {
+    let (ok, stdout, _) = parapage(&[
+        "run", "--policy", "static", "--p", "4", "--k", "32", "--len", "300", "--gantt",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("P0"));
+    assert!(stdout.contains("Gantt"));
+}
+
+#[test]
+fn compare_lists_all_policies() {
+    let (ok, stdout, stderr) = parapage(&[
+        "compare", "--p", "4", "--k", "32", "--workload", "uniform", "--len", "400",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    for name in ["det-par", "rand-par", "static", "ucp", "shared-lru"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn adversarial_races_against_lemma8() {
+    let (ok, stdout, stderr) = parapage(&[
+        "adversarial", "--p", "8", "--k", "32", "--s", "32", "--alpha", "0.02",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("OPT (Lemma 8 schedule)"));
+    assert!(stdout.contains("DET-PAR"));
+}
+
+#[test]
+fn adversarial_rejects_bad_p() {
+    let (ok, _, stderr) = parapage(&["adversarial", "--p", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("power of two"));
+}
+
+#[test]
+fn gen_then_analyze_round_trip() {
+    let dir = std::env::temp_dir().join("parapage_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("w.trace");
+    let trace_str = trace.to_str().unwrap();
+    let (ok, stdout, stderr) = parapage(&[
+        "gen", "--workload", "zipf", "--p", "2", "--k", "16", "--len", "200", "--out",
+        trace_str,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote 2 processors"));
+    let (ok2, stdout2, stderr2) =
+        parapage(&["analyze", "--trace", trace_str, "--max-cap", "16"]);
+    assert!(ok2, "stderr: {stderr2}");
+    assert!(stdout2.contains("P0") && stdout2.contains("P1"));
+    // run accepts the trace too.
+    let (ok3, _, stderr3) = parapage(&[
+        "run", "--policy", "det-par", "--p", "2", "--k", "16", "--trace", trace_str,
+    ]);
+    assert!(ok3, "stderr: {stderr3}");
+}
+
+#[test]
+fn green_reports_theorem1() {
+    let (ok, stdout, stderr) =
+        parapage(&["green", "--p", "4", "--k", "32", "--len", "800", "--seeds", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("RAND-GREEN"));
+    assert!(stdout.contains("Theorem 1"));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let (ok, _, stderr) = parapage(&["run", "--bogus", "3", "--p", "4", "--k", "32"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn unknown_policy_is_rejected() {
+    let (ok, _, stderr) = parapage(&["run", "--policy", "magic", "--p", "4", "--k", "32"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --policy"));
+}
+
+#[test]
+fn profile_renders_both_strips() {
+    let (ok, stdout, stderr) =
+        parapage(&["profile", "--p", "4", "--k", "32", "--len", "600"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("OPT"));
+    assert!(stdout.contains("RAND"));
+    assert!(stdout.contains("ratio"));
+}
+
+#[test]
+fn audit_passes_on_det_par() {
+    let (ok, stdout, stderr) = parapage(&["audit", "--p", "4", "--k", "64", "--len", "800"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("well-rounded: true"));
+}

@@ -1,0 +1,254 @@
+//! Memory boxes and box profiles — the paper's WLOG currency of allocation.
+//!
+//! A **box of height `h`** gives a processor `h` cache pages for `s·h` time
+//! steps (paper §2). Its **memory impact** is `height × duration = s·h²`.
+//! A **box profile** is the sequence of boxes a (green or parallel) paging
+//! algorithm assigns to one processor; *compartmentalized* profiles start
+//! every box with an empty cache.
+
+use parapage_cache::{run_window, CacheStats, LruCache, PageId, Time};
+
+use crate::config::ModelParams;
+
+/// One memory box: `height` pages for `duration` time steps.
+///
+/// Canonical paper boxes have `duration == s·height`; the engine also uses
+/// free-form durations for stall intervals (`height == 0`) and truncated
+/// segments, so duration is stored explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemBox {
+    /// Cache pages available inside the box.
+    pub height: usize,
+    /// Lifetime of the box in time steps.
+    pub duration: Time,
+}
+
+impl MemBox {
+    /// The canonical paper box: height `h`, duration `s·h`.
+    pub fn canonical(height: usize, s: u64) -> Self {
+        MemBox {
+            height,
+            duration: s * height as u64,
+        }
+    }
+
+    /// Memory impact of this box (`height × duration`); `s·h²` for canonical
+    /// boxes.
+    pub fn impact(&self) -> u128 {
+        self.height as u128 * self.duration as u128
+    }
+}
+
+/// A box profile: the ordered boxes assigned to one processor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoxProfile {
+    boxes: Vec<MemBox>,
+}
+
+impl BoxProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        BoxProfile::default()
+    }
+
+    /// Appends a box.
+    pub fn push(&mut self, b: MemBox) {
+        self.boxes.push(b);
+    }
+
+    /// The boxes, in allocation order.
+    pub fn boxes(&self) -> &[MemBox] {
+        &self.boxes
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when the profile has no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Total memory impact of the profile.
+    pub fn impact(&self) -> u128 {
+        self.boxes.iter().map(MemBox::impact).sum()
+    }
+
+    /// Total duration of the profile.
+    pub fn duration(&self) -> Time {
+        self.boxes.iter().map(|b| b.duration).sum()
+    }
+
+    /// Whether every box height is one of the normalized heights
+    /// `{k/p·2^i}` and durations are canonical (`s·h`).
+    pub fn is_normalized(&self, params: &ModelParams) -> bool {
+        let min = params.min_height();
+        self.boxes.iter().all(|b| {
+            b.height >= min
+                && b.height <= params.k
+                && (b.height % min == 0)
+                && (b.height / min).is_power_of_two()
+                && b.duration == params.s * b.height as u64
+        })
+    }
+}
+
+impl FromIterator<MemBox> for BoxProfile {
+    fn from_iter<T: IntoIterator<Item = MemBox>>(iter: T) -> Self {
+        BoxProfile {
+            boxes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Outcome of serving a request sequence through a box profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileRun {
+    /// First request index not served.
+    pub end_index: usize,
+    /// Whether the whole sequence completed within the profile.
+    pub finished: bool,
+    /// Hit/miss totals across all boxes.
+    pub stats: CacheStats,
+    /// Memory impact actually allocated: the sum of impacts of the boxes
+    /// *used* (all boxes up to and including the one where the sequence
+    /// finished; trailing unused boxes are not charged).
+    pub impact_used: u128,
+    /// Wall-clock time elapsed until completion (or until the profile ran
+    /// out): full durations of all boxes before the last, plus time used in
+    /// the last.
+    pub elapsed: Time,
+}
+
+/// Serves `seq` through `profile` with compartmentalized semantics: each box
+/// starts with an empty LRU cache of its height.
+///
+/// This is the reference executor used to score green-paging algorithms: the
+/// impact of the boxes consumed is exactly the paper's objective.
+pub fn run_profile(seq: &[PageId], profile: &BoxProfile, s: u64) -> ProfileRun {
+    let mut idx = 0;
+    let mut stats = CacheStats::default();
+    let mut impact = 0u128;
+    let mut elapsed: Time = 0;
+    for b in profile.boxes() {
+        if idx >= seq.len() {
+            break;
+        }
+        let mut cache = LruCache::new(b.height);
+        let out = run_window(seq, idx, &mut cache, b.duration, s);
+        idx = out.end_index;
+        stats += out.stats;
+        impact += b.impact();
+        if out.finished {
+            elapsed += out.time_used;
+            return ProfileRun {
+                end_index: idx,
+                finished: true,
+                stats,
+                impact_used: impact,
+                elapsed,
+            };
+        }
+        elapsed += b.duration;
+    }
+    ProfileRun {
+        end_index: idx,
+        finished: idx >= seq.len(),
+        stats,
+        impact_used: impact,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: &[u64]) -> Vec<PageId> {
+        vals.iter().map(|&v| PageId(v)).collect()
+    }
+
+    #[test]
+    fn canonical_box_impact_is_s_h_squared() {
+        let b = MemBox::canonical(8, 10);
+        assert_eq!(b.duration, 80);
+        assert_eq!(b.impact(), 640);
+    }
+
+    #[test]
+    fn profile_totals() {
+        let profile: BoxProfile = [MemBox::canonical(2, 5), MemBox::canonical(4, 5)]
+            .into_iter()
+            .collect();
+        assert_eq!(profile.impact(), 2 * 10 + 4 * 20);
+        assert_eq!(profile.duration(), 30);
+        assert_eq!(profile.len(), 2);
+    }
+
+    #[test]
+    fn normalization_check() {
+        let params = ModelParams::new(4, 32, 10);
+        let good: BoxProfile = [MemBox::canonical(8, 10), MemBox::canonical(32, 10)]
+            .into_iter()
+            .collect();
+        assert!(good.is_normalized(&params));
+        let bad_height: BoxProfile = [MemBox::canonical(24, 10)].into_iter().collect();
+        assert!(!bad_height.is_normalized(&params));
+        let bad_duration: BoxProfile = [MemBox {
+            height: 8,
+            duration: 7,
+        }]
+        .into_iter()
+        .collect();
+        assert!(!bad_duration.is_normalized(&params));
+    }
+
+    #[test]
+    fn run_profile_compartmentalizes_between_boxes() {
+        // Cycle of 3 pages; boxes of height 3 hold the whole cycle, but each
+        // new box pays the compulsory misses again.
+        let s = 10;
+        let requests = seq(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        let profile: BoxProfile = std::iter::repeat_n(MemBox::canonical(3, s), 4)
+            .collect();
+        let run = run_profile(&requests, &profile, s);
+        assert!(run.finished);
+        // First box: 3 misses (30 time, budget exhausted). Each subsequent
+        // box re-misses its first pages.
+        assert!(run.stats.misses > 3, "compartmentalization forces re-misses");
+    }
+
+    #[test]
+    fn run_profile_stops_charging_after_finish() {
+        let s = 10;
+        let requests = seq(&[1]);
+        let profile: BoxProfile = [MemBox::canonical(4, s), MemBox::canonical(4, s)]
+            .into_iter()
+            .collect();
+        let run = run_profile(&requests, &profile, s);
+        assert!(run.finished);
+        assert_eq!(run.impact_used, MemBox::canonical(4, s).impact());
+        assert_eq!(run.elapsed, s); // one miss
+    }
+
+    #[test]
+    fn run_profile_reports_unfinished() {
+        let s = 10;
+        let requests: Vec<PageId> = (0..100).map(PageId).collect();
+        let profile: BoxProfile = [MemBox::canonical(2, s)].into_iter().collect();
+        let run = run_profile(&requests, &profile, s);
+        assert!(!run.finished);
+        assert_eq!(run.end_index, 2); // box of height 2 serves 2 all-miss requests
+        assert_eq!(run.elapsed, 20);
+    }
+
+    #[test]
+    fn empty_sequence_finishes_immediately() {
+        let run = run_profile(&[], &BoxProfile::new(), 5);
+        assert!(run.finished);
+        assert_eq!(run.impact_used, 0);
+        assert_eq!(run.elapsed, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Model parameters shared by every algorithm in the workspace.
+
+use std::fmt;
+
+/// The parallel paging model parameters of the paper's §2.
+///
+/// * `p` processors share a cache of `k > p` pages;
+/// * a hit costs 1 time step, a miss costs `s > 1` steps;
+/// * algorithms may run with resource augmentation `ξ`, i.e. on a cache of
+///   `ξ·k` pages while OPT is charged for `k`.
+///
+/// Following the paper's WLOG normalization, `k` and `p` are rounded to
+/// powers of two by [`ModelParams::normalized`]; all box heights are then
+/// powers of two in the range `[k/p, k]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Number of processors.
+    pub p: usize,
+    /// Cache capacity available to OPT, in pages.
+    pub k: usize,
+    /// Miss penalty: time steps to transfer one page from memory.
+    pub s: u64,
+}
+
+impl ModelParams {
+    /// Creates parameters, validating the model constraints.
+    ///
+    /// # Panics
+    /// If `p == 0`, `k < p`, or `s < 2` (the paper requires `s > 1`).
+    pub fn new(p: usize, k: usize, s: u64) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        assert!(k >= p, "the paper's model requires k >= p (one page each)");
+        assert!(s >= 2, "miss penalty must exceed hit cost (s > 1)");
+        ModelParams { p, k, s }
+    }
+
+    /// Rounds `k` up and `p` down to powers of two (the paper's WLOG step,
+    /// which costs only a constant factor of resource augmentation).
+    pub fn normalized(self) -> Self {
+        let p = if self.p.is_power_of_two() {
+            self.p
+        } else {
+            (self.p.next_power_of_two()) / 2
+        };
+        let k = self.k.next_power_of_two();
+        ModelParams::new(p.max(1), k, self.s)
+    }
+
+    /// Rounds only `k` up to a power of two, keeping `p` as given.
+    ///
+    /// The parallel pagers use this: they size their per-processor state by
+    /// the *actual* `p` and round active-processor counts to powers of two
+    /// internally, so only `k` needs the WLOG treatment.
+    pub fn normalized_k(self) -> Self {
+        ModelParams::new(self.p, self.k.next_power_of_two(), self.s)
+    }
+
+    /// `true` when both `k` and `p` are powers of two.
+    pub fn is_normalized(&self) -> bool {
+        self.k.is_power_of_two() && self.p.is_power_of_two()
+    }
+
+    /// The minimum box height `k/p` (at least 1).
+    pub fn min_height(&self) -> usize {
+        (self.k / self.p).max(1)
+    }
+
+    /// `ceil(log2(p))`, the paper's ubiquitous `log p` (at least 1).
+    pub fn log_p(&self) -> u32 {
+        log2_ceil(self.p).max(1)
+    }
+
+    /// The power-of-two box heights `{k/p̂, 2k/p̂, …, k}` (ascending), where
+    /// `p̂` rounds `p` up to a power of two so the heights divide evenly.
+    ///
+    /// Requires `k` to be a power of two (use [`ModelParams::normalized_k`]
+    /// otherwise).
+    pub fn box_heights(&self) -> Vec<usize> {
+        debug_assert!(self.k.is_power_of_two(), "call normalized_k() first");
+        let mut h = (self.k / self.p.next_power_of_two()).max(1);
+        let mut out = Vec::new();
+        while h <= self.k {
+            out.push(h);
+            if h == self.k {
+                break;
+            }
+            h *= 2;
+        }
+        out
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p={} k={} s={}", self.p, self.k, self.s)
+    }
+}
+
+/// `ceil(log2(x))` for `x >= 1`; 0 for `x <= 1`.
+pub fn log2_ceil(x: usize) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+/// `floor(log2(x))` for `x >= 1`.
+///
+/// # Panics
+/// If `x == 0`.
+pub fn log2_floor(x: usize) -> u32 {
+    assert!(x > 0, "log2_floor(0)");
+    usize::BITS - 1 - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_helpers() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(8), 3);
+        assert_eq!(log2_ceil(9), 4);
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(8), 3);
+        assert_eq!(log2_floor(9), 3);
+    }
+
+    #[test]
+    fn normalization_rounds_to_powers_of_two() {
+        let params = ModelParams::new(6, 100, 10).normalized();
+        assert_eq!(params.p, 4);
+        assert_eq!(params.k, 128);
+        assert!(params.is_normalized());
+    }
+
+    #[test]
+    fn box_heights_span_min_to_k() {
+        let params = ModelParams::new(4, 32, 10);
+        assert_eq!(params.box_heights(), vec![8, 16, 32]);
+        assert_eq!(params.min_height(), 8);
+        assert_eq!(params.log_p(), 2);
+    }
+
+    #[test]
+    fn degenerate_single_processor() {
+        let params = ModelParams::new(1, 8, 2);
+        assert_eq!(params.box_heights(), vec![8]);
+        assert_eq!(params.log_p(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= p")]
+    fn rejects_cache_smaller_than_processor_count() {
+        ModelParams::new(8, 4, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "s > 1")]
+    fn rejects_unit_miss_penalty() {
+        ModelParams::new(1, 4, 1);
+    }
+}

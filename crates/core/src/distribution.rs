@@ -1,0 +1,194 @@
+//! The randomized box-height distribution `D` at the heart of RAND-GREEN and
+//! RAND-PAR (paper §3.1).
+//!
+//! Heights are `j ∈ {k/p, 2k/p, 4k/p, …, k}` and `Pr[j] ∝ k²/(j²p²) ∝ j⁻²`:
+//! the probability of a height is inversely proportional to the memory
+//! impact `s·j²` of its box, which equalizes every height's expected
+//! contribution to impact (Lemma 1). The exponent is configurable so the
+//! ablation experiment (E9) can demonstrate that `j⁻²` is the right choice:
+//! `j⁻¹` over-spends on tall boxes, `j⁻³` starves them.
+
+use rand::{Rng, RngExt};
+
+use crate::config::ModelParams;
+
+/// A discrete distribution over normalized box heights.
+#[derive(Clone, Debug)]
+pub struct BoxHeightDist {
+    heights: Vec<usize>,
+    /// Cumulative probabilities, last entry exactly 1.0.
+    cumulative: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl BoxHeightDist {
+    /// The paper's distribution: `Pr[j] ∝ j⁻²` over `{k/p·2^i}`.
+    pub fn paper(params: &ModelParams) -> Self {
+        Self::with_exponent(params, 2.0)
+    }
+
+    /// Same support with `Pr[j] ∝ j^(-exponent)` (for ablations).
+    pub fn with_exponent(params: &ModelParams, exponent: f64) -> Self {
+        let heights = params.box_heights();
+        assert!(!heights.is_empty());
+        let weights: Vec<f64> = heights
+            .iter()
+            .map(|&j| (j as f64).powf(-exponent))
+            .collect();
+        Self::from_weights(heights, &weights)
+    }
+
+    /// Builds a distribution from explicit (height, weight) pairs.
+    ///
+    /// # Panics
+    /// If the lists are empty, lengths differ, or weights are non-positive.
+    pub fn from_weights(heights: Vec<usize>, weights: &[f64]) -> Self {
+        assert_eq!(heights.len(), weights.len());
+        assert!(!heights.is_empty());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0 && weights.iter().all(|&w| w > 0.0));
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &pr in &probs {
+            acc += pr;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        BoxHeightDist {
+            heights,
+            cumulative,
+            probs,
+        }
+    }
+
+    /// Supported heights, ascending.
+    pub fn heights(&self) -> &[usize] {
+        &self.heights
+    }
+
+    /// Probability of each height, aligned with [`Self::heights`].
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draws one height.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.heights.len() - 1);
+        self.heights[idx]
+    }
+
+    /// Expected memory impact of one sampled canonical box,
+    /// `Σ Pr[j]·s·j²` — by Lemma 1 this is `Θ(log p)` times the per-height
+    /// contribution `Θ(s·k²/p²)`.
+    pub fn expected_impact(&self, s: u64) -> f64 {
+        self.heights
+            .iter()
+            .zip(&self.probs)
+            .map(|(&j, &pr)| pr * s as f64 * (j as f64) * (j as f64))
+            .sum()
+    }
+
+    /// Expected duration of one sampled canonical box, `Σ Pr[j]·s·j`.
+    pub fn expected_duration(&self, s: u64) -> f64 {
+        self.heights
+            .iter()
+            .zip(&self.probs)
+            .map(|(&j, &pr)| pr * s as f64 * j as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> ModelParams {
+        ModelParams::new(8, 64, 10)
+    }
+
+    #[test]
+    fn paper_distribution_is_inverse_square() {
+        let d = BoxHeightDist::paper(&params());
+        assert_eq!(d.heights(), &[8, 16, 32, 64]);
+        // Pr ratios between adjacent heights must be 4:1.
+        for w in d.probs().windows(2) {
+            assert!((w[0] / w[1] - 4.0).abs() < 1e-9);
+        }
+        let total: f64 = d.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_height_impact_contribution_is_flat() {
+        // Lemma 1: Pr[j]·s·j² identical across heights.
+        let d = BoxHeightDist::paper(&params());
+        let contributions: Vec<f64> = d
+            .heights()
+            .iter()
+            .zip(d.probs())
+            .map(|(&j, &pr)| pr * 10.0 * (j * j) as f64)
+            .collect();
+        for c in &contributions {
+            assert!((c - contributions[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn expected_impact_is_log_p_times_flat_contribution() {
+        let p = params();
+        let d = BoxHeightDist::paper(&p);
+        let flat = d.probs()[0] * 10.0 * (d.heights()[0] * d.heights()[0]) as f64;
+        let levels = d.heights().len() as f64;
+        assert!((d.expected_impact(10) - flat * levels).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let d = BoxHeightDist::paper(&params());
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0usize; d.heights().len()];
+        for _ in 0..n {
+            let h = d.sample(&mut rng);
+            let idx = d.heights().iter().position(|&x| x == h).unwrap();
+            counts[idx] += 1;
+        }
+        for (idx, &pr) in d.probs().iter().enumerate() {
+            let emp = counts[idx] as f64 / n as f64;
+            assert!(
+                (emp - pr).abs() < 0.01,
+                "height {} empirical {} expected {}",
+                d.heights()[idx],
+                emp,
+                pr
+            );
+        }
+    }
+
+    #[test]
+    fn single_height_support() {
+        let p1 = ModelParams::new(1, 16, 10);
+        let d = BoxHeightDist::paper(&p1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 16);
+    }
+
+    #[test]
+    fn ablation_exponents_shift_mass() {
+        let p = params();
+        let flat = BoxHeightDist::with_exponent(&p, 0.0);
+        let steep = BoxHeightDist::with_exponent(&p, 3.0);
+        // Exponent 0: uniform. Exponent 3: more mass on small heights than
+        // the paper's 2.
+        assert!((flat.probs()[0] - 0.25).abs() < 1e-12);
+        let paper = BoxHeightDist::paper(&p);
+        assert!(steep.probs()[0] > paper.probs()[0]);
+    }
+}

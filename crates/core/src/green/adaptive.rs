@@ -1,0 +1,118 @@
+//! A deterministic doubling green pager, in the spirit of the SODA '21
+//! online algorithm that RAND-GREEN matches.
+//!
+//! The strategy: start at the minimum height. If a box *churned* — it ended
+//! with at least as many misses as its height, i.e. the working set
+//! overflowed the box — double the height (up to `k`). If a box was
+//! comfortably oversized (misses below a quarter of its height), halve it.
+//! This "search for the working set size" pattern pays at most a
+//! geometrically-summable overshoot per working-set change, mirroring how
+//! the SODA '21 algorithm achieves `Θ(log p)` competitiveness.
+//!
+//! In this reproduction it serves as the deterministic baseline green pager
+//! (E1) and as a plug-in for the black-box packer of §4.
+
+use parapage_cache::WindowOutcome;
+
+use crate::config::ModelParams;
+use crate::green::GreenPolicy;
+
+/// Deterministic adaptive green pager (doubling/halving heuristic).
+#[derive(Clone, Debug)]
+pub struct AdaptiveGreen {
+    min_height: usize,
+    max_height: usize,
+    height: usize,
+}
+
+impl AdaptiveGreen {
+    /// Creates the pager with heights confined to `[k/p, k]`.
+    pub fn new(params: &ModelParams) -> Self {
+        let min = params.min_height();
+        AdaptiveGreen {
+            min_height: min,
+            max_height: params.k,
+            height: min,
+        }
+    }
+
+    /// Current height (the next box's height).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+impl GreenPolicy for AdaptiveGreen {
+    fn next_height(&mut self) -> usize {
+        self.height
+    }
+
+    fn observe(&mut self, outcome: &WindowOutcome) {
+        let h = self.height as u64;
+        if outcome.finished {
+            return;
+        }
+        if outcome.stats.misses >= h {
+            // Box churned: the live working set exceeds the box.
+            self.height = (self.height * 2).min(self.max_height);
+        } else if outcome.stats.misses < h / 4 {
+            // Box was mostly idle capacity.
+            self.height = (self.height / 2).max(self.min_height);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ADAPT-GREEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::green::run_green;
+    use parapage_cache::PageId;
+
+    #[test]
+    fn grows_to_fit_a_large_cycle() {
+        let params = ModelParams::new(8, 64, 10);
+        // Cycle over 32 pages: minimum height 8 churns, policy should reach
+        // a height that holds the cycle (32 or 64).
+        let seq: Vec<PageId> = (0..2000).map(|i| PageId(i % 32)).collect();
+        let mut g = AdaptiveGreen::new(&params);
+        let run = run_green(&mut g, &seq, &params);
+        assert!(g.height() >= 32, "ended at height {}", g.height());
+        // Once sized correctly the tail of the run is all hits; total misses
+        // stay far below the all-miss count.
+        assert!(run.stats.misses < 500, "misses {}", run.stats.misses);
+    }
+
+    #[test]
+    fn shrinks_after_working_set_drops() {
+        let params = ModelParams::new(8, 64, 10);
+        // Large cycle then a tiny one.
+        let mut seq: Vec<PageId> = (0..1500).map(|i| PageId(i % 64)).collect();
+        seq.extend((0..20_000).map(|i| PageId(1000 + i % 2)));
+        let mut g = AdaptiveGreen::new(&params);
+        let _ = run_green(&mut g, &seq, &params);
+        assert!(g.height() <= 16, "ended at height {}", g.height());
+    }
+
+    #[test]
+    fn stays_within_bounds() {
+        let params = ModelParams::new(4, 16, 10);
+        let seq: Vec<PageId> = (0..5000).map(PageId).collect(); // all misses
+        let mut g = AdaptiveGreen::new(&params);
+        let _ = run_green(&mut g, &seq, &params);
+        assert!(g.height() >= params.min_height() && g.height() <= params.k);
+    }
+
+    #[test]
+    fn fresh_stream_pins_height_high() {
+        // All-distinct requests churn every box, driving height to k.
+        let params = ModelParams::new(8, 64, 10);
+        let seq: Vec<PageId> = (0..4000).map(PageId).collect();
+        let mut g = AdaptiveGreen::new(&params);
+        let _ = run_green(&mut g, &seq, &params);
+        assert_eq!(g.height(), 64);
+    }
+}

@@ -1,0 +1,164 @@
+//! Green paging with *evolving thresholds* (paper §4).
+//!
+//! When a green pager is used inside a parallel pager, the minimum memory
+//! threshold grows as sequences complete: with `v` survivors, a factor-2
+//! resource augmentation lets every survivor hold `k/v` pages at all times.
+//! The paper notes this is "easily addressed … by simply *rebooting* the
+//! green paging algorithm whenever the minimum threshold doubles — so that
+//! it is always effectively running with fixed thresholds."
+//!
+//! [`RebootingGreen`] implements exactly that wrapper around RAND-GREEN:
+//! it tracks the survivor count, and whenever the minimum threshold
+//! `k/v̂` (with `v̂` the next power of two ≥ v) doubles, it rebuilds the
+//! height distribution over the new `[k/v̂, k]` range. The reboot count is
+//! exposed so tests and experiments can verify the `≤ log p` reboots the
+//! paper's accounting charges.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::ModelParams;
+use crate::distribution::BoxHeightDist;
+use crate::green::GreenPolicy;
+
+/// RAND-GREEN with survivor-tracking threshold reboots.
+#[derive(Debug)]
+pub struct RebootingGreen {
+    k: usize,
+    min_height: usize,
+    dist: BoxHeightDist,
+    rng: StdRng,
+    reboots: usize,
+    exponent: f64,
+}
+
+impl RebootingGreen {
+    /// Starts with `p` survivors (minimum threshold `k/p`).
+    pub fn new(params: &ModelParams, seed: u64) -> Self {
+        Self::with_exponent(params, seed, 2.0)
+    }
+
+    /// Same, with a custom distribution exponent (ablations).
+    pub fn with_exponent(params: &ModelParams, seed: u64, exponent: f64) -> Self {
+        let params = params.normalized();
+        let dist = BoxHeightDist::with_exponent(&params, exponent);
+        RebootingGreen {
+            k: params.k,
+            min_height: params.min_height(),
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+            reboots: 0,
+            exponent,
+        }
+    }
+
+    /// Current minimum box height (the dynamic threshold).
+    pub fn min_height(&self) -> usize {
+        self.min_height
+    }
+
+    /// Number of reboots so far (the paper charges `≤ log p` of them).
+    pub fn reboots(&self) -> usize {
+        self.reboots
+    }
+
+    /// Informs the pager that `v` sequences survive; reboots if the
+    /// implied minimum threshold `k/v̂` has at least doubled.
+    pub fn set_survivors(&mut self, v: usize) {
+        let v_pow = v.max(1).next_power_of_two();
+        let new_min = (self.k / v_pow).max(1).min(self.k);
+        if new_min >= 2 * self.min_height {
+            self.min_height = new_min;
+            let heights: Vec<usize> = {
+                let mut out = Vec::new();
+                let mut h = new_min;
+                while h <= self.k {
+                    out.push(h);
+                    if h == self.k {
+                        break;
+                    }
+                    h *= 2;
+                }
+                out
+            };
+            let weights: Vec<f64> = heights
+                .iter()
+                .map(|&j| (j as f64).powf(-self.exponent))
+                .collect();
+            self.dist = BoxHeightDist::from_weights(heights, &weights);
+            self.reboots += 1;
+        }
+    }
+}
+
+impl GreenPolicy for RebootingGreen {
+    fn next_height(&mut self) -> usize {
+        self.dist.sample(&mut self.rng)
+    }
+
+    fn on_survivors(&mut self, v: usize) {
+        self.set_survivors(v);
+    }
+
+    fn name(&self) -> &'static str {
+        "REBOOT-GREEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::new(16, 128, 10)
+    }
+
+    #[test]
+    fn starts_at_k_over_p() {
+        let g = RebootingGreen::new(&params(), 1);
+        assert_eq!(g.min_height(), 8);
+        assert_eq!(g.reboots(), 0);
+    }
+
+    #[test]
+    fn reboots_only_when_threshold_doubles() {
+        let mut g = RebootingGreen::new(&params(), 1);
+        g.set_survivors(12); // v̂ = 16, min still 8
+        assert_eq!(g.reboots(), 0);
+        g.set_survivors(8); // v̂ = 8, min 16 = doubled
+        assert_eq!(g.reboots(), 1);
+        assert_eq!(g.min_height(), 16);
+        g.set_survivors(7); // v̂ = 8, no change
+        assert_eq!(g.reboots(), 1);
+        g.set_survivors(2); // v̂ = 2, min 64 = quadrupled, one reboot event
+        assert_eq!(g.reboots(), 2);
+        assert_eq!(g.min_height(), 64);
+    }
+
+    #[test]
+    fn sampled_heights_respect_current_threshold() {
+        let mut g = RebootingGreen::new(&params(), 5);
+        g.set_survivors(4); // min = 32
+        for _ in 0..500 {
+            let h = g.next_height();
+            assert!((32..=128).contains(&h) && h.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn total_reboots_bounded_by_log_p() {
+        let mut g = RebootingGreen::new(&params(), 5);
+        for v in (1..=16).rev() {
+            g.set_survivors(v);
+        }
+        assert!(g.reboots() <= 4); // log2(16)
+        assert_eq!(g.min_height(), 128);
+    }
+
+    #[test]
+    fn single_survivor_gets_full_cache_heights() {
+        let mut g = RebootingGreen::new(&params(), 5);
+        g.set_survivors(1);
+        assert_eq!(g.next_height(), 128);
+    }
+}

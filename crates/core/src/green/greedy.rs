@@ -1,0 +1,169 @@
+//! Greedy competitiveness (paper Definition 1) as an executable audit.
+//!
+//! A green pager is *`g`-greedily competitive* if on **every prefix** `π`
+//! of the sequence it has spent impact at most `g·c_OPT(π) + g'`. This is
+//! the property Theorem 4 requires of the black-box pager — it rules out
+//! "greenwashing" (overspending early to look greener later). Any
+//! `c`-competitive *online* green pager is automatically greedily
+//! `c`-competitive (a sequence can end at any time), which the tests verify
+//! for RAND-GREEN; the audit also exposes non-greedy behaviour in
+//! deliberately front-loaded profiles.
+
+use parapage_cache::{run_window, LruCache, PageId};
+
+use crate::boxes::BoxProfile;
+use crate::green::opt_dp_fast::green_opt_fast;
+
+/// Result of a greedy-competitiveness audit.
+#[derive(Clone, Debug)]
+pub struct GreedyAudit {
+    /// Per-checkpoint `(prefix_len, alg_impact, opt_impact)` samples.
+    pub checkpoints: Vec<(usize, u128, u128)>,
+    /// The additive slack `g'` granted (impact of one maximal box).
+    pub additive: u128,
+    /// The resulting multiplicative factor
+    /// `g = max over checkpoints of (alg − g')⁺ / opt`.
+    pub factor: f64,
+}
+
+/// Audits a box profile for greedy competitiveness on `seq`.
+///
+/// Checkpoints are the box boundaries of the profile (the only points at
+/// which the algorithm's cumulative impact changes), capped at
+/// `max_checkpoints` evenly-spaced samples to keep the prefix-OPT
+/// computations affordable. `heights` is the OPT height menu.
+pub fn audit_greedy(
+    seq: &[PageId],
+    profile: &BoxProfile,
+    heights: &[usize],
+    s: u64,
+    max_checkpoints: usize,
+) -> GreedyAudit {
+    // Walk the profile, recording (prefix served, cumulative impact).
+    let mut boundaries: Vec<(usize, u128)> = Vec::new();
+    let mut idx = 0usize;
+    let mut impact = 0u128;
+    for b in profile.boxes() {
+        let mut cache = LruCache::new(b.height);
+        let out = run_window(seq, idx, &mut cache, b.duration, s);
+        idx = out.end_index;
+        impact += b.impact();
+        boundaries.push((idx, impact));
+        if idx >= seq.len() {
+            break;
+        }
+    }
+    // Sample checkpoints.
+    let stride = boundaries.len().div_ceil(max_checkpoints.max(1)).max(1);
+    let samples: Vec<(usize, u128)> = boundaries
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i + 1 == boundaries.len())
+        .map(|(_, b)| b)
+        .collect();
+
+    let additive = heights
+        .iter()
+        .map(|&h| s as u128 * (h as u128) * (h as u128))
+        .max()
+        .unwrap_or(0);
+
+    let mut checkpoints = Vec::with_capacity(samples.len());
+    let mut factor: f64 = 0.0;
+    for (prefix, alg) in samples {
+        if prefix == 0 {
+            continue;
+        }
+        let opt = green_opt_fast(&seq[..prefix], heights, s).impact;
+        if opt > 0 {
+            let excess = alg.saturating_sub(additive);
+            factor = factor.max(excess as f64 / opt as f64);
+        }
+        checkpoints.push((prefix, alg, opt));
+    }
+    GreedyAudit {
+        checkpoints,
+        additive,
+        factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::MemBox;
+    use crate::config::ModelParams;
+    use crate::green::rand_green::RandGreen;
+    use crate::green::run_green;
+
+    fn phased_seq() -> Vec<PageId> {
+        let mut out = Vec::new();
+        for i in 0..600 {
+            out.push(PageId(i % 4));
+        }
+        for i in 0..1200 {
+            out.push(PageId(100 + i % 48));
+        }
+        for i in 0..600 {
+            out.push(PageId(1000 + i % 8));
+        }
+        out
+    }
+
+    #[test]
+    fn rand_green_is_greedily_competitive() {
+        let params = ModelParams::new(8, 64, 10);
+        let seq = phased_seq();
+        let run = run_green(&mut RandGreen::new(&params, 3), &seq, &params);
+        let audit = audit_greedy(&seq, &run.profile, &params.box_heights(), params.s, 12);
+        assert!(!audit.checkpoints.is_empty());
+        // Online pagers are greedily competitive; allow a generous constant
+        // times log p.
+        let log_p = (params.p as f64).log2();
+        assert!(
+            audit.factor <= 4.0 * log_p + 4.0,
+            "greedy factor {} too large",
+            audit.factor
+        );
+        // Every checkpoint's ALG dominates its own OPT (sanity).
+        for &(n, alg, opt) in &audit.checkpoints {
+            assert!(alg + audit.additive >= opt, "prefix {n}: {alg} < {opt}");
+        }
+    }
+
+    #[test]
+    fn overspending_profile_fails_the_audit() {
+        // A profile that burns only maximal boxes on a long tiny loop is not
+        // greedy: once past the additive slack (one max box), every prefix
+        // costs ≈ 4.7× the prefix-OPT (max boxes spend 640 impact per ~604
+        // requests of a 4-page loop; height-8 boxes spend 640 per ~44).
+        let params = ModelParams::new(8, 64, 10);
+        let seq: Vec<PageId> = (0..30_000).map(|i| PageId(i % 4)).collect();
+        let mut profile = BoxProfile::new();
+        for _ in 0..60 {
+            profile.push(MemBox::canonical(64, params.s));
+        }
+        let audit = audit_greedy(&seq, &profile, &params.box_heights(), params.s, 12);
+        let greedy = {
+            let run = run_green(&mut RandGreen::new(&params, 3), &seq, &params);
+            audit_greedy(&seq, &run.profile, &params.box_heights(), params.s, 12).factor
+        };
+        assert!(
+            audit.factor > 1.5 * greedy.max(1.0),
+            "front-loaded factor {} vs greedy {}",
+            audit.factor,
+            greedy
+        );
+        assert!(audit.factor > 3.0, "factor {} should approach ~4.7", audit.factor);
+    }
+
+    #[test]
+    fn additive_slack_is_one_max_box() {
+        let params = ModelParams::new(4, 32, 10);
+        let seq = phased_seq();
+        let run = run_green(&mut RandGreen::new(&params, 1), &seq, &params);
+        let audit = audit_greedy(&seq, &run.profile, &params.box_heights(), params.s, 8);
+        assert_eq!(audit.additive, 10 * 32 * 32);
+    }
+}

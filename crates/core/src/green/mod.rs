@@ -1,0 +1,177 @@
+//! Green paging (paper §2, §3.1): a single processor served through a
+//! dynamically-sized cache, minimizing *memory impact* — the integral of
+//! cache size over time.
+//!
+//! WLOG (from the paper and its predecessor [Agrawal et al., SODA '21]) a
+//! green-paging algorithm emits a sequence of compartmentalized boxes with
+//! power-of-two heights in `[k/p, k]`; the impact of a box of height `j` is
+//! `s·j²`. This module defines the policy interface, the box-by-box
+//! executor, and three policies:
+//!
+//! * [`rand_green::RandGreen`] — the paper's randomized `O(log p)`-competitive
+//!   algorithm (Theorem 1);
+//! * [`adaptive::AdaptiveGreen`] — a deterministic doubling heuristic in the
+//!   spirit of the SODA '21 online algorithm, used as a baseline;
+//! * [`opt_dp::green_opt`] — the exact offline optimum over normalized box
+//!   profiles, computed by dynamic programming (the denominator of every
+//!   green competitive ratio in the experiments);
+//! * [`opt_dp_fast::green_opt_fast`] — the same optimum in
+//!   `O(|heights|·n·log² n)` via Mattson distances + Fenwick corrections,
+//!   used wherever traces are long.
+//!
+//! [`universal::UniversalGreen`] derandomizes RAND-GREEN by *scheduling*
+//! the impact balance instead of sampling it — the same move that turns
+//! RAND-PAR into DET-PAR.
+//!
+//! Two §4 companions: [`dynamic::RebootingGreen`] implements the paper's
+//! evolving-threshold variant (reboot when the minimum threshold doubles),
+//! and [`greedy::audit_greedy`] turns Definition 1 (greedy
+//! competitiveness) into an executable audit.
+
+pub mod adaptive;
+pub mod dynamic;
+pub mod greedy;
+pub mod opt_dp;
+pub mod opt_dp_fast;
+pub mod rand_green;
+pub mod universal;
+
+use parapage_cache::{run_box, CacheStats, PageId, Time, WindowOutcome};
+
+use crate::boxes::{BoxProfile, MemBox};
+use crate::config::ModelParams;
+
+/// An online green-paging policy: chooses the next box height, optionally
+/// observing how the previous box went.
+///
+/// Policies that never read [`GreenPolicy::observe`]'s argument are
+/// *oblivious* in the paper's sense.
+pub trait GreenPolicy {
+    /// Height of the next box to allocate (must be ≥ 1).
+    fn next_height(&mut self) -> usize;
+
+    /// Feedback after a box completes (default: ignored — oblivious).
+    fn observe(&mut self, _outcome: &WindowOutcome) {}
+
+    /// Notification that `v` sequences survive in the surrounding parallel
+    /// run (default: ignored). [`dynamic::RebootingGreen`] uses this to
+    /// implement the paper's §4 threshold reboots.
+    fn on_survivors(&mut self, _v: usize) {}
+
+    /// Short human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Result of running a green policy to completion on one sequence.
+#[derive(Clone, Debug)]
+pub struct GreenRun {
+    /// The boxes the policy allocated, in order (the last box is charged in
+    /// full even if the sequence finished mid-box, matching the paper's
+    /// accounting where allocations are committed).
+    pub profile: BoxProfile,
+    /// Total memory impact of all allocated boxes.
+    pub impact: u128,
+    /// Wall-clock time until the sequence completed.
+    pub elapsed: Time,
+    /// Aggregate hits/misses.
+    pub stats: CacheStats,
+}
+
+/// Runs `policy` on `seq` until every request is served, charging one
+/// compartmentalized box per [`GreenPolicy::next_height`] call.
+///
+/// Termination is guaranteed because a box of height `h ≥ 1` has budget
+/// `s·h ≥ s` and therefore always serves at least one request.
+pub fn run_green<P: GreenPolicy + ?Sized>(
+    policy: &mut P,
+    seq: &[PageId],
+    params: &ModelParams,
+) -> GreenRun {
+    let s = params.s;
+    let mut idx = 0;
+    let mut profile = BoxProfile::new();
+    let mut impact = 0u128;
+    let mut elapsed: Time = 0;
+    let mut stats = CacheStats::default();
+    while idx < seq.len() {
+        let h = policy.next_height();
+        assert!(h >= 1, "green policy {} produced a zero box", policy.name());
+        let b = MemBox::canonical(h, s);
+        let out = run_box(seq, idx, h, s);
+        debug_assert!(out.end_index > idx, "box made no progress");
+        policy.observe(&out);
+        profile.push(b);
+        impact += b.impact();
+        elapsed += if out.finished { out.time_used } else { b.duration };
+        stats += out.stats;
+        idx = out.end_index;
+    }
+    GreenRun {
+        profile,
+        impact,
+        elapsed,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl GreenPolicy for Fixed {
+        fn next_height(&mut self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn fixed_policy_completes_and_charges_boxes() {
+        let params = ModelParams::new(4, 16, 10);
+        let seq: Vec<PageId> = (0..20).map(|i| PageId(i % 4)).collect();
+        let run = run_green(&mut Fixed(8), &seq, &params);
+        assert!(run.stats.accesses() == 20);
+        assert_eq!(run.impact, run.profile.impact());
+        assert!(run.profile.is_normalized(&params));
+        // Height 8 holds the 4-page cycle with budget to spare: one box,
+        // 4 compulsory misses, 16 hits.
+        assert_eq!(run.stats.misses, 4);
+        assert_eq!(run.profile.len(), 1);
+    }
+
+    #[test]
+    fn undersized_boxes_pay_compartmentalization() {
+        // A height-4 box (budget 40 = s·4) spends its entire budget on the
+        // 4 compulsory misses of a 4-page cycle, so every box re-misses:
+        // compartmentalization makes small boxes useless here.
+        let params = ModelParams::new(4, 16, 10);
+        let seq: Vec<PageId> = (0..20).map(|i| PageId(i % 4)).collect();
+        let run = run_green(&mut Fixed(4), &seq, &params);
+        assert_eq!(run.stats.misses, 20);
+        assert_eq!(run.profile.len(), 5);
+    }
+
+    #[test]
+    fn minimum_height_still_terminates() {
+        let params = ModelParams::new(4, 16, 10);
+        let seq: Vec<PageId> = (0..50).map(PageId).collect();
+        let run = run_green(&mut Fixed(1), &seq, &params);
+        assert_eq!(run.stats.misses, 50);
+        // Every box of height 1 serves exactly one all-miss request.
+        assert_eq!(run.profile.len(), 50);
+    }
+
+    #[test]
+    fn elapsed_counts_partial_final_box() {
+        let params = ModelParams::new(4, 16, 10);
+        let seq = vec![PageId(1)];
+        let run = run_green(&mut Fixed(4), &seq, &params);
+        // One miss = 10 steps, not the full 40-step box duration.
+        assert_eq!(run.elapsed, 10);
+        // But impact charges the whole box.
+        assert_eq!(run.impact, 4 * 40);
+    }
+}

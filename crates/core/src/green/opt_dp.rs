@@ -1,0 +1,151 @@
+//! Exact offline optimal green paging over normalized box profiles, via
+//! dynamic programming.
+//!
+//! WLOG (paper §2) the offline green OPT allocates compartmentalized
+//! power-of-two boxes. A profile is then a path through sequence positions:
+//! a box of height `h` started at position `i` deterministically reaches
+//! position `next(i, h)` (LRU from a cold cache, budget `s·h`). Minimizing
+//! total impact `Σ s·h²` is a shortest-path problem over `n+1` positions
+//! with one edge per (position, height), solved backwards in
+//! `O(n · |heights| · max_box_service)` time.
+//!
+//! This DP is the denominator of every green competitive ratio in the
+//! experiments (E1) and feeds the aggregate `T_OPT` impact bound.
+
+use parapage_cache::{run_box, PageId};
+
+use crate::boxes::{BoxProfile, MemBox};
+use crate::config::ModelParams;
+
+/// An optimal offline green-paging solution.
+#[derive(Clone, Debug)]
+pub struct GreenOpt {
+    /// Minimum total memory impact over normalized compartmentalized
+    /// profiles with the given height menu.
+    pub impact: u128,
+    /// A profile achieving it.
+    pub profile: BoxProfile,
+}
+
+/// Computes the optimal profile for `seq` using the paper's height menu
+/// `{k/p, 2k/p, …, k}`.
+pub fn green_opt_normalized(seq: &[PageId], params: &ModelParams) -> GreenOpt {
+    green_opt(seq, &params.box_heights(), params.s)
+}
+
+/// Computes the optimal profile for `seq` over an arbitrary ascending menu
+/// of box heights (all ≥ 1).
+///
+/// # Panics
+/// If `heights` is empty or contains 0.
+pub fn green_opt(seq: &[PageId], heights: &[usize], s: u64) -> GreenOpt {
+    assert!(!heights.is_empty(), "need at least one height");
+    assert!(heights.iter().all(|&h| h >= 1), "heights must be positive");
+    let n = seq.len();
+    // cost[i] = min impact to finish from position i; choice[i] = height idx.
+    let mut cost = vec![u128::MAX; n + 1];
+    let mut choice = vec![usize::MAX; n + 1];
+    cost[n] = 0;
+    for i in (0..n).rev() {
+        for (hi, &h) in heights.iter().enumerate() {
+            let out = run_box(seq, i, h, s);
+            debug_assert!(out.end_index > i);
+            let box_impact = MemBox::canonical(h, s).impact();
+            let total = box_impact + cost[out.end_index];
+            if total < cost[i] {
+                cost[i] = total;
+                choice[i] = hi;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut profile = BoxProfile::new();
+    let mut i = 0;
+    while i < n {
+        let h = heights[choice[i]];
+        profile.push(MemBox::canonical(h, s));
+        i = run_box(seq, i, h, s).end_index;
+    }
+    GreenOpt {
+        impact: cost[0],
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::run_profile;
+    use crate::green::rand_green::RandGreen;
+    use crate::green::run_green;
+
+    fn cyc(n: usize, w: u64) -> Vec<PageId> {
+        (0..n).map(|i| PageId(i as u64 % w)).collect()
+    }
+
+    #[test]
+    fn empty_sequence_costs_nothing() {
+        let params = ModelParams::new(4, 16, 10);
+        let opt = green_opt_normalized(&[], &params);
+        assert_eq!(opt.impact, 0);
+        assert!(opt.profile.is_empty());
+    }
+
+    #[test]
+    fn reconstructed_profile_achieves_reported_impact_and_finishes() {
+        let params = ModelParams::new(4, 32, 10);
+        let seq = cyc(300, 12);
+        let opt = green_opt_normalized(&seq, &params);
+        let run = run_profile(&seq, &opt.profile, params.s);
+        assert!(run.finished);
+        assert_eq!(run.impact_used, opt.impact);
+    }
+
+    #[test]
+    fn prefers_one_fitting_box_over_many_tiny_ones() {
+        // Cycle of width 16: a height-16 box is drastically greener than
+        // height-8 churn.
+        let params = ModelParams::new(4, 32, 10);
+        let seq = cyc(200, 16);
+        let opt = green_opt_normalized(&seq, &params);
+        assert!(
+            opt.profile.boxes().iter().any(|b| b.height >= 16),
+            "profile {:?}",
+            opt.profile
+        );
+    }
+
+    #[test]
+    fn prefers_small_boxes_for_fresh_streams() {
+        // All-distinct pages: any height misses everything, so minimum
+        // height minimizes impact.
+        let params = ModelParams::new(8, 64, 10);
+        let seq: Vec<PageId> = (0..100).map(PageId).collect();
+        let opt = green_opt_normalized(&seq, &params);
+        assert!(opt.profile.boxes().iter().all(|b| b.height == 8));
+    }
+
+    #[test]
+    fn opt_lower_bounds_rand_green() {
+        let params = ModelParams::new(8, 64, 10);
+        let seq = cyc(400, 24);
+        let opt = green_opt_normalized(&seq, &params);
+        for seed in 0..5 {
+            let run = run_green(&mut RandGreen::new(&params, seed), &seq, &params);
+            assert!(
+                run.impact >= opt.impact,
+                "seed {seed}: {} < {}",
+                run.impact,
+                opt.impact
+            );
+        }
+    }
+
+    #[test]
+    fn richer_height_menu_never_hurts() {
+        let seq = cyc(250, 10);
+        let coarse = green_opt(&seq, &[4, 16], 10);
+        let fine = green_opt(&seq, &[4, 8, 16], 10);
+        assert!(fine.impact <= coarse.impact);
+    }
+}

@@ -1,0 +1,234 @@
+//! Accelerated offline green-paging optimum.
+//!
+//! [`crate::green::opt_dp::green_opt`] recomputes every box transition by
+//! direct simulation — `O(n · |heights| · box_service)` — which dominates
+//! the lower-bound pipeline on long traces. This module computes the same
+//! optimum in `O(|heights| · n · log² n)` using two classical facts about
+//! LRU started from a cold cache at position `i`:
+//!
+//! 1. a request `j ≥ i` whose previous access `prev(j)` is `≥ i` hits under
+//!    height `h` **iff its global Mattson stack distance is ≤ h** (all the
+//!    distinct pages between `prev(j)` and `j` lie inside the window);
+//! 2. a request with `prev(j) < i` is cold in the window and always misses.
+//!
+//! So the cost of a box started at `i` is a *global* per-request cost
+//! (prefix-summable) plus a correction of `(s−1)` for each "crossing"
+//! request — `prev(j) < i ≤ j` with global distance ≤ `h` — counted by a
+//! Fenwick tree maintained over a descending sweep of `i`. The box
+//! endpoint `next(i, h)` then falls out of a binary search, and the DP over
+//! positions is unchanged.
+
+use parapage_cache::{stack_distances, Fenwick, PageId};
+
+use crate::boxes::{BoxProfile, MemBox};
+use crate::config::ModelParams;
+use crate::green::opt_dp::GreenOpt;
+
+/// Previous-occurrence index of each request (`usize::MAX` for first
+/// touches).
+fn prev_occurrence(seq: &[PageId]) -> Vec<usize> {
+    let mut last = std::collections::HashMap::new();
+    let mut prev = vec![usize::MAX; seq.len()];
+    for (j, &p) in seq.iter().enumerate() {
+        if let Some(&q) = last.get(&p) {
+            prev[j] = q;
+        }
+        last.insert(p, j);
+    }
+    prev
+}
+
+/// `next[i]` table for one height: first unserved index when a canonical
+/// box of height `h` starts cold at `i`.
+fn next_table(
+    seq: &[PageId],
+    dists: &[Option<usize>],
+    prev: &[usize],
+    h: usize,
+    s: u64,
+) -> Vec<u32> {
+    let n = seq.len();
+    let budget = s as u128 * h as u128;
+    // Global per-request cost under height h (ignoring window coldness).
+    let mut pref = vec![0u128; n + 1];
+    let mut hit = vec![false; n];
+    for j in 0..n {
+        let is_hit = matches!(dists[j], Some(d) if d <= h);
+        hit[j] = is_hit;
+        pref[j + 1] = pref[j] + if is_hit { 1 } else { s as u128 };
+    }
+    // removal[q] = requests j with prev(j) == q (they leave the crossing
+    // set once the window start reaches q).
+    let mut removal: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for j in 0..n {
+        if hit[j] && prev[j] != usize::MAX {
+            removal[prev[j]].push(j as u32);
+        }
+    }
+    let mut fw = Fenwick::new(n);
+    let mut next = vec![0u32; n];
+    let correction = (s - 1) as u128;
+    for i in (0..n).rev() {
+        // Maintain C_i = { j : hit_j, prev(j) < i <= j }.
+        if hit[i] && prev[i] != usize::MAX {
+            fw.add(i, 1);
+        }
+        for &j in &removal[i] {
+            fw.add(j as usize, -1);
+        }
+        // Largest m with cost(i..=m) <= budget.
+        let cost_upto = |m: usize| -> u128 {
+            (pref[m + 1] - pref[i]) + correction * fw.range_sum(i, m) as u128
+        };
+        if cost_upto(i) > budget {
+            // Cannot even serve one request (impossible for h >= 1, but be
+            // safe).
+            next[i] = i as u32;
+            continue;
+        }
+        let (mut lo, mut hi) = (i, n - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if cost_upto(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        next[i] = (lo + 1) as u32;
+    }
+    next
+}
+
+/// Drop-in replacement for [`crate::green::opt_dp::green_opt`], same
+/// result, asymptotically faster on long sequences.
+pub fn green_opt_fast(seq: &[PageId], heights: &[usize], s: u64) -> GreenOpt {
+    assert!(!heights.is_empty());
+    assert!(heights.iter().all(|&h| h >= 1));
+    let n = seq.len();
+    if n == 0 {
+        return GreenOpt {
+            impact: 0,
+            profile: BoxProfile::new(),
+        };
+    }
+    let dists = stack_distances(seq);
+    let prev = prev_occurrence(seq);
+    let tables: Vec<Vec<u32>> = heights
+        .iter()
+        .map(|&h| next_table(seq, &dists, &prev, h, s))
+        .collect();
+
+    let mut cost = vec![u128::MAX; n + 1];
+    let mut choice = vec![usize::MAX; n + 1];
+    cost[n] = 0;
+    for i in (0..n).rev() {
+        for (hi, &h) in heights.iter().enumerate() {
+            let nx = tables[hi][i] as usize;
+            if nx <= i {
+                continue;
+            }
+            let total = MemBox::canonical(h, s).impact() + cost[nx];
+            if total < cost[i] {
+                cost[i] = total;
+                choice[i] = hi;
+            }
+        }
+    }
+    let mut profile = BoxProfile::new();
+    let mut i = 0;
+    while i < n {
+        let hi = choice[i];
+        profile.push(MemBox::canonical(heights[hi], s));
+        i = tables[hi][i] as usize;
+    }
+    GreenOpt {
+        impact: cost[0],
+        profile,
+    }
+}
+
+/// Convenience wrapper with the paper's normalized height menu.
+pub fn green_opt_fast_normalized(seq: &[PageId], params: &ModelParams) -> GreenOpt {
+    green_opt_fast(seq, &params.box_heights(), params.s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::green::opt_dp::green_opt;
+    use parapage_cache::run_box;
+
+    fn cyc(n: usize, w: u64) -> Vec<PageId> {
+        (0..n).map(|i| PageId(i as u64 % w)).collect()
+    }
+
+    fn phased(parts: &[(u64, usize)]) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let mut base = 0u64;
+        for &(w, n) in parts {
+            for i in 0..n {
+                out.push(PageId(base + (i as u64 % w)));
+            }
+            base += w;
+        }
+        out
+    }
+
+    #[test]
+    fn next_table_matches_run_box() {
+        let seqs = vec![
+            cyc(200, 7),
+            phased(&[(4, 50), (20, 80), (3, 40)]),
+            (0..100).map(PageId).collect::<Vec<_>>(),
+        ];
+        for seq in seqs {
+            let dists = stack_distances(&seq);
+            let prev = prev_occurrence(&seq);
+            for &h in &[1usize, 2, 5, 8, 16, 64] {
+                let table = next_table(&seq, &dists, &prev, h, 9);
+                for (i, &entry) in table.iter().enumerate() {
+                    let expect = run_box(&seq, i, h, 9).end_index;
+                    assert_eq!(
+                        entry as usize, expect,
+                        "h={h} i={i} (len {})",
+                        seq.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dp_exactly() {
+        let seqs = vec![
+            cyc(300, 12),
+            phased(&[(4, 100), (24, 150), (8, 100)]),
+            (0..150).map(PageId).collect::<Vec<_>>(),
+        ];
+        for seq in seqs {
+            for heights in [vec![4usize, 8, 16, 32], vec![1, 2, 4], vec![16]] {
+                let naive = green_opt(&seq, &heights, 10);
+                let fast = green_opt_fast(&seq, &heights, 10);
+                assert_eq!(fast.impact, naive.impact, "heights {heights:?}");
+                assert_eq!(fast.profile, naive.profile);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let opt = green_opt_fast(&[], &[4], 10);
+        assert_eq!(opt.impact, 0);
+        assert!(opt.profile.is_empty());
+    }
+
+    #[test]
+    fn normalized_wrapper_agrees() {
+        let params = ModelParams::new(4, 32, 10);
+        let seq = phased(&[(6, 120), (20, 150)]);
+        let a = green_opt_fast_normalized(&seq, &params);
+        let b = crate::green::opt_dp::green_opt_normalized(&seq, &params);
+        assert_eq!(a.impact, b.impact);
+    }
+}

@@ -1,0 +1,103 @@
+//! RAND-GREEN (paper §3.1): the remarkably simple randomized green-paging
+//! algorithm behind Theorem 1.
+//!
+//! Every box height is drawn i.i.d. from the distribution
+//! `Pr[j] ∝ k²/(j²p²)`, making every height's expected impact contribution
+//! equal (Lemma 1). If OPT needs a box of height `z` somewhere, the expected
+//! impact RAND-GREEN spends until it happens to draw `z` is only
+//! `O(log p)·s·z²` — hence `O(log p)`-competitiveness in expectation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::ModelParams;
+use crate::distribution::BoxHeightDist;
+use crate::green::GreenPolicy;
+
+/// The paper's randomized online green pager.
+///
+/// Oblivious: box heights never depend on the request sequence.
+#[derive(Debug)]
+pub struct RandGreen {
+    dist: BoxHeightDist,
+    rng: StdRng,
+}
+
+impl RandGreen {
+    /// RAND-GREEN with the paper's inverse-square height distribution.
+    pub fn new(params: &ModelParams, seed: u64) -> Self {
+        let params = params.normalized_k();
+        RandGreen {
+            dist: BoxHeightDist::paper(&params),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// RAND-GREEN with a custom height distribution (ablations).
+    pub fn with_dist(dist: BoxHeightDist, seed: u64) -> Self {
+        RandGreen {
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The height distribution in use.
+    pub fn dist(&self) -> &BoxHeightDist {
+        &self.dist
+    }
+}
+
+impl GreenPolicy for RandGreen {
+    fn next_height(&mut self) -> usize {
+        self.dist.sample(&mut self.rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "RAND-GREEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::green::run_green;
+    use parapage_cache::PageId;
+
+    #[test]
+    fn completes_arbitrary_sequences() {
+        let params = ModelParams::new(8, 64, 10);
+        let seq: Vec<PageId> = (0..500).map(|i| PageId(i % 40)).collect();
+        let run = run_green(&mut RandGreen::new(&params, 7), &seq, &params);
+        assert_eq!(run.stats.accesses(), 500);
+        assert!(run.profile.is_normalized(&params));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let params = ModelParams::new(8, 64, 10);
+        let seq: Vec<PageId> = (0..200).map(|i| PageId(i % 16)).collect();
+        let a = run_green(&mut RandGreen::new(&params, 3), &seq, &params);
+        let b = run_green(&mut RandGreen::new(&params, 3), &seq, &params);
+        assert_eq!(a.impact, b.impact);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn different_seeds_generally_differ() {
+        let params = ModelParams::new(16, 128, 10);
+        let seq: Vec<PageId> = (0..400).map(|i| PageId(i % 100)).collect();
+        let a = run_green(&mut RandGreen::new(&params, 1), &seq, &params);
+        let b = run_green(&mut RandGreen::new(&params, 2), &seq, &params);
+        assert_ne!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn heights_stay_in_normalized_range() {
+        let params = ModelParams::new(8, 64, 10);
+        let mut g = RandGreen::new(&params, 11);
+        for _ in 0..1000 {
+            let h = g.next_height();
+            assert!((8..=64).contains(&h) && h.is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! UNIV-GREEN: a deterministic, oblivious green pager that equalizes
+//! per-height impact — RAND-GREEN's guarantee without the randomness.
+//!
+//! RAND-GREEN's analysis (Lemma 1/Theorem 1) needs exactly one structural
+//! property: every height's cumulative expected impact stays within a
+//! constant of every other's, so whichever height OPT needs next, only an
+//! `O(log p)` factor of impact is spent before a box of that height
+//! arrives. Randomness is one way to get the property; *scheduling* is
+//! another — the same move the paper makes when derandomizing RAND-PAR
+//! into DET-PAR. UNIV-GREEN simply emits, at every step, a box of the
+//! height whose cumulative impact is currently smallest (ties toward the
+//! smallest height). The resulting sequence is a universal ruler-like
+//! pattern: height `2^i·k/p` appears once for every `4^j−i`-ish boxes of
+//! each smaller height, keeping all levels balanced deterministically —
+//! and the gap between consecutive boxes of height `j` is `O(log p · j²/b)`
+//! boxes' worth of impact, the deterministic analogue of Lemma 1.
+
+use crate::config::ModelParams;
+use crate::green::GreenPolicy;
+
+/// Deterministic impact-balancing green pager.
+#[derive(Clone, Debug)]
+pub struct UniversalGreen {
+    heights: Vec<usize>,
+    /// Cumulative impact spent per height level.
+    spent: Vec<u128>,
+    s: u64,
+}
+
+impl UniversalGreen {
+    /// Creates UNIV-GREEN over the paper's normalized height menu.
+    pub fn new(params: &ModelParams) -> Self {
+        let params = params.normalized_k();
+        let heights = params.box_heights();
+        UniversalGreen {
+            spent: vec![0; heights.len()],
+            heights,
+            s: params.s,
+        }
+    }
+
+    /// Cumulative impact per height level (diagnostics/tests).
+    pub fn spent(&self) -> &[u128] {
+        &self.spent
+    }
+}
+
+impl GreenPolicy for UniversalGreen {
+    fn next_height(&mut self) -> usize {
+        // Choose the level whose cumulative impact *after* this box stays
+        // smallest (ties toward small heights). Comparing post-allocation
+        // totals is essential: comparing pre-allocation totals would let a
+        // cold k-box run immediately (all levels start at zero) and pay
+        // s·k² before any cheap progress — the deterministic analogue of
+        // the "vulnerability" §3.2 warns about.
+        let idx = (0..self.heights.len())
+            .min_by_key(|&i| {
+                let h = self.heights[i] as u128;
+                (self.spent[i] + self.s as u128 * h * h, self.heights[i])
+            })
+            .expect("non-empty menu");
+        let h = self.heights[idx];
+        self.spent[idx] += self.s as u128 * (h as u128) * (h as u128);
+        h
+    }
+
+    fn name(&self) -> &'static str {
+        "UNIV-GREEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::green::opt_dp_fast::green_opt_fast_normalized;
+    use crate::green::run_green;
+    use parapage_cache::PageId;
+
+    fn params() -> ModelParams {
+        ModelParams::new(8, 64, 10)
+    }
+
+    #[test]
+    fn emits_a_ruler_like_sequence() {
+        let mut g = UniversalGreen::new(&params());
+        let seq: Vec<usize> = (0..341).map(|_| g.next_height()).collect();
+        // Tall boxes must be earned: four 8s before the first 16, and the
+        // first 64 only once the smaller levels have banked ~s·64².
+        assert_eq!(&seq[..5], &[8, 8, 8, 8, 16]);
+        assert!(seq.iter().position(|&h| h == 64).unwrap() > 40);
+        // Balance means height h appears ~4x as often as height 2h
+        // (impacts are 4x apart).
+        let count = |h: usize| seq.iter().filter(|&&x| x == h).count() as f64;
+        for (a, b) in [(8, 16), (16, 32), (32, 64)] {
+            let ratio = count(a) / count(b);
+            assert!(
+                (3.0..=5.0).contains(&ratio),
+                "count({a})/count({b}) = {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_height_impacts_stay_balanced() {
+        let mut g = UniversalGreen::new(&params());
+        for _ in 0..5000 {
+            g.next_height();
+        }
+        let max = g.spent().iter().max().unwrap();
+        let min = g.spent().iter().min().unwrap();
+        // Within two max-box impacts of each other.
+        let max_box = 10u128 * 64 * 64;
+        assert!(max - min <= 2 * max_box, "imbalance {max} - {min}");
+    }
+
+    #[test]
+    fn competitive_on_phase_changing_sequences() {
+        let p = params();
+        let seq: Vec<PageId> = {
+            let mut v = Vec::new();
+            for i in 0..1500u64 {
+                v.push(PageId(i % 4));
+            }
+            for i in 0..3000u64 {
+                v.push(PageId(100 + i % 48));
+            }
+            v
+        };
+        let opt = green_opt_fast_normalized(&seq, &p);
+        let run = run_green(&mut UniversalGreen::new(&p), &seq, &p);
+        let ratio = run.impact as f64 / opt.impact as f64;
+        let budget = 3.0 * (p.p as f64).log2() + 3.0;
+        assert!(ratio <= budget, "UNIV-GREEN ratio {ratio:.2} > {budget:.2}");
+    }
+
+    #[test]
+    fn deterministic_by_construction() {
+        let mk = || {
+            let mut g = UniversalGreen::new(&params());
+            (0..100).map(|_| g.next_height()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

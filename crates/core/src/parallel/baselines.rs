@@ -1,0 +1,294 @@
+//! Baseline parallel pagers: the comparators RAND-PAR and DET-PAR are
+//! measured against in E8.
+
+use parapage_cache::{ProcId, Time, WindowOutcome};
+
+use crate::config::ModelParams;
+use crate::parallel::{BoxAllocator, Grant};
+
+/// Static equal partition: every processor gets `k/p` pages forever.
+///
+/// This is the natural "fair share" strawman. It is oblivious and uses
+/// exactly `k` memory, but its competitive ratio is unbounded in `k/p`: a
+/// single processor cycling over `k` pages misses everything while the other
+/// partitions idle.
+#[derive(Clone, Debug)]
+pub struct StaticPartition {
+    height: usize,
+    quantum: Time,
+}
+
+impl StaticPartition {
+    /// Equal partition of `params.k` over `params.p` processors.
+    pub fn new(params: &ModelParams) -> Self {
+        let height = params.min_height();
+        StaticPartition {
+            height,
+            quantum: params.s * height as u64,
+        }
+    }
+}
+
+impl BoxAllocator for StaticPartition {
+    fn grant(&mut self, _proc: ProcId, _now: Time) -> Grant {
+        Grant {
+            height: self.height,
+            duration: self.quantum,
+        }
+    }
+
+    fn on_proc_finished(&mut self, _proc: ProcId, _now: Time) {}
+
+    fn name(&self) -> &'static str {
+        "STATIC-EQUAL"
+    }
+}
+
+/// Adaptive partition proportional to recent miss counts.
+///
+/// Every epoch of length `epoch` the cache is re-divided: processor `i`
+/// receives `max(1, k·mᵢ/Σm)` pages where `mᵢ` is its miss count in the
+/// previous epoch (equal shares when no misses were observed). This is the
+/// classic feedback heuristic real systems use; it is *not* oblivious and
+/// the paper's adversarial analysis does not protect it.
+#[derive(Clone, Debug)]
+pub struct PropMissPartition {
+    k: usize,
+    epoch: Time,
+    epoch_end: Time,
+    alloc: Vec<usize>,
+    misses: Vec<u64>,
+    active: Vec<bool>,
+}
+
+impl PropMissPartition {
+    /// Creates the policy with the default epoch `s·k`.
+    pub fn new(params: &ModelParams) -> Self {
+        Self::with_epoch(params, params.s * params.k as u64)
+    }
+
+    /// Creates the policy with an explicit epoch length.
+    pub fn with_epoch(params: &ModelParams, epoch: Time) -> Self {
+        assert!(epoch >= 1);
+        let share = params.min_height();
+        PropMissPartition {
+            k: params.k,
+            epoch,
+            epoch_end: epoch,
+            alloc: vec![share; params.p],
+            misses: vec![0; params.p],
+            active: vec![true; params.p],
+        }
+    }
+
+    fn reallocate(&mut self) {
+        let live: Vec<usize> = (0..self.alloc.len()).filter(|&i| self.active[i]).collect();
+        if live.is_empty() {
+            return;
+        }
+        let total: u64 = live.iter().map(|&i| self.misses[i]).sum();
+        if total == 0 {
+            let share = (self.k / live.len()).max(1);
+            for &i in &live {
+                self.alloc[i] = share;
+            }
+        } else {
+            // Proportional shares, each at least one page; rounding may
+            // leave a few pages unused, never oversubscribe beyond k + p.
+            for &i in &live {
+                let share = (self.k as u128 * self.misses[i] as u128 / total as u128) as usize;
+                self.alloc[i] = share.max(1);
+            }
+        }
+        for m in &mut self.misses {
+            *m = 0;
+        }
+    }
+}
+
+impl BoxAllocator for PropMissPartition {
+    fn grant(&mut self, proc: ProcId, now: Time) -> Grant {
+        while now >= self.epoch_end {
+            self.reallocate();
+            self.epoch_end += self.epoch;
+        }
+        Grant {
+            height: self.alloc[proc.idx()],
+            duration: self.epoch_end - now,
+        }
+    }
+
+    fn on_proc_finished(&mut self, proc: ProcId, _now: Time) {
+        self.active[proc.idx()] = false;
+    }
+
+    fn observe(&mut self, proc: ProcId, outcome: &WindowOutcome) {
+        self.misses[proc.idx()] += outcome.stats.misses;
+    }
+
+    fn name(&self) -> &'static str {
+        "PROP-MISS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::new(4, 32, 10)
+    }
+
+    #[test]
+    fn static_partition_grants_equal_shares() {
+        let mut sp = StaticPartition::new(&params());
+        let g = sp.grant(ProcId(0), 0);
+        assert_eq!(g.height, 8);
+        assert_eq!(g.duration, 80);
+        // Same grant for everyone, forever.
+        assert_eq!(sp.grant(ProcId(3), 12345), g);
+    }
+
+    #[test]
+    fn prop_miss_starts_equal_then_follows_misses() {
+        let p = params();
+        let mut pm = PropMissPartition::with_epoch(&p, 100);
+        assert_eq!(pm.grant(ProcId(0), 0).height, 8);
+        // Proc 0 misses a lot, others not at all.
+        pm.observe(
+            ProcId(0),
+            &WindowOutcome {
+                end_index: 10,
+                stats: parapage_cache::CacheStats {
+                    hits: 0,
+                    misses: 10,
+                },
+                time_used: 100,
+                finished: false,
+            },
+        );
+        // Next epoch: proc 0 gets (almost) everything, others min share.
+        let g0 = pm.grant(ProcId(0), 100);
+        let g1 = pm.grant(ProcId(1), 100);
+        assert_eq!(g0.height, 32);
+        assert_eq!(g1.height, 1);
+    }
+
+    #[test]
+    fn prop_miss_grants_end_at_epoch_boundary() {
+        let p = params();
+        let mut pm = PropMissPartition::with_epoch(&p, 100);
+        let g = pm.grant(ProcId(0), 30);
+        assert_eq!(g.duration, 70);
+    }
+
+    #[test]
+    fn prop_miss_reassigns_shares_of_finished_procs() {
+        let p = params();
+        let mut pm = PropMissPartition::with_epoch(&p, 100);
+        for i in 0..3 {
+            pm.on_proc_finished(ProcId(i), 50);
+        }
+        let g = pm.grant(ProcId(3), 100);
+        assert_eq!(g.height, 32); // sole survivor gets the whole cache
+    }
+}
+
+/// SRPT-flavoured partition: the whole cache goes to the processor with the
+/// least *remaining* work; everyone else gets one page.
+///
+/// Shortest-Remaining-Processing-Time is the classic mean-completion-time
+/// heuristic; it needs to know sequence lengths (semi-offline — constructed
+/// with them) and tracks progress via the engine's access feedback. A
+/// makespan disaster by design (the longest job starves until the end), it
+/// brackets DET-PAR's mean-completion results from the other side in E6.
+#[derive(Clone, Debug)]
+pub struct SrptPartition {
+    k: usize,
+    s: u64,
+    remaining: Vec<u64>,
+    active: Vec<bool>,
+}
+
+impl SrptPartition {
+    /// Creates the policy from the known sequence lengths.
+    pub fn new(params: &ModelParams, lengths: &[usize]) -> Self {
+        assert_eq!(lengths.len(), params.p);
+        SrptPartition {
+            k: params.k,
+            s: params.s,
+            remaining: lengths.iter().map(|&n| n as u64).collect(),
+            active: vec![true; params.p],
+        }
+    }
+
+    fn favourite(&self) -> Option<usize> {
+        (0..self.remaining.len())
+            .filter(|&i| self.active[i])
+            .min_by_key(|&i| self.remaining[i])
+    }
+}
+
+impl BoxAllocator for SrptPartition {
+    fn grant(&mut self, proc: ProcId, _now: Time) -> Grant {
+        let fav = self.favourite();
+        let x = proc.idx();
+        let height = if Some(x) == fav {
+            self.k - (self.remaining.len() - 1)
+        } else {
+            1
+        };
+        Grant {
+            height,
+            // Short leases so leadership can change hands quickly.
+            duration: self.s * (self.k as u64 / 4).max(1),
+        }
+    }
+
+    fn on_proc_finished(&mut self, proc: ProcId, _now: Time) {
+        self.active[proc.idx()] = false;
+    }
+
+    fn observe(&mut self, proc: ProcId, outcome: &WindowOutcome) {
+        let served = outcome.stats.accesses();
+        let r = &mut self.remaining[proc.idx()];
+        *r = r.saturating_sub(served);
+    }
+
+    fn name(&self) -> &'static str {
+        "SRPT"
+    }
+}
+
+#[cfg(test)]
+mod srpt_tests {
+    use super::*;
+    use parapage_cache::CacheStats;
+
+    #[test]
+    fn favours_the_shortest_remaining_job() {
+        let p = ModelParams::new(4, 32, 10);
+        let mut srpt = SrptPartition::new(&p, &[100, 10, 50, 80]);
+        assert_eq!(srpt.grant(ProcId(1), 0).height, 32 - 3);
+        assert_eq!(srpt.grant(ProcId(0), 0).height, 1);
+    }
+
+    #[test]
+    fn leadership_moves_as_work_completes() {
+        let p = ModelParams::new(2, 16, 10);
+        let mut srpt = SrptPartition::new(&p, &[30, 40]);
+        assert_eq!(srpt.grant(ProcId(0), 0).height, 15);
+        // Proc 0 serves 30 requests -> finished; proc 1 takes over.
+        srpt.observe(
+            ProcId(0),
+            &WindowOutcome {
+                end_index: 30,
+                stats: CacheStats { hits: 25, misses: 5 },
+                time_used: 75,
+                finished: true,
+            },
+        );
+        srpt.on_proc_finished(ProcId(0), 75);
+        assert_eq!(srpt.grant(ProcId(1), 80).height, 15);
+    }
+}

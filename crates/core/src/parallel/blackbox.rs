@@ -1,0 +1,338 @@
+//! The black-box green-paging construction of paper §4.
+//!
+//! Each processor runs its own green-paging algorithm; the packer fits the
+//! requested boxes into a memory budget, and processors whose requested box
+//! does not currently fit receive a *minimum box* of height `k/v` (where `v`
+//! is the number of surviving sequences, rounded up to a power of two) —
+//! exactly the construction the paper describes for the `O(log² p)`-style
+//! transformation of [SODA '21].
+//!
+//! Theorem 4 proves this *shape* of algorithm — no matter how good the green
+//! pager — is doomed to a `Ω(log p / log log p)` makespan overhead on the
+//! adversarial instances of `parapage-workloads`. Experiment E7 measures
+//! exactly that separation against RAND-PAR/DET-PAR.
+
+use parapage_cache::{ProcId, Time, WindowOutcome};
+
+use crate::config::ModelParams;
+use crate::green::GreenPolicy;
+use crate::parallel::{BoxAllocator, Grant};
+
+/// A parallel pager that allocates via per-processor green pagers packed
+/// into a shared budget.
+pub struct BlackboxGreenPacker<G: GreenPolicy> {
+    params: ModelParams,
+    /// Budget for green (policy-requested) boxes; minimum filler boxes come
+    /// from a separate implicit budget of `k` (total memory `≤ capacity+k`).
+    capacity: usize,
+    pagers: Vec<G>,
+    /// A requested height waiting for room, per processor.
+    pending: Vec<Option<usize>>,
+    /// Whether the processor's last grant was a policy box (so `observe`
+    /// feedback should reach the green pager) or a filler.
+    last_was_policy: Vec<bool>,
+    /// In-flight policy boxes: (end time, height).
+    inflight: Vec<(Time, usize)>,
+    used: usize,
+    active: Vec<bool>,
+    active_count: usize,
+    /// Cumulative memory impact charged to each processor.
+    cum_impact: Vec<u128>,
+    /// §4 fairness factor: a policy box is granted only while the
+    /// processor's cumulative impact is within `factor ×` the minimum
+    /// cumulative impact among active processors (plus one max box of
+    /// slack). `None` = first-come-first-served.
+    fairness: Option<f64>,
+}
+
+impl<G: GreenPolicy> BlackboxGreenPacker<G> {
+    /// Builds the packer from one green pager per processor, with the
+    /// default policy-box budget `k`.
+    pub fn new(params: &ModelParams, pagers: Vec<G>) -> Self {
+        Self::with_capacity(params, pagers, params.k)
+    }
+
+    /// Builds the packer with an explicit policy-box budget.
+    pub fn with_capacity(params: &ModelParams, pagers: Vec<G>, capacity: usize) -> Self {
+        let params = params.normalized_k();
+        assert_eq!(pagers.len(), params.p, "one green pager per processor");
+        assert!(capacity >= params.k, "budget must fit the largest box");
+        BlackboxGreenPacker {
+            params,
+            capacity,
+            pending: vec![None; pagers.len()],
+            last_was_policy: vec![false; pagers.len()],
+            cum_impact: vec![0; pagers.len()],
+            pagers,
+            inflight: Vec::new(),
+            used: 0,
+            active: vec![true; params.p],
+            active_count: params.p,
+            fairness: None,
+        }
+    }
+
+    /// Enables the §4 *fair* packing discipline: no sequence may run more
+    /// than `factor ×` ahead of the least-served active sequence in
+    /// cumulative memory impact (one max-box of additive slack).
+    pub fn with_fairness(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        self.fairness = Some(factor);
+        self
+    }
+
+    /// Cumulative memory impact charged per processor (diagnostics).
+    pub fn cumulative_impact(&self) -> &[u128] {
+        &self.cum_impact
+    }
+
+    fn fairness_blocks(&self, x: usize) -> bool {
+        let Some(factor) = self.fairness else {
+            return false;
+        };
+        let min = (0..self.active.len())
+            .filter(|&i| self.active[i])
+            .map(|i| self.cum_impact[i])
+            .min()
+            .unwrap_or(0);
+        let k = self.params.k as u128;
+        let slack = self.params.s as u128 * k * k;
+        self.cum_impact[x] > ((min as f64) * factor) as u128 + slack
+    }
+
+    fn release_expired(&mut self, now: Time) {
+        let mut used = self.used;
+        self.inflight.retain(|&(end, h)| {
+            if end <= now {
+                used -= h;
+                false
+            } else {
+                true
+            }
+        });
+        self.used = used;
+    }
+
+    /// Height of the filler minimum box given the current survivor count.
+    fn filler_height(&self) -> usize {
+        let v = self.active_count.max(1).next_power_of_two();
+        (self.params.k / v).max(1)
+    }
+}
+
+impl<G: GreenPolicy> BoxAllocator for BlackboxGreenPacker<G> {
+    fn grant(&mut self, proc: ProcId, now: Time) -> Grant {
+        self.release_expired(now);
+        let x = proc.idx();
+        let want = match self.pending[x].take() {
+            Some(h) => h,
+            None => self.pagers[x].next_height(),
+        };
+        if self.used + want <= self.capacity && !self.fairness_blocks(x) {
+            self.used += want;
+            let duration = self.params.s * want as u64;
+            self.inflight.push((now + duration, want));
+            self.last_was_policy[x] = true;
+            self.cum_impact[x] += want as u128 * duration as u128;
+            Grant {
+                height: want,
+                duration,
+            }
+        } else {
+            // No room: remember the request and hand out a minimum box.
+            self.pending[x] = Some(want);
+            self.last_was_policy[x] = false;
+            let h = self.filler_height();
+            let duration = self.params.s * h as u64;
+            self.cum_impact[x] += h as u128 * duration as u128;
+            Grant {
+                height: h,
+                duration,
+            }
+        }
+    }
+
+    fn on_proc_finished(&mut self, proc: ProcId, _now: Time) {
+        if self.active[proc.idx()] {
+            self.active[proc.idx()] = false;
+            self.active_count -= 1;
+        }
+        // §4: survivor counts flow into the green pagers so threshold-aware
+        // implementations (RebootingGreen) can reboot.
+        let v = self.active_count.max(1);
+        for pager in &mut self.pagers {
+            pager.on_survivors(v);
+        }
+    }
+
+    fn observe(&mut self, proc: ProcId, outcome: &WindowOutcome) {
+        // Only policy boxes feed back into the green pager: filler boxes are
+        // the packer's business, not the green algorithm's.
+        if self.last_was_policy[proc.idx()] {
+            self.pagers[proc.idx()].observe(outcome);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BB-GREEN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::green::rand_green::RandGreen;
+
+    struct FixedGreen(usize);
+    impl GreenPolicy for FixedGreen {
+        fn next_height(&mut self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    fn params() -> ModelParams {
+        ModelParams::new(4, 32, 10)
+    }
+
+    #[test]
+    fn grants_requested_box_when_it_fits() {
+        let p = params();
+        let pagers: Vec<FixedGreen> = (0..4).map(|_| FixedGreen(16)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let g = bb.grant(ProcId(0), 0);
+        assert_eq!(g.height, 16);
+        assert_eq!(g.duration, 160);
+    }
+
+    #[test]
+    fn hands_out_filler_when_budget_exhausted() {
+        let p = params();
+        let pagers: Vec<FixedGreen> = (0..4).map(|_| FixedGreen(32)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let g0 = bb.grant(ProcId(0), 0);
+        assert_eq!(g0.height, 32); // fills the whole budget
+        let g1 = bb.grant(ProcId(1), 0);
+        assert_eq!(g1.height, 8); // filler k/v = 32/4
+        // Pending request survives and is granted once room frees.
+        let g1b = bb.grant(ProcId(1), g0.duration);
+        assert_eq!(g1b.height, 32);
+    }
+
+    #[test]
+    fn filler_height_grows_as_processors_finish() {
+        let p = params();
+        let pagers: Vec<FixedGreen> = (0..4).map(|_| FixedGreen(32)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let _ = bb.grant(ProcId(0), 0); // consume the budget
+        assert_eq!(bb.grant(ProcId(1), 0).height, 8);
+        bb.on_proc_finished(ProcId(2), 1);
+        bb.on_proc_finished(ProcId(3), 1);
+        // v = 2 survivors -> filler k/2 = 16.
+        assert_eq!(bb.filler_height(), 16);
+    }
+
+    #[test]
+    fn works_with_rand_green_pagers() {
+        let p = params();
+        let pagers: Vec<RandGreen> = (0..4).map(|i| RandGreen::new(&p, i as u64)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let mut now = 0;
+        for step in 0..100 {
+            let g = bb.grant(ProcId((step % 4) as u32), now);
+            assert!(g.height >= 1 && g.height <= p.k);
+            now += g.duration / 4;
+        }
+    }
+
+    #[test]
+    fn observe_reaches_pager_only_for_policy_boxes() {
+        // Use AdaptiveGreen-like behaviour via a counter.
+        struct Counting {
+            observed: usize,
+        }
+        impl GreenPolicy for Counting {
+            fn next_height(&mut self) -> usize {
+                32
+            }
+            fn observe(&mut self, _o: &WindowOutcome) {
+                self.observed += 1;
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let p = params();
+        let pagers = vec![
+            Counting { observed: 0 },
+            Counting { observed: 0 },
+            Counting { observed: 0 },
+            Counting { observed: 0 },
+        ];
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let out = WindowOutcome {
+            end_index: 1,
+            stats: Default::default(),
+            time_used: 1,
+            finished: false,
+        };
+        let _ = bb.grant(ProcId(0), 0); // policy box
+        bb.observe(ProcId(0), &out);
+        let _ = bb.grant(ProcId(1), 0); // filler
+        bb.observe(ProcId(1), &out);
+        assert_eq!(bb.pagers[0].observed, 1);
+        assert_eq!(bb.pagers[1].observed, 0);
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+
+    struct FixedGreen(usize);
+    impl GreenPolicy for FixedGreen {
+        fn next_height(&mut self) -> usize {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn fairness_blocks_a_runaway_processor() {
+        let p = ModelParams::new(4, 32, 10);
+        let pagers: Vec<FixedGreen> = (0..4).map(|_| FixedGreen(16)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers).with_fairness(2.0);
+        // Drive only processor 0 far ahead.
+        let mut now = 0;
+        let mut saw_filler = false;
+        for _ in 0..100 {
+            let g = bb.grant(ProcId(0), now);
+            now += g.duration;
+            if g.height != 16 {
+                saw_filler = true;
+                break;
+            }
+        }
+        assert!(saw_filler, "fairness never throttled the runaway processor");
+        // Cumulative impact tracked for everyone.
+        assert!(bb.cumulative_impact()[0] > 0);
+        assert_eq!(bb.cumulative_impact()[1], 0);
+    }
+
+    #[test]
+    fn fcfs_mode_never_blocks_within_budget() {
+        let p = ModelParams::new(4, 32, 10);
+        let pagers: Vec<FixedGreen> = (0..4).map(|_| FixedGreen(8)).collect();
+        let mut bb = BlackboxGreenPacker::new(&p, pagers);
+        let mut now = 0;
+        for _ in 0..50 {
+            let g = bb.grant(ProcId(0), now);
+            assert_eq!(g.height, 8);
+            now += g.duration;
+        }
+    }
+}

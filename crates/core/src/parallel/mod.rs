@@ -1,0 +1,105 @@
+//! Parallel paging algorithms (paper §3.2–§3.3) and baselines.
+//!
+//! A parallel pager is a [`BoxAllocator`]: a policy that, whenever a
+//! processor has no active allocation, grants it a box (or a stall
+//! interval). The execution engine in `parapage-sched` drives allocators
+//! against concrete request sequences and measures makespan, mean completion
+//! time, and memory usage.
+//!
+//! Implemented policies:
+//!
+//! * [`rand_par::RandPar`] — the paper's randomized `O(log p)`-competitive
+//!   algorithm (Theorem 2): phases → chunks, primary part of `k/r` boxes for
+//!   everyone, secondary part of one RAND-GREEN-sampled box per processor,
+//!   packed `k/j` at a time.
+//! * [`det_par::DetPar`] — the paper's deterministic *well-rounded*
+//!   algorithm (Theorem 3): per-phase base boxes for everyone, one cycling
+//!   box per tall height, and a `k/log p`-wide round-robin strip per short
+//!   height.
+//! * [`baselines::StaticPartition`] — `k/p` to everyone, forever.
+//! * [`baselines::PropMissPartition`] — adaptive epoch-based partition
+//!   proportional to recent miss counts (a practical, non-oblivious
+//!   comparator).
+//! * [`ucp::UcpPartition`] — utility-based cache partitioning
+//!   (Qureshi & Patt, MICRO 2006): epoch-based greedy allocation by
+//!   marginal miss-curve utility from shadow Mattson monitors — the
+//!   strongest practical adaptive baseline here.
+//! * [`blackbox::BlackboxGreenPacker`] — the §4 construction: each processor
+//!   runs a green pager as a black box and the packer fits the requested
+//!   boxes into memory, handing out minimum boxes while a request waits.
+//!   This is the `O(log² p)`-style comparator that Theorem 4 shows cannot be
+//!   optimal.
+
+pub mod baselines;
+pub mod ucp;
+pub mod blackbox;
+pub mod det_par;
+pub mod rand_par;
+
+use parapage_cache::{ProcId, Time, WindowOutcome};
+
+/// One allocation decision: `height` cache pages for `duration` time steps.
+///
+/// `height == 0` is a *stall*: the processor makes no progress for the
+/// duration (the paper explicitly allows stalling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// Cache pages available to the processor for this interval.
+    pub height: usize,
+    /// Length of the interval; must be ≥ 1.
+    pub duration: Time,
+}
+
+impl Grant {
+    /// A stall interval of the given length.
+    pub fn stall(duration: Time) -> Self {
+        Grant {
+            height: 0,
+            duration,
+        }
+    }
+}
+
+/// A parallel paging policy, driven by the execution engine.
+///
+/// Contract with the engine:
+/// * [`BoxAllocator::grant`] is called exactly when the processor has no
+///   active allocation, with `now` equal to the expiry of its previous grant
+///   (or 0 initially); calls arrive in global time order.
+/// * [`BoxAllocator::observe`] is called after each grant elapses, before
+///   the next `grant` call for that processor. **Oblivious** policies (all
+///   of the paper's) must keep the default no-op implementation — this is
+///   what "oblivious" means operationally.
+/// * [`BoxAllocator::on_proc_finished`] is called once when a processor
+///   serves its last request; the engine never asks for grants for it again.
+pub trait BoxAllocator {
+    /// Next allocation for processor `proc` starting at time `now`.
+    fn grant(&mut self, proc: ProcId, now: Time) -> Grant;
+
+    /// Notification that `proc` completed its sequence at time `now`.
+    fn on_proc_finished(&mut self, proc: ProcId, now: Time);
+
+    /// Feedback about the interval that just elapsed (default: ignored).
+    fn observe(&mut self, _proc: ProcId, _outcome: &WindowOutcome) {}
+
+    /// The page stream served during the interval that just elapsed
+    /// (default: ignored). Non-oblivious policies that need reuse
+    /// information — e.g. [`ucp::UcpPartition`]'s shadow Mattson monitors —
+    /// read it here; the paper's oblivious algorithms never implement this.
+    fn observe_accesses(&mut self, _proc: ProcId, _served: &[parapage_cache::PageId]) {}
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_grant_has_zero_height() {
+        let g = Grant::stall(10);
+        assert_eq!(g.height, 0);
+        assert_eq!(g.duration, 10);
+    }
+}

@@ -1,0 +1,333 @@
+//! RAND-PAR (paper §3.2): the randomized `O(log p)`-competitive parallel
+//! pager.
+//!
+//! Execution is divided into **chunks**. At the start of a chunk with `r`
+//! active processors:
+//!
+//! * the **primary part** gives every active processor `Θ(log r)` boxes of
+//!   the minimum height `k/r` (length `ℓ₁ = Θ(s·k·log r / r)`);
+//! * the **secondary part** samples one height `j` from the RAND-GREEN
+//!   distribution (`Pr[j] ∝ j⁻²`) and gives every active processor one box
+//!   of height `j`, packed `⌊k/j⌋` processors at a time (length
+//!   `ℓ₂ = Θ(s·r·j²/k)`).
+//!
+//! The two parts have equal expected length and memory impact
+//! (Observation 1), so whichever part a chunk "wastes" is amortized against
+//! the useful one. Phases — periods over which the active count halves —
+//! emerge implicitly; the policy only ever reads the active count, never the
+//! request sequences (it is *oblivious*).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use parapage_cache::{ProcId, Time};
+
+use crate::config::{log2_ceil, ModelParams};
+use crate::distribution::BoxHeightDist;
+use crate::parallel::{BoxAllocator, Grant};
+
+/// Tunables for RAND-PAR (every `Θ(·)` constant of §3.2, exposed for the
+/// E9 ablations).
+#[derive(Clone, Copy, Debug)]
+pub struct RandParConfig {
+    /// Multiplier on the number of primary-part minimum boxes
+    /// (`n_primary = primary_factor · log₂ r`). Paper: `Θ(1)`, default 1.
+    pub primary_factor: usize,
+    /// Exponent of the box-height distribution (`Pr[j] ∝ j^(-exponent)`).
+    /// Paper: 2.
+    pub exponent: f64,
+}
+
+impl Default for RandParConfig {
+    fn default() -> Self {
+        RandParConfig {
+            primary_factor: 1,
+            exponent: 2.0,
+        }
+    }
+}
+
+/// A log entry describing one executed chunk (used by experiment E10).
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkRecord {
+    /// Chunk start time.
+    pub start: Time,
+    /// Active processors at chunk start.
+    pub r: usize,
+    /// Sampled secondary box height.
+    pub j: usize,
+    /// Length of the primary part.
+    pub primary_len: Time,
+    /// Length of the secondary part.
+    pub secondary_len: Time,
+    /// Memory impact of the primary part (`r · h_min · ℓ₁`).
+    pub primary_impact: u128,
+    /// Memory impact of the secondary part (`r · s · j²`).
+    pub secondary_impact: u128,
+}
+
+/// The paper's randomized online parallel pager.
+///
+/// ```
+/// use parapage_core::{BoxAllocator, RandPar, ModelParams};
+/// use parapage_cache::ProcId;
+///
+/// let params = ModelParams::new(4, 32, 10);
+/// let mut rp = RandPar::new(&params, 42);
+/// // The first grant opens a chunk: every active processor gets the
+/// // minimum height k/r = 8 during the primary part.
+/// assert_eq!(rp.grant(ProcId(0), 0).height, 8);
+/// assert_eq!(rp.chunks().len(), 1);
+/// ```
+pub struct RandPar {
+    params: ModelParams,
+    cfg: RandParConfig,
+    rng: StdRng,
+    active: Vec<bool>,
+    active_count: usize,
+    chunk_end: Time,
+    queues: Vec<VecDeque<Grant>>,
+    chunks: Vec<ChunkRecord>,
+}
+
+impl RandPar {
+    /// Creates RAND-PAR with the paper's default constants.
+    pub fn new(params: &ModelParams, seed: u64) -> Self {
+        Self::with_config(params, RandParConfig::default(), seed)
+    }
+
+    /// Creates RAND-PAR with explicit constants (ablations).
+    pub fn with_config(params: &ModelParams, cfg: RandParConfig, seed: u64) -> Self {
+        assert!(cfg.primary_factor >= 1);
+        let params = params.normalized_k();
+        RandPar {
+            params,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            active: vec![true; params.p],
+            active_count: params.p,
+            chunk_end: 0,
+            queues: vec![VecDeque::new(); params.p],
+            chunks: Vec::new(),
+        }
+    }
+
+    /// The chunk log accumulated so far.
+    pub fn chunks(&self) -> &[ChunkRecord] {
+        &self.chunks
+    }
+
+    /// Builds the grant queues for one chunk starting at `now`.
+    fn build_chunk(&mut self, now: Time) {
+        let k = self.params.k;
+        let s = self.params.s;
+        let r = self.active_count.max(1);
+        let r_pow = r.next_power_of_two();
+        let h_min = (k / r_pow).max(1);
+        // Height menu {h_min · 2^i} up to k.
+        let mut heights = Vec::new();
+        let mut h = h_min;
+        while h <= k {
+            heights.push(h);
+            if h == k {
+                break;
+            }
+            h *= 2;
+        }
+        let weights: Vec<f64> = heights
+            .iter()
+            .map(|&j| (j as f64).powf(-self.cfg.exponent))
+            .collect();
+        let dist = BoxHeightDist::from_weights(heights, &weights);
+        let j = dist.sample(&mut self.rng);
+
+        let n_primary = (log2_ceil(r_pow) as usize).max(1) * self.cfg.primary_factor;
+        let primary_box = Grant {
+            height: h_min,
+            duration: s * h_min as u64,
+        };
+        let primary_len = primary_box.duration * n_primary as u64;
+
+        let batch_size = (k / j).max(1);
+        let batches = r.div_ceil(batch_size);
+        let sec_box_len = s * j as u64;
+        let secondary_len = sec_box_len * batches as u64;
+
+        let mut live_rank = 0usize;
+        for x in 0..self.params.p {
+            self.queues[x].clear();
+            if !self.active[x] {
+                continue;
+            }
+            let batch = live_rank / batch_size;
+            live_rank += 1;
+            let q = &mut self.queues[x];
+            for _ in 0..n_primary {
+                q.push_back(primary_box);
+            }
+            let lead = batch as u64 * sec_box_len;
+            if lead > 0 {
+                q.push_back(Grant::stall(lead));
+            }
+            q.push_back(Grant {
+                height: j,
+                duration: sec_box_len,
+            });
+            let tail = (batches as u64 - 1 - batch as u64) * sec_box_len;
+            if tail > 0 {
+                q.push_back(Grant::stall(tail));
+            }
+        }
+        self.chunk_end = now + primary_len + secondary_len;
+        self.chunks.push(ChunkRecord {
+            start: now,
+            r,
+            j,
+            primary_len,
+            secondary_len,
+            primary_impact: r as u128 * h_min as u128 * primary_len as u128,
+            secondary_impact: r as u128 * s as u128 * (j as u128) * (j as u128),
+        });
+    }
+}
+
+impl BoxAllocator for RandPar {
+    fn grant(&mut self, proc: ProcId, now: Time) -> Grant {
+        if now >= self.chunk_end {
+            self.build_chunk(now);
+        }
+        match self.queues[proc.idx()].pop_front() {
+            Some(g) => g,
+            None => {
+                // Defensive: a processor asking mid-chunk with an empty
+                // queue (cannot happen for aligned queues) stalls to the
+                // chunk boundary.
+                Grant::stall((self.chunk_end.saturating_sub(now)).max(1))
+            }
+        }
+    }
+
+    fn on_proc_finished(&mut self, proc: ProcId, _now: Time) {
+        if self.active[proc.idx()] {
+            self.active[proc.idx()] = false;
+            self.active_count -= 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RAND-PAR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::new(4, 32, 10)
+    }
+
+    #[test]
+    fn chunk_grants_tile_the_chunk_for_every_processor() {
+        let p = params();
+        let mut rp = RandPar::new(&p, 1);
+        // Trigger chunk construction.
+        let mut times = vec![0u64; p.p];
+        let mut heights_seen = vec![Vec::new(); p.p];
+        // Drive all processors through one chunk in lockstep-ish order.
+        let mut done = vec![false; p.p];
+        while done.iter().any(|&d| !d) {
+            // Next processor event = min time.
+            let x = (0..p.p)
+                .filter(|&i| !done[i])
+                .min_by_key(|&i| times[i])
+                .unwrap();
+            let g = rp.grant(ProcId(x as u32), times[x]);
+            heights_seen[x].push(g.height);
+            times[x] += g.duration;
+            if times[x] >= rp.chunk_end {
+                done[x] = true;
+            }
+        }
+        let end = rp.chunk_end;
+        for (x, &t) in times.iter().enumerate() {
+            assert_eq!(t, end, "proc {x} grants must tile the chunk");
+        }
+        let rec = rp.chunks()[0];
+        assert_eq!(rec.r, 4);
+        assert_eq!(rec.primary_len + rec.secondary_len, end - rec.start);
+    }
+
+    #[test]
+    fn primary_part_gives_min_boxes_log_r_times() {
+        let p = params(); // p=4, k=32 -> h_min=8, log2(4)=2 primary boxes
+        let mut rp = RandPar::new(&p, 2);
+        let g = rp.grant(ProcId(0), 0);
+        assert_eq!(g.height, 8);
+        assert_eq!(g.duration, 80);
+        let rec = rp.chunks()[0];
+        assert_eq!(rec.primary_len, 160); // 2 boxes of 80
+    }
+
+    #[test]
+    fn secondary_box_heights_come_from_the_menu() {
+        let p = params();
+        let mut rp = RandPar::new(&p, 3);
+        for _ in 0..50 {
+            rp.build_chunk(rp.chunk_end);
+        }
+        for rec in rp.chunks() {
+            assert!([8, 16, 32].contains(&rec.j), "height {}", rec.j);
+        }
+    }
+
+    #[test]
+    fn concurrent_memory_within_chunk_stays_bounded() {
+        // Secondary part packs batch_size = k/j boxes of height j at a time:
+        // concurrent secondary memory <= k; primary r * h_min <= k.
+        let p = ModelParams::new(8, 64, 10);
+        let mut rp = RandPar::new(&p, 5);
+        rp.build_chunk(0);
+        let rec = rp.chunks()[0];
+        let batch = (p.k / rec.j).max(1).min(rec.r);
+        assert!(batch * rec.j <= p.k.max(rec.j));
+        assert!(rec.r * (p.k / rec.r.next_power_of_two()).max(1) <= p.k);
+    }
+
+    #[test]
+    fn finished_processors_shrink_r_for_later_chunks() {
+        let p = params();
+        let mut rp = RandPar::new(&p, 4);
+        rp.build_chunk(0);
+        rp.on_proc_finished(ProcId(0), 10);
+        rp.on_proc_finished(ProcId(1), 10);
+        rp.build_chunk(rp.chunk_end);
+        let recs = rp.chunks();
+        assert_eq!(recs[0].r, 4);
+        assert_eq!(recs[1].r, 2);
+    }
+
+    #[test]
+    fn observation1_equal_expected_lengths() {
+        // Across many sampled chunks with fixed r, E[l2] should be within a
+        // small constant of l1 (they are designed equal up to rounding).
+        let p = ModelParams::new(16, 256, 10);
+        let mut rp = RandPar::new(&p, 6);
+        let mut sum1 = 0u128;
+        let mut sum2 = 0u128;
+        for _ in 0..3000 {
+            rp.build_chunk(rp.chunk_end);
+        }
+        for rec in rp.chunks() {
+            sum1 += rec.primary_len as u128;
+            sum2 += rec.secondary_len as u128;
+        }
+        let ratio = sum2 as f64 / sum1 as f64;
+        assert!(
+            (0.25..4.0).contains(&ratio),
+            "primary/secondary balance off: {ratio}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the core algorithms.
+
+use proptest::prelude::*;
+
+use parapage_cache::{PageId, ProcId, Time};
+use parapage_core::*;
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (1usize..=5, 1usize..=4, 2u64..=20).prop_map(|(pe, ke, s)| {
+        let p = 1 << pe;
+        let k = p << ke;
+        ModelParams::new(p, k, s)
+    })
+}
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<PageId>> {
+    prop::collection::vec((0u64..40).prop_map(PageId), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any green policy's impact is at least the offline optimum, and the
+    /// optimum itself is at least s·(min height)·⌈n/(s·min height)⌉-ish —
+    /// here we assert the weaker certified floor: impact ≥ n (every request
+    /// occupies ≥1 page for ≥1 step).
+    #[test]
+    fn green_impact_floors(seq in seq_strategy(250), params in params_strategy(), seed in any::<u64>()) {
+        let opt = green_opt_fast_normalized(&seq, &params);
+        prop_assert!(opt.impact >= seq.len() as u128);
+        let run = run_green(&mut RandGreen::new(&params, seed), &seq, &params);
+        prop_assert!(run.impact >= opt.impact);
+        let run2 = run_green(&mut AdaptiveGreen::new(&params), &seq, &params);
+        prop_assert!(run2.impact >= opt.impact);
+    }
+
+    /// The fast DP and the naive DP agree exactly.
+    #[test]
+    fn fast_dp_equals_naive_dp(seq in seq_strategy(150), params in params_strategy()) {
+        let heights = params.box_heights();
+        let naive = green_opt(&seq, &heights, params.s);
+        let fast = green_opt_fast(&seq, &heights, params.s);
+        prop_assert_eq!(naive.impact, fast.impact);
+    }
+
+    /// Green OPT is monotone under sequence extension.
+    #[test]
+    fn green_opt_monotone_in_prefix(seq in seq_strategy(200), params in params_strategy()) {
+        let half = &seq[..seq.len() / 2];
+        let a = green_opt_fast_normalized(half, &params).impact;
+        let b = green_opt_fast_normalized(&seq, &params).impact;
+        prop_assert!(a <= b);
+    }
+
+    /// RAND-PAR chunks tile time exactly for every active processor, with
+    /// heights from the normalized menu.
+    #[test]
+    fn rand_par_chunks_tile(params in params_strategy(), seed in any::<u64>()) {
+        let mut rp = RandPar::new(&params, seed);
+        let p = params.p;
+        let mut times: Vec<Time> = vec![0; p];
+        let mut done = vec![false; p];
+        // Drive three chunks' worth of grants in event order.
+        let mut steps = 0;
+        while steps < 200 && done.iter().any(|&d| !d) {
+            let x = (0..p).filter(|&i| !done[i]).min_by_key(|&i| times[i]).unwrap();
+            let g = rp.grant(ProcId(x as u32), times[x]);
+            prop_assert!(g.duration >= 1);
+            prop_assert!(g.height == 0 || g.height <= params.k);
+            if g.height > 0 {
+                prop_assert!(g.height >= params.min_height() || g.height.is_power_of_two());
+            }
+            times[x] += g.duration;
+            steps += 1;
+            if rp.chunks().len() >= 3 && times[x] >= rp.chunks()[2].start {
+                done[x] = true;
+            }
+        }
+        // All chunk boundaries agree across processors.
+        for c in rp.chunks() {
+            prop_assert_eq!(c.primary_len % (params.s), 0);
+        }
+    }
+
+    /// DET-PAR always grants at least the phase base height to the asker,
+    /// and heights never exceed k.
+    #[test]
+    fn det_par_respects_base_and_cap(params in params_strategy()) {
+        let mut dp = DetPar::new(&params);
+        let mut t = 0;
+        for i in 0..100u32 {
+            let x = ProcId(i % params.p as u32);
+            let g = dp.grant(x, t);
+            let b = dp.phases().last().unwrap().base_height;
+            prop_assert!(g.height >= b);
+            prop_assert!(g.height <= params.k);
+            if i % params.p as u32 == params.p as u32 - 1 {
+                t += g.duration;
+            }
+        }
+    }
+
+    /// The height distribution is normalized and supported exactly on the
+    /// power-of-two menu.
+    #[test]
+    fn distribution_is_well_formed(params in params_strategy(), e in 0.5f64..3.5) {
+        let d = BoxHeightDist::with_exponent(&params, e);
+        let total: f64 = d.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert_eq!(d.heights().len(), d.probs().len());
+        for &h in d.heights() {
+            prop_assert!(h >= params.min_height() && h <= params.k);
+        }
+    }
+
+    /// Profiles round-trip through the executor: the reported impact equals
+    /// the sum of box impacts actually consumed.
+    #[test]
+    fn profile_executor_accounting(seq in seq_strategy(120), params in params_strategy(), seed in any::<u64>()) {
+        let run = run_green(&mut RandGreen::new(&params, seed), &seq, &params);
+        let re = run_profile(&seq, &run.profile, params.s);
+        prop_assert!(re.finished);
+        prop_assert_eq!(re.impact_used, run.impact);
+        prop_assert_eq!(re.stats.accesses(), seq.len() as u64);
+    }
+}

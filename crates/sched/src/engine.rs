@@ -1,0 +1,482 @@
+//! The box-driven execution engine: the paper's parallel paging model as an
+//! event simulator.
+//!
+//! The engine owns one LRU cache and one sequence cursor per processor and
+//! asks the policy ([`BoxAllocator`]) for a new grant exactly when a
+//! processor's previous grant expires. Inside a grant of height `h` the
+//! processor serves requests through an `h`-page LRU cache (hit = 1 step,
+//! miss = `s`); a grant of height 0 is a stall. Grant requests are delivered
+//! in global time order (a binary heap of expiry events), so policies can
+//! maintain phase/chunk state keyed on the current time.
+//!
+//! ### Cache semantics across grants
+//!
+//! By default the engine uses *resize* semantics: when the new grant's
+//! height is at least the old one, cache contents are kept; when it is
+//! smaller, the LRU tail is truncated. The paper's WLOG
+//! *compartmentalized* semantics (every box starts cold) are available via
+//! [`EngineOpts::compartmentalized`] — they only make algorithms slower, so
+//! measured makespans under resize semantics remain valid upper bounds for
+//! the algorithms' behaviour while being closer to a real implementation.
+//!
+//! ### Completion-notification timing
+//!
+//! Although the engine simulates a whole grant at once, a processor that
+//! finishes mid-grant does **not** notify the policy immediately: the
+//! completion is queued as an event at its true simulated time and delivered
+//! before any grant request at that time. Policies therefore observe
+//! completions in exact time order, so phase transitions (DET-PAR, RAND-PAR)
+//! fire at the moment the paper's model says they do.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parapage_cache::{run_window, Cache, CacheStats, LruCache, PageId, ProcId, Time};
+use parapage_core::{BoxAllocator, Interval, ModelParams};
+
+use crate::metrics::RunResult;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOpts {
+    /// Record per-processor allocation timelines (needed by the
+    /// well-roundedness audit; costs memory proportional to grant count).
+    pub record_timelines: bool,
+    /// Start every grant with a cold cache (the paper's compartmentalized
+    /// WLOG). Default `false`: resize semantics.
+    pub compartmentalized: bool,
+    /// Hard wall-clock cap; the engine panics past it (a policy that stalls
+    /// everyone forever would otherwise hang).
+    pub max_time: Time,
+    /// When set, the engine *enforces* this bound on concurrently allocated
+    /// height at grant time (panicking on violation), instead of only
+    /// reporting the peak post-hoc. Use it to pin a policy's resource
+    /// augmentation `ξ·k` in tests.
+    pub memory_limit: Option<usize>,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            record_timelines: false,
+            compartmentalized: false,
+            max_time: u64::MAX / 4,
+            memory_limit: None,
+        }
+    }
+}
+
+/// Runs `alloc` against the request sequences and measures the outcome.
+///
+/// `seqs[x]` is processor `x`'s request sequence; `seqs.len()` must equal
+/// `params.p`.
+///
+/// # Panics
+/// If the policy emits a zero-duration grant, or simulated time exceeds
+/// `opts.max_time`.
+pub fn run_engine(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+) -> RunResult {
+    run_engine_with(alloc, seqs, params, opts, |_| LruCache::new(0))
+}
+
+/// Like [`run_engine`], but with a caller-chosen replacement policy inside
+/// the boxes: `cache_factory(x)` builds processor `x`'s (initially empty,
+/// zero-capacity) cache. The paper fixes LRU WLOG; this entry point lets
+/// experiment E13 quantify how much that choice matters in practice.
+pub fn run_engine_with<C: Cache>(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    cache_factory: impl FnMut(usize) -> C,
+) -> RunResult {
+    let mut factory = cache_factory;
+    assert_eq!(seqs.len(), params.p, "one sequence per processor");
+    let p = params.p;
+    let s = params.s;
+
+    let mut pos = vec![0usize; p];
+    let mut caches: Vec<C> = (0..p).map(&mut factory).collect();
+    let mut completions = vec![0u64; p];
+    let mut finished = vec![false; p];
+    let mut stats = CacheStats::default();
+    let mut memory_integral = 0u128;
+    let mut grants_issued = 0u64;
+    let mut timelines: Vec<Vec<Interval>> = vec![Vec::new(); p];
+    // Height deltas for the peak-memory audit: (time, delta); at equal
+    // times, releases (< 0) sort before acquisitions.
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    // Online usage tracking for `memory_limit` enforcement.
+    let mut live_usage = 0usize;
+    let mut releases: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+
+    // Events: (time, kind, proc). Completion notifications (kind 0) sort
+    // before grant requests (kind 1) at equal timestamps, so a policy sees
+    // every completion at its true simulated time before it answers any
+    // grant request at that time.
+    const EV_COMPLETION: u8 = 0;
+    const EV_GRANT: u8 = 1;
+    let mut heap: BinaryHeap<Reverse<(Time, u8, u32)>> = BinaryHeap::new();
+    let mut remaining = 0usize;
+    for x in 0..p {
+        if seqs[x].is_empty() {
+            finished[x] = true;
+            alloc.on_proc_finished(ProcId(x as u32), 0);
+        } else {
+            remaining += 1;
+            heap.push(Reverse((0, EV_GRANT, x as u32)));
+        }
+    }
+
+    while let Some(Reverse((now, kind, xi))) = heap.pop() {
+        let x = xi as usize;
+        if kind == EV_COMPLETION {
+            remaining -= 1;
+            alloc.on_proc_finished(ProcId(xi), now);
+            continue;
+        }
+        assert!(
+            now <= opts.max_time,
+            "engine exceeded max_time={} (policy `{}` stalled?)",
+            opts.max_time,
+            alloc.name()
+        );
+        let grant = alloc.grant(ProcId(xi), now);
+        assert!(grant.duration >= 1, "zero-duration grant from {}", alloc.name());
+        grants_issued += 1;
+        let end = now + grant.duration;
+
+        let cache = &mut caches[x];
+        if opts.compartmentalized {
+            cache.clear();
+        }
+        cache.resize(grant.height);
+
+        let out = if grant.height == 0 {
+            // Stall: no progress; the cache (already truncated to zero)
+            // holds nothing.
+            parapage_cache::WindowOutcome {
+                end_index: pos[x],
+                stats: CacheStats::default(),
+                time_used: 0,
+                finished: pos[x] >= seqs[x].len(),
+            }
+        } else {
+            run_window(&seqs[x], pos[x], cache, grant.duration, s)
+        };
+        let served_from = pos[x];
+        pos[x] = out.end_index;
+        stats += out.stats;
+        memory_integral += grant.height as u128 * grant.duration as u128;
+        if grant.height > 0 {
+            // Peak accounting releases the allocation at completion if the
+            // processor finishes mid-grant (a real allocator reclaims on
+            // completion); the memory *integral* above still charges the
+            // committed grant in full, matching the paper's impact
+            // accounting.
+            let release_at = if out.finished {
+                (now + out.time_used).max(now + 1)
+            } else {
+                end
+            };
+            deltas.push((now, grant.height as i64));
+            deltas.push((release_at, -(grant.height as i64)));
+            if let Some(limit) = opts.memory_limit {
+                while let Some(&Reverse((t, h))) = releases.peek() {
+                    if t <= now {
+                        releases.pop();
+                        live_usage -= h;
+                    } else {
+                        break;
+                    }
+                }
+                live_usage += grant.height;
+                assert!(
+                    live_usage <= limit,
+                    "policy `{}` exceeded memory limit {limit} \
+                     (usage {live_usage} at t={now})",
+                    alloc.name()
+                );
+                releases.push(Reverse((release_at, grant.height)));
+            }
+        }
+        if opts.record_timelines {
+            timelines[x].push(Interval {
+                start: now,
+                end,
+                height: grant.height,
+            });
+        }
+        alloc.observe(ProcId(xi), &out);
+        if out.end_index > served_from {
+            alloc.observe_accesses(ProcId(xi), &seqs[x][served_from..out.end_index]);
+        }
+
+        if out.finished && !finished[x] {
+            finished[x] = true;
+            completions[x] = now + out.time_used;
+            heap.push(Reverse((completions[x], EV_COMPLETION, xi)));
+        } else if !out.finished {
+            heap.push(Reverse((end, EV_GRANT, xi)));
+        }
+    }
+    debug_assert_eq!(remaining, 0);
+
+    // Peak concurrent memory from the delta trace.
+    deltas.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for &(_, d) in &deltas {
+        cur += d;
+        peak = peak.max(cur);
+    }
+
+    let makespan = completions.iter().copied().max().unwrap_or(0);
+    RunResult {
+        completions,
+        makespan,
+        stats,
+        memory_integral,
+        peak_memory: peak as usize,
+        grants_issued,
+        timelines: if opts.record_timelines {
+            Some(timelines)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_core::{DetPar, Grant, RandPar, StaticPartition};
+
+    fn cyclic_seqs(p: usize, len: usize, width: u64) -> Vec<Vec<PageId>> {
+        (0..p)
+            .map(|x| {
+                (0..len)
+                    .map(|i| PageId::namespaced(ProcId(x as u32), i as u64 % width))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_partition_serves_everything() {
+        let params = ModelParams::new(4, 32, 10);
+        let seqs = cyclic_seqs(4, 100, 8);
+        let mut alloc = StaticPartition::new(&params);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert_eq!(res.stats.accesses(), 400);
+        assert!(res.makespan > 0);
+        assert_eq!(res.completions.len(), 4);
+        // Partition of 8 holds the 8-page cycle: 8 misses + 92 hits each.
+        assert_eq!(res.stats.misses, 32);
+        // Completion = 8 misses * 10 + 92 hits = 172 for every processor.
+        assert!(res.completions.iter().all(|&c| c == 172));
+        assert!(res.peak_memory <= 32);
+    }
+
+    #[test]
+    fn symmetric_processors_finish_simultaneously() {
+        let params = ModelParams::new(4, 32, 10);
+        let seqs = cyclic_seqs(4, 200, 16);
+        let mut alloc = DetPar::new(&params);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert_eq!(res.stats.accesses(), 800);
+        assert!(res.makespan >= *res.completions.iter().max().unwrap());
+    }
+
+    #[test]
+    fn det_par_memory_stays_within_documented_factor() {
+        let params = ModelParams::new(8, 64, 10);
+        let seqs = cyclic_seqs(8, 500, 24);
+        let mut alloc = DetPar::new(&params);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert!(
+            res.peak_memory <= DetPar::MEMORY_FACTOR * params.k,
+            "peak {} exceeds {}k",
+            res.peak_memory,
+            DetPar::MEMORY_FACTOR
+        );
+    }
+
+    #[test]
+    fn rand_par_completes_and_respects_memory() {
+        let params = ModelParams::new(8, 64, 10);
+        let seqs = cyclic_seqs(8, 400, 12);
+        let mut alloc = RandPar::new(&params, 42);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert_eq!(res.stats.accesses(), 8 * 400);
+        // Primary (r*h_min <= k) and secondary (batch*j <= k) never exceed
+        // ~2k concurrently even across chunk boundaries.
+        assert!(res.peak_memory <= 2 * params.k, "peak {}", res.peak_memory);
+    }
+
+    #[test]
+    fn empty_sequences_complete_at_time_zero() {
+        let params = ModelParams::new(2, 8, 10);
+        let seqs = vec![vec![], vec![PageId(1)]];
+        let mut alloc = StaticPartition::new(&params);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert_eq!(res.completions[0], 0);
+        assert_eq!(res.completions[1], 10);
+        assert_eq!(res.makespan, 10);
+    }
+
+    #[test]
+    fn timelines_cover_each_processors_run() {
+        let params = ModelParams::new(2, 8, 10);
+        let seqs = cyclic_seqs(2, 50, 4);
+        let mut alloc = StaticPartition::new(&params);
+        let opts = EngineOpts {
+            record_timelines: true,
+            ..Default::default()
+        };
+        let res = run_engine(&mut alloc, &seqs, &params, &opts);
+        let tl = res.timelines.as_ref().unwrap();
+        for (x, ivs) in tl.iter().enumerate() {
+            assert!(!ivs.is_empty());
+            // Contiguous, ordered intervals from 0 past the completion.
+            assert_eq!(ivs[0].start, 0);
+            for w in ivs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            assert!(ivs.last().unwrap().end >= res.completions[x]);
+        }
+    }
+
+    #[test]
+    fn compartmentalized_runs_are_never_faster() {
+        let params = ModelParams::new(4, 32, 10);
+        let seqs = cyclic_seqs(4, 300, 8);
+        let mut a1 = StaticPartition::new(&params);
+        let plain = run_engine(&mut a1, &seqs, &params, &EngineOpts::default());
+        let mut a2 = StaticPartition::new(&params);
+        let comp = run_engine(
+            &mut a2,
+            &seqs,
+            &params,
+            &EngineOpts {
+                compartmentalized: true,
+                ..Default::default()
+            },
+        );
+        assert!(comp.makespan >= plain.makespan);
+        assert!(comp.stats.misses >= plain.stats.misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_time")]
+    fn eternal_stalling_is_detected() {
+        struct Staller;
+        impl BoxAllocator for Staller {
+            fn grant(&mut self, _x: ProcId, _now: Time) -> Grant {
+                Grant::stall(1000)
+            }
+            fn on_proc_finished(&mut self, _x: ProcId, _now: Time) {}
+            fn name(&self) -> &'static str {
+                "staller"
+            }
+        }
+        let params = ModelParams::new(1, 4, 10);
+        let seqs = vec![vec![PageId(1)]];
+        let opts = EngineOpts {
+            max_time: 10_000,
+            ..Default::default()
+        };
+        run_engine(&mut Staller, &seqs, &params, &opts);
+    }
+
+    #[test]
+    fn memory_integral_counts_grant_areas() {
+        let params = ModelParams::new(1, 4, 10);
+        // One processor, one page: StaticPartition grants height 4 for 40.
+        let seqs = vec![vec![PageId(1)]];
+        let mut alloc = StaticPartition::new(&params);
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        assert_eq!(res.memory_integral, 4 * 40);
+        assert_eq!(res.grants_issued, 1);
+    }
+}
+
+#[cfg(test)]
+mod generic_engine_tests {
+    use super::*;
+    use parapage_cache::{ArcCache, FifoCache};
+    use parapage_core::StaticPartition;
+
+    fn seqs(p: usize, len: usize, width: u64) -> Vec<Vec<PageId>> {
+        (0..p)
+            .map(|x| {
+                (0..len)
+                    .map(|i| PageId::namespaced(ProcId(x as u32), i as u64 % width))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alternative_replacement_policies_serve_everything() {
+        let params = ModelParams::new(4, 32, 10);
+        let w = seqs(4, 200, 12);
+        let mut a1 = StaticPartition::new(&params);
+        let fifo = run_engine_with(&mut a1, &w, &params, &EngineOpts::default(), |_| {
+            FifoCache::new(0)
+        });
+        let mut a2 = StaticPartition::new(&params);
+        let arc = run_engine_with(&mut a2, &w, &params, &EngineOpts::default(), |_| {
+            ArcCache::new(0)
+        });
+        assert_eq!(fifo.stats.accesses(), 800);
+        assert_eq!(arc.stats.accesses(), 800);
+        // Same partition sizes: both must land between all-hit and all-miss.
+        for r in [&fifo, &arc] {
+            assert!(r.makespan >= 200 && r.makespan <= 2000);
+        }
+    }
+
+    #[test]
+    fn memory_limit_accepts_compliant_policies() {
+        let params = ModelParams::new(4, 32, 10);
+        let w = seqs(4, 300, 8);
+        let mut st = StaticPartition::new(&params);
+        let opts = EngineOpts {
+            memory_limit: Some(params.k),
+            ..Default::default()
+        };
+        let res = run_engine(&mut st, &w, &params, &opts);
+        assert!(res.peak_memory <= params.k);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory limit")]
+    fn memory_limit_catches_oversubscription() {
+        struct Greedy(usize);
+        impl BoxAllocator for Greedy {
+            fn grant(&mut self, _x: ProcId, _now: Time) -> parapage_core::Grant {
+                parapage_core::Grant {
+                    height: self.0,
+                    duration: 100,
+                }
+            }
+            fn on_proc_finished(&mut self, _x: ProcId, _now: Time) {}
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+        }
+        let params = ModelParams::new(4, 32, 10);
+        let w = seqs(4, 50, 8);
+        let opts = EngineOpts {
+            memory_limit: Some(params.k),
+            ..Default::default()
+        };
+        // Four concurrent grants of k pages each: 4k > k.
+        run_engine(&mut Greedy(32), &w, &params, &opts);
+    }
+}

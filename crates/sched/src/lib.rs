@@ -1,0 +1,35 @@
+//! # parapage-sched
+//!
+//! Execution engines for the parallel paging model of *Online Parallel
+//! Paging with Optimal Makespan* (SPAA 2022):
+//!
+//! * [`engine`] — the box-driven event simulator: `p` processors each serve
+//!   their own request sequence through LRU caches whose heights are
+//!   dictated by a [`parapage_core::BoxAllocator`] policy (RAND-PAR,
+//!   DET-PAR, baselines…). Measures makespan, mean completion time, memory
+//!   usage, and optionally full allocation timelines.
+//! * [`shared`] — a step-level simulator of the natural practical baseline
+//!   the paper's model abstracts away: one global LRU cache shared by all
+//!   processors.
+//! * [`interleaved`] — the *fixed-rate* model of the early literature the
+//!   paper's introduction critiques (every processor advances one request
+//!   per round regardless of hits/misses), kept to demonstrate what that
+//!   simplification hides (E15).
+//! * [`metrics`] — the result types common to both engines.
+//!
+//! Both engines implement the paper's timing model exactly: a hit costs one
+//! time step, a miss costs `s`, and each processor fetches over its own
+//! dedicated channel (misses do not contend).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod interleaved;
+pub mod metrics;
+pub mod shared;
+
+pub use engine::{run_engine, run_engine_with, EngineOpts};
+pub use interleaved::{run_interleaved_partition, run_interleaved_shared, InterleavedResult};
+pub use metrics::RunResult;
+pub use shared::{run_shared_lru, run_shared_lru_bandwidth};

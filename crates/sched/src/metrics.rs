@@ -1,0 +1,114 @@
+//! Result types shared by the execution engines.
+
+use parapage_cache::{CacheStats, Time};
+use parapage_core::Interval;
+
+/// The measured outcome of one parallel paging run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Completion time of each processor.
+    pub completions: Vec<Time>,
+    /// `max` of completions — the paper's primary objective.
+    pub makespan: Time,
+    /// Aggregate hit/miss counts across all processors.
+    pub stats: CacheStats,
+    /// Integral of allocated cache height over time, across all grants
+    /// (grants are charged in full, including the tail of the grant during
+    /// which a processor finished — allocations are committed, as in the
+    /// paper's impact accounting).
+    pub memory_integral: u128,
+    /// Peak concurrently-allocated height, for auditing the resource
+    /// augmentation `ξ` a policy actually used.
+    pub peak_memory: usize,
+    /// Number of grants the policy issued.
+    pub grants_issued: u64,
+    /// Per-processor allocation timelines (when recording was requested).
+    pub timelines: Option<Vec<Vec<Interval>>>,
+}
+
+impl RunResult {
+    /// Mean completion time — the paper's secondary objective
+    /// (Corollary 3).
+    pub fn mean_completion(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().map(|&c| c as f64).sum::<f64>() / self.completions.len() as f64
+    }
+
+    /// Total service time summed over processors (`Σ hits + s·misses`).
+    pub fn total_work(&self, s: u64) -> u64 {
+        self.stats.service_time(s)
+    }
+
+    /// Per-processor completion times as CSV (`proc,completion` rows), for
+    /// downstream plotting.
+    pub fn completions_csv(&self) -> String {
+        let mut out = String::from("proc,completion\n");
+        for (x, c) in self.completions.iter().enumerate() {
+            out.push_str(&format!("{x},{c}\n"));
+        }
+        out
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "makespan {} | mean completion {:.0} | misses {} / {} | peak mem {}",
+            self.makespan,
+            self.mean_completion(),
+            self.stats.misses,
+            self.stats.accesses(),
+            self.peak_memory
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_completion_averages() {
+        let r = RunResult {
+            completions: vec![10, 20, 30],
+            makespan: 30,
+            stats: CacheStats::default(),
+            memory_integral: 0,
+            peak_memory: 0,
+            grants_issued: 0,
+            timelines: None,
+        };
+        assert!((r.mean_completion() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_and_summary_render() {
+        let r = RunResult {
+            completions: vec![5, 9],
+            makespan: 9,
+            stats: CacheStats { hits: 3, misses: 2 },
+            memory_integral: 10,
+            peak_memory: 4,
+            grants_issued: 2,
+            timelines: None,
+        };
+        assert_eq!(r.completions_csv(), "proc,completion\n0,5\n1,9\n");
+        let s = r.summary_line();
+        assert!(s.contains("makespan 9") && s.contains("peak mem 4"));
+    }
+
+    #[test]
+    fn empty_run_has_zero_mean() {
+        let r = RunResult {
+            completions: vec![],
+            makespan: 0,
+            stats: CacheStats::default(),
+            memory_integral: 0,
+            peak_memory: 0,
+            grants_issued: 0,
+            timelines: None,
+        };
+        assert_eq!(r.mean_completion(), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Step-level simulator of a globally shared LRU cache.
+//!
+//! The paper's model lets the paging algorithm *partition* the cache; the
+//! natural systems baseline is to not partition at all and let `p`
+//! processors thrash one global LRU. This simulator measures that baseline
+//! (experiment E8): each processor has its own channel (misses do not
+//! contend for bandwidth), but every access goes through one shared
+//! `k`-page LRU, so one scan-heavy processor can evict everyone else's
+//! working set.
+//!
+//! Accesses are interleaved in event order: the processor with the earliest
+//! next-free time issues its next request. Ties break by processor index,
+//! making runs deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use parapage_cache::{Cache, CacheStats, LruCache, PageId, Time};
+
+use crate::metrics::RunResult;
+
+/// Runs all sequences against one shared LRU cache of `k` pages with miss
+/// penalty `s`, returning completion metrics.
+pub fn run_shared_lru(seqs: &[Vec<PageId>], k: usize, s: u64) -> RunResult {
+    let p = seqs.len();
+    let mut cache = LruCache::new(k);
+    let mut pos = vec![0usize; p];
+    let mut completions = vec![0u64; p];
+    let mut stats = CacheStats::default();
+    // Min-heap of (time at which the processor issues its next request, x).
+    let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    for (x, seq) in seqs.iter().enumerate() {
+        if !seq.is_empty() {
+            heap.push(Reverse((0, x)));
+        }
+    }
+    while let Some(Reverse((now, x))) = heap.pop() {
+        let page = seqs[x][pos[x]];
+        let hit = cache.access(page).is_hit();
+        stats.record(hit);
+        let done_at = now + if hit { 1 } else { s };
+        pos[x] += 1;
+        if pos[x] == seqs[x].len() {
+            completions[x] = done_at;
+        } else {
+            heap.push(Reverse((done_at, x)));
+        }
+    }
+    let makespan = completions.iter().copied().max().unwrap_or(0);
+    RunResult {
+        completions,
+        makespan,
+        stats,
+        memory_integral: k as u128 * makespan as u128,
+        peak_memory: k,
+        grants_issued: 0,
+        timelines: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_cache::ProcId;
+
+    fn ns(x: u32, v: u64) -> PageId {
+        PageId::namespaced(ProcId(x), v)
+    }
+
+    #[test]
+    fn single_processor_matches_plain_lru_timing() {
+        // One proc, cycle of 4 pages, cache 8: 4 misses + 16 hits.
+        let seq: Vec<PageId> = (0..20).map(|i| ns(0, i % 4)).collect();
+        let res = run_shared_lru(&[seq], 8, 10);
+        assert_eq!(res.stats.misses, 4);
+        assert_eq!(res.makespan, 4 * 10 + 16);
+    }
+
+    #[test]
+    fn disjoint_working_sets_that_fit_share_peacefully() {
+        // 2 procs, 4 pages each, cache 8: both fit; only compulsory misses.
+        let seqs: Vec<Vec<PageId>> = (0..2)
+            .map(|x| (0..40).map(|i| ns(x, i % 4)).collect())
+            .collect();
+        let res = run_shared_lru(&seqs, 8, 10);
+        assert_eq!(res.stats.misses, 8);
+    }
+
+    #[test]
+    fn oversubscription_causes_thrash() {
+        // 4 procs cycling 8 pages each (32 total) through a 16-page cache:
+        // the interleaved cycles evict each other continuously.
+        let seqs: Vec<Vec<PageId>> = (0..4)
+            .map(|x| (0..100).map(|i| ns(x, i % 8)).collect())
+            .collect();
+        let res = run_shared_lru(&seqs, 16, 10);
+        let total = res.stats.accesses();
+        assert!(
+            res.stats.misses as f64 > 0.5 * total as f64,
+            "expected thrash, got {} misses of {}",
+            res.stats.misses,
+            total
+        );
+    }
+
+    #[test]
+    fn completion_times_are_per_processor() {
+        // Proc 0 has 1 request, proc 1 has 10; both all-miss (distinct).
+        let seqs = vec![
+            vec![ns(0, 0)],
+            (0..10).map(|i| ns(1, i)).collect::<Vec<_>>(),
+        ];
+        let res = run_shared_lru(&seqs, 4, 10);
+        assert_eq!(res.completions[0], 10);
+        assert_eq!(res.completions[1], 100);
+        assert_eq!(res.makespan, 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = run_shared_lru(&[], 4, 10);
+        assert_eq!(res.makespan, 0);
+    }
+}
+
+/// Like [`run_shared_lru`], but with a bounded fetch bandwidth: at most
+/// `max_inflight` page transfers may be in progress at once, modelling a
+/// shared memory channel instead of the paper's per-processor channels.
+///
+/// With `max_inflight >= p` this degenerates to [`run_shared_lru`]; small
+/// values expose the serialization a real memory bus adds on miss-heavy
+/// workloads (a model extension, not a paper claim).
+pub fn run_shared_lru_bandwidth(
+    seqs: &[Vec<PageId>],
+    k: usize,
+    s: u64,
+    max_inflight: usize,
+) -> RunResult {
+    assert!(max_inflight >= 1);
+    let p = seqs.len();
+    let mut cache = LruCache::new(k);
+    let mut pos = vec![0usize; p];
+    let mut completions = vec![0u64; p];
+    let mut stats = CacheStats::default();
+    // Fetch "slots": the time each channel becomes free.
+    let mut slots: BinaryHeap<Reverse<Time>> = (0..max_inflight).map(|_| Reverse(0)).collect();
+    let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    for (x, seq) in seqs.iter().enumerate() {
+        if !seq.is_empty() {
+            heap.push(Reverse((0, x)));
+        }
+    }
+    while let Some(Reverse((now, x))) = heap.pop() {
+        let page = seqs[x][pos[x]];
+        let hit = cache.access(page).is_hit();
+        stats.record(hit);
+        let done_at = if hit {
+            now + 1
+        } else {
+            let Reverse(free) = slots.pop().expect("slot heap never empty");
+            let start = free.max(now);
+            let end = start + s;
+            slots.push(Reverse(end));
+            end
+        };
+        pos[x] += 1;
+        if pos[x] == seqs[x].len() {
+            completions[x] = done_at;
+        } else {
+            heap.push(Reverse((done_at, x)));
+        }
+    }
+    let makespan = completions.iter().copied().max().unwrap_or(0);
+    RunResult {
+        completions,
+        makespan,
+        stats,
+        memory_integral: k as u128 * makespan as u128,
+        peak_memory: k,
+        grants_issued: 0,
+        timelines: None,
+    }
+}
+
+#[cfg(test)]
+mod bandwidth_tests {
+    use super::*;
+    use parapage_cache::ProcId;
+
+    fn fresh(x: u32, len: usize) -> Vec<PageId> {
+        (0..len).map(|i| PageId::namespaced(ProcId(x), i as u64)).collect()
+    }
+
+    #[test]
+    fn ample_bandwidth_matches_unlimited() {
+        let seqs: Vec<Vec<PageId>> = (0..4).map(|x| fresh(x, 50)).collect();
+        let unlimited = run_shared_lru(&seqs, 16, 10);
+        let ample = run_shared_lru_bandwidth(&seqs, 16, 10, 4);
+        assert_eq!(unlimited.makespan, ample.makespan);
+        assert_eq!(unlimited.stats, ample.stats);
+    }
+
+    #[test]
+    fn single_channel_serializes_misses() {
+        // 4 procs, all-miss streams of 25: one channel must do 100 fetches
+        // back-to-back.
+        let seqs: Vec<Vec<PageId>> = (0..4).map(|x| fresh(x, 25)).collect();
+        let res = run_shared_lru_bandwidth(&seqs, 16, 10, 1);
+        assert_eq!(res.makespan, 100 * 10);
+    }
+
+    #[test]
+    fn bandwidth_only_hurts() {
+        let seqs: Vec<Vec<PageId>> = (0..4)
+            .map(|x| (0..200).map(|i| PageId::namespaced(ProcId(x), i as u64 % 12)).collect())
+            .collect();
+        let m_unlimited = run_shared_lru(&seqs, 24, 10).makespan;
+        let m2 = run_shared_lru_bandwidth(&seqs, 24, 10, 2).makespan;
+        let m1 = run_shared_lru_bandwidth(&seqs, 24, 10, 1).makespan;
+        assert!(m_unlimited <= m2);
+        assert!(m2 <= m1);
+    }
+
+    #[test]
+    fn hits_never_wait_for_bandwidth() {
+        // Single proc cycling in-cache: only 4 fetches regardless of slots.
+        let seqs = vec![(0..100)
+            .map(|i| PageId::namespaced(ProcId(0), i as u64 % 4))
+            .collect::<Vec<_>>()];
+        let res = run_shared_lru_bandwidth(&seqs, 8, 10, 1);
+        assert_eq!(res.makespan, 4 * 10 + 96);
+    }
+}

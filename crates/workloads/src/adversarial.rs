@@ -1,0 +1,274 @@
+//! The Theorem-4 adversarial instance builder (paper §4 + appendix).
+//!
+//! The construction forces any parallel pager that allocates via a
+//! *greedily-green* black box into a `Ω(log p / log log p)` makespan
+//! overhead, while an offline OPT finishes in `O(α·s·k²·log log p)`:
+//!
+//! * **Suffixes** — every sequence ends with `Θ(log log p)` phases of
+//!   all-fresh pages (each page requested once). Suffixes progress at the
+//!   same speed with any cache size, and they carry the bulk of the work, so
+//!   optimality hinges on running them *in parallel*.
+//! * **Prefixes** — `≈ p/log p` sequences additionally start with phases of
+//!   a `(k−1)`-page repeater cycle sprinkled with polluters (one fresh page
+//!   every `p/2^j` requests in phase `j`). The pollution level is tuned so a
+//!   green allocator must serve prefixes with *minimum* boxes — a large box
+//!   barely reduces misses (the polluters miss regardless) but costs far
+//!   more impact. Prefixed sequences form families `F_i` (`2^i` sequences
+//!   of `ℓ − log ℓ − i` phases), staggering prefix completions so that
+//!   *some* prefix is always pinning the black-box pager to minimum boxes,
+//!   serializing the suffixes behind it.
+//!
+//! OPT simply runs each prefix alone at full memory `k` (paying only the
+//! polluter misses) and then all suffixes in parallel (Lemma 8).
+//!
+//! Paper-exact parameters make instances of astronomically large size
+//! (`γ = 2kα` cycles of `k−1` requests per phase); [`AdversarialConfig`]
+//! exposes `gamma` and `suffix_phases` directly so experiments can scale
+//! the construction down while preserving its structure, as recorded in
+//! DESIGN.md.
+
+use parapage_cache::ProcId;
+use parapage_core::{log2_ceil, ModelParams};
+
+use crate::gen::SeqBuilder;
+use crate::seq::Workload;
+
+/// Parameters of the adversarial construction.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialConfig {
+    /// Number of processors (power of two, ≥ 4).
+    pub p: usize,
+    /// Cache size (power of two, ≥ 2p).
+    pub k: usize,
+    /// Miss penalty.
+    pub s: u64,
+    /// Repeater cycles per phase (the paper's `γ = 2kα`).
+    pub gamma: usize,
+    /// Number of suffix phases (the paper's `4·log ℓ`).
+    pub suffix_phases: usize,
+}
+
+impl AdversarialConfig {
+    /// The paper's parameterization with scale knob `alpha`
+    /// (`γ = max(2, 2·α·k)`, `suffix phases = 4·⌈log log p⌉`).
+    pub fn scaled(p: usize, k: usize, s: u64, alpha: f64) -> Self {
+        assert!(p.is_power_of_two() && p >= 4, "p must be a power of two ≥ 4");
+        assert!(k.is_power_of_two() && k >= 2 * p, "k must be a power of two ≥ 2p");
+        let ell = log2_ceil(p).max(2);
+        let log_ell = log2_ceil(ell as usize).max(1);
+        AdversarialConfig {
+            p,
+            k,
+            s,
+            gamma: ((2.0 * alpha * k as f64) as usize).max(2),
+            suffix_phases: 4 * log_ell as usize,
+        }
+    }
+
+    /// The matching model parameters.
+    pub fn params(&self) -> ModelParams {
+        ModelParams::new(self.p, self.k, self.s)
+    }
+
+    /// `ℓ = log₂ p`.
+    pub fn ell(&self) -> usize {
+        log2_ceil(self.p).max(2) as usize
+    }
+
+    /// `log ℓ`.
+    pub fn log_ell(&self) -> usize {
+        log2_ceil(self.ell()).max(1) as usize
+    }
+
+    /// Requests per phase: `γ·(k−1)`.
+    pub fn phase_len(&self) -> usize {
+        self.gamma * (self.k - 1)
+    }
+}
+
+/// Metadata about one prefixed sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixMeta {
+    /// The processor carrying this sequence.
+    pub proc: ProcId,
+    /// Family index `i` (family `F_i` has `2^i` members).
+    pub family: usize,
+    /// Number of prefix phases this sequence runs.
+    pub phases: usize,
+}
+
+/// A fully-built adversarial instance.
+#[derive(Clone, Debug)]
+pub struct AdversarialInstance {
+    /// The construction parameters.
+    pub config: AdversarialConfig,
+    /// The request sequences (prefixed processors first).
+    pub workload: Workload,
+    /// Prefix metadata, one entry per prefixed processor.
+    pub prefixed: Vec<PrefixMeta>,
+}
+
+impl AdversarialInstance {
+    /// Builds the instance.
+    ///
+    /// Families `F_0, F_1, …` hold `2^i` sequences of `n_fam − i` prefix
+    /// phases each, capped so prefixed sequences number at most `p/2`;
+    /// phase `j` pollutes every `max(2, p/2^j)`-th request. All `p`
+    /// sequences share the same suffix shape.
+    pub fn build(config: AdversarialConfig) -> Self {
+        let ell = config.ell();
+        let log_ell = config.log_ell();
+        let n_fam = ell.saturating_sub(log_ell).max(1);
+        let phase_len = config.phase_len();
+        let suffix_len = config.suffix_phases * phase_len;
+
+        let mut prefixed = Vec::new();
+        let mut seqs = Vec::with_capacity(config.p);
+        let mut proc_next = 0u32;
+
+        'families: for family in 0..n_fam {
+            let members = 1usize << family;
+            let phases = n_fam - family;
+            for _ in 0..members {
+                if prefixed.len() >= config.p / 2 {
+                    break 'families;
+                }
+                let proc = ProcId(proc_next);
+                proc_next += 1;
+                let mut b = SeqBuilder::new(proc, 0xAD5E ^ proc.0 as u64);
+                for j in 0..phases {
+                    let n_j = (config.p >> j).max(2);
+                    b.polluted_cycle(config.k - 1, phase_len, n_j);
+                }
+                b.fresh_stream(suffix_len);
+                seqs.push(b.build());
+                prefixed.push(PrefixMeta {
+                    proc,
+                    family,
+                    phases,
+                });
+            }
+        }
+        // Remaining processors: suffix only.
+        while (proc_next as usize) < config.p {
+            let proc = ProcId(proc_next);
+            proc_next += 1;
+            let mut b = SeqBuilder::new(proc, 0xAD5E ^ proc.0 as u64);
+            b.fresh_stream(suffix_len);
+            seqs.push(b.build());
+        }
+
+        AdversarialInstance {
+            config,
+            workload: Workload::new(seqs),
+            prefixed,
+        }
+    }
+
+    /// Number of prefixed sequences.
+    pub fn num_prefixed(&self) -> usize {
+        self.prefixed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AdversarialConfig {
+        AdversarialConfig::scaled(16, 64, 10, 0.05)
+    }
+
+    #[test]
+    fn builds_p_disjoint_sequences() {
+        let inst = AdversarialInstance::build(small());
+        assert_eq!(inst.workload.p(), 16);
+        assert!(inst.workload.is_disjoint());
+    }
+
+    #[test]
+    fn family_sizes_double_and_phase_counts_shrink() {
+        let cfg = AdversarialConfig::scaled(64, 256, 10, 0.02);
+        let inst = AdversarialInstance::build(cfg);
+        let mut by_family = std::collections::BTreeMap::new();
+        for m in &inst.prefixed {
+            *by_family.entry(m.family).or_insert(0usize) += 1;
+        }
+        let fams: Vec<_> = by_family.iter().collect();
+        // F_0 has 1 member; F_{i+1} has twice F_i (until the p/2 cap).
+        assert_eq!(*fams[0].1, 1);
+        for w in fams.windows(2) {
+            let (&f0, &c0) = w[0];
+            let (&f1, &c1) = w[1];
+            if c1 != inst.num_prefixed() - (1 << f1) + 1 {
+                assert!(c1 <= 2 * c0 && f1 == f0 + 1);
+            }
+        }
+        // Phase counts strictly decrease with family index.
+        let phases: Vec<_> = inst
+            .prefixed
+            .iter()
+            .map(|m| (m.family, m.phases))
+            .collect();
+        for w in phases.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn prefixed_count_is_at_most_half() {
+        let inst = AdversarialInstance::build(small());
+        assert!(inst.num_prefixed() <= inst.config.p / 2);
+        assert!(inst.num_prefixed() >= 1);
+    }
+
+    #[test]
+    fn suffixes_have_identical_lengths_and_are_fresh() {
+        let inst = AdversarialInstance::build(small());
+        let suffix_len = inst.config.suffix_phases * inst.config.phase_len();
+        // Suffix-only processors: whole sequence is the suffix.
+        let x = inst.num_prefixed(); // first suffix-only proc
+        let seq = &inst.workload.seqs()[x];
+        assert_eq!(seq.len(), suffix_len);
+        let distinct: std::collections::HashSet<_> = seq.iter().collect();
+        assert_eq!(distinct.len(), seq.len(), "suffix must be all-fresh");
+    }
+
+    #[test]
+    fn prefixed_sequences_are_longer_by_their_phases() {
+        let inst = AdversarialInstance::build(small());
+        let phase_len = inst.config.phase_len();
+        let suffix_len = inst.config.suffix_phases * phase_len;
+        for m in &inst.prefixed {
+            let seq = &inst.workload.seqs()[m.proc.idx()];
+            assert_eq!(seq.len(), m.phases * phase_len + suffix_len);
+        }
+    }
+
+    #[test]
+    fn pollution_level_doubles_per_phase() {
+        // In phase j, polluters appear every p/2^j requests; verify via
+        // singleton counts per phase window.
+        let cfg = small();
+        let inst = AdversarialInstance::build(cfg);
+        let m = inst.prefixed[0];
+        assert!(m.phases >= 2);
+        let seq = &inst.workload.seqs()[m.proc.idx()];
+        let phase_len = cfg.phase_len();
+        let mut counts = std::collections::HashMap::new();
+        for p in seq {
+            *counts.entry(*p).or_insert(0u32) += 1;
+        }
+        let polluters_in_phase = |j: usize| {
+            seq[j * phase_len..(j + 1) * phase_len]
+                .iter()
+                .filter(|p| counts[p] == 1)
+                .count()
+        };
+        let p0 = polluters_in_phase(0);
+        let p1 = polluters_in_phase(1);
+        assert_eq!(p0, phase_len / cfg.p.max(2));
+        assert_eq!(p1, phase_len / (cfg.p / 2).max(2));
+        assert!(p1 >= 2 * p0 - 1);
+    }
+}

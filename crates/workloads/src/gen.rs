@@ -1,0 +1,337 @@
+//! Per-processor request-sequence generators.
+//!
+//! [`SeqBuilder`] namespaces every page with the owning processor (keeping
+//! workloads disjoint) and tracks a fresh-page counter so that *polluter*
+//! pages — pages requested exactly once, the paper's cache-poisoning
+//! device — never collide with repeater pages.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use parapage_cache::{PageId, ProcId};
+
+/// Local-page-number base for fresh/polluter pages, far above any repeater
+/// or working-set range used by the generators.
+const FRESH_BASE: u64 = 1 << 40;
+
+/// A generator of one processor's request sequence.
+///
+/// All patterns can be concatenated freely; page ranges never collide:
+/// structured patterns draw local pages from a per-call range below
+/// 2⁴⁰ chosen via `range_key`, while fresh pages count up from 2⁴⁰.
+#[derive(Debug)]
+pub struct SeqBuilder {
+    proc: ProcId,
+    seq: Vec<PageId>,
+    fresh_counter: u64,
+    /// Base for the next structured range, bumped per pattern call so that
+    /// successive patterns use disjoint working sets unless the caller
+    /// explicitly reuses a range.
+    range_base: u64,
+    rng: StdRng,
+}
+
+impl SeqBuilder {
+    /// Creates a builder for processor `proc` with a deterministic RNG.
+    pub fn new(proc: ProcId, seed: u64) -> Self {
+        SeqBuilder {
+            proc,
+            seq: Vec::new(),
+            fresh_counter: 0,
+            range_base: 0,
+            rng: StdRng::seed_from_u64(seed ^ ((proc.0 as u64) << 32)),
+        }
+    }
+
+    /// Finishes and returns the sequence.
+    pub fn build(self) -> Vec<PageId> {
+        self.seq
+    }
+
+    /// Current length of the sequence under construction.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` when nothing has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    fn page(&mut self, local: u64) -> PageId {
+        PageId::namespaced(self.proc, local)
+    }
+
+    fn fresh_page(&mut self) -> PageId {
+        let id = FRESH_BASE + self.fresh_counter;
+        self.fresh_counter += 1;
+        self.page(id)
+    }
+
+    /// Reserves a structured range of `width` local pages and returns its
+    /// base (shared with the `hpc` pattern extensions).
+    pub(crate) fn reserve_range(&mut self, width: u64) -> u64 {
+        self.reserve(width)
+    }
+
+    /// The processor this builder generates for.
+    pub(crate) fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Appends one page to the sequence under construction.
+    pub(crate) fn push_page(&mut self, page: PageId) {
+        self.seq.push(page);
+    }
+
+    /// Reserves a structured range of `width` local pages and returns its
+    /// base.
+    fn reserve(&mut self, width: u64) -> u64 {
+        let base = self.range_base;
+        self.range_base += width;
+        assert!(self.range_base < FRESH_BASE, "structured ranges exhausted");
+        base
+    }
+
+    /// `len` requests cycling over `width` pages (the paper's *repeaters*).
+    pub fn cyclic(&mut self, width: usize, len: usize) -> &mut Self {
+        let base = self.reserve(width as u64);
+        for i in 0..len {
+            let pg = self.page(base + (i % width) as u64);
+            self.seq.push(pg);
+        }
+        self
+    }
+
+    /// A polluted cycle: like [`Self::cyclic`], but every `pollute_every`-th
+    /// request (1-indexed) is replaced by a fresh *polluter* page — the
+    /// exact prefix-phase pattern of the paper's Theorem-4 construction.
+    ///
+    /// # Panics
+    /// If `pollute_every == 0`.
+    pub fn polluted_cycle(
+        &mut self,
+        width: usize,
+        len: usize,
+        pollute_every: usize,
+    ) -> &mut Self {
+        assert!(pollute_every >= 1);
+        let base = self.reserve(width as u64);
+        let mut cycle_idx = 0usize;
+        for i in 0..len {
+            if (i + 1) % pollute_every == 0 {
+                let pg = self.fresh_page();
+                self.seq.push(pg);
+            } else {
+                let pg = self.page(base + (cycle_idx % width) as u64);
+                self.seq.push(pg);
+                cycle_idx += 1;
+            }
+        }
+        self
+    }
+
+    /// `len` requests to brand-new pages (the paper's *suffix* pattern:
+    /// every page requested exactly once, so progress is cache-oblivious).
+    pub fn fresh_stream(&mut self, len: usize) -> &mut Self {
+        for _ in 0..len {
+            let pg = self.fresh_page();
+            self.seq.push(pg);
+        }
+        self
+    }
+
+    /// A sequential scan over `universe` pages, wrapping around, `len`
+    /// requests (equivalent to [`Self::cyclic`]; kept for intent-revealing
+    /// call sites).
+    pub fn scan(&mut self, universe: usize, len: usize) -> &mut Self {
+        self.cyclic(universe, len)
+    }
+
+    /// `len` i.i.d. uniform requests over `universe` pages.
+    pub fn uniform(&mut self, universe: usize, len: usize) -> &mut Self {
+        let base = self.reserve(universe as u64);
+        for _ in 0..len {
+            let v = self.rng.random_range(0..universe as u64);
+            let pg = self.page(base + v);
+            self.seq.push(pg);
+        }
+        self
+    }
+
+    /// `len` i.i.d. Zipf(θ)-distributed requests over `universe` pages
+    /// (rank-1 page most popular). θ = 0 is uniform; θ ≈ 1 is the classic
+    /// web/database skew.
+    pub fn zipf(&mut self, universe: usize, theta: f64, len: usize) -> &mut Self {
+        assert!(universe >= 1);
+        let base = self.reserve(universe as u64);
+        // Precomputed CDF; fine for the universes used here (≤ ~1e6).
+        let mut cdf = Vec::with_capacity(universe);
+        let mut acc = 0.0f64;
+        for rank in 1..=universe {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for _ in 0..len {
+            let u: f64 = self.rng.random::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < u).min(universe - 1);
+            let pg = self.page(base + idx as u64);
+            self.seq.push(pg);
+        }
+        self
+    }
+
+    /// Phased working sets: for each `(width, len)` phase, cycle over a
+    /// fresh range of `width` pages for `len` requests. This is the
+    /// marginal-benefit-fluctuation workload the paper's introduction
+    /// motivates (processors whose memory needs change over time).
+    pub fn phased(&mut self, phases: &[(usize, usize)]) -> &mut Self {
+        for &(width, len) in phases {
+            self.cyclic(width, len);
+        }
+        self
+    }
+
+    /// A drifting working set: a window of `width` pages slides forward by
+    /// one page with probability `drift` per request; requests are uniform
+    /// within the window.
+    pub fn drift(&mut self, width: usize, drift: f64, len: usize) -> &mut Self {
+        assert!(width >= 1);
+        let base = self.reserve(width as u64 + len as u64 + 1);
+        let mut lo = 0u64;
+        for _ in 0..len {
+            if self.rng.random::<f64>() < drift {
+                lo += 1;
+            }
+            let v = lo + self.rng.random_range(0..width as u64);
+            let pg = self.page(base + v);
+            self.seq.push(pg);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn distinct(seq: &[PageId]) -> usize {
+        seq.iter().collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn cyclic_touches_exactly_width_pages() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.cyclic(8, 100);
+        let seq = b.build();
+        assert_eq!(seq.len(), 100);
+        assert_eq!(distinct(&seq), 8);
+        assert_eq!(seq[0], seq[8]);
+    }
+
+    #[test]
+    fn polluted_cycle_inserts_unique_polluters() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.polluted_cycle(4, 40, 5);
+        let seq = b.build();
+        // 8 polluters among 40 requests, each seen exactly once.
+        let mut counts = std::collections::HashMap::new();
+        for p in &seq {
+            *counts.entry(*p).or_insert(0) += 1;
+        }
+        let singletons = counts.values().filter(|&&c| c == 1).count();
+        assert_eq!(singletons, 8);
+        // Every 5th position is a polluter.
+        assert_eq!(counts[&seq[4]], 1);
+        assert_eq!(counts[&seq[9]], 1);
+        // Repeater positions cycle over 4 pages.
+        assert_eq!(distinct(&seq), 4 + 8);
+    }
+
+    #[test]
+    fn fresh_stream_is_all_distinct() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.fresh_stream(50);
+        let seq = b.build();
+        assert_eq!(distinct(&seq), 50);
+    }
+
+    #[test]
+    fn patterns_use_disjoint_ranges() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.cyclic(4, 8).cyclic(4, 8);
+        let seq = b.build();
+        // Two cyclic calls -> 8 distinct pages, not 4.
+        assert_eq!(distinct(&seq), 8);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut b = SeqBuilder::new(ProcId(0), 7);
+        b.zipf(100, 1.0, 20_000);
+        let seq = b.build();
+        let top = seq.iter().filter(|p| p.0 & 0xFFFF == 0).count();
+        // Rank-1 page should get roughly 1/H_100 ≈ 19% of requests.
+        assert!(top > 2000, "rank-1 got only {top}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut b = SeqBuilder::new(ProcId(0), 7);
+        b.zipf(10, 0.0, 10_000);
+        let seq = b.build();
+        for v in 0..10u64 {
+            let n = seq.iter().filter(|p| p.0 & 0xFFFF == v).count();
+            assert!((700..1300).contains(&n), "page {v}: {n}");
+        }
+    }
+
+    #[test]
+    fn phased_switches_working_sets() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.phased(&[(4, 10), (8, 10)]);
+        let seq = b.build();
+        assert_eq!(seq.len(), 20);
+        assert_eq!(distinct(&seq), 4 + 8);
+        // No page crosses the phase boundary.
+        let first: HashSet<_> = seq[..10].iter().collect();
+        assert!(seq[10..].iter().all(|p| !first.contains(p)));
+    }
+
+    #[test]
+    fn drift_slides_forward() {
+        let mut b = SeqBuilder::new(ProcId(0), 3);
+        b.drift(8, 0.5, 2000);
+        let seq = b.build();
+        // With drift 0.5 over 2000 requests the window moved ~1000 pages.
+        assert!(distinct(&seq) > 300);
+    }
+
+    #[test]
+    fn different_processors_are_disjoint() {
+        let a = {
+            let mut b = SeqBuilder::new(ProcId(0), 1);
+            b.cyclic(8, 20).fresh_stream(5);
+            b.build()
+        };
+        let bb = {
+            let mut b = SeqBuilder::new(ProcId(1), 1);
+            b.cyclic(8, 20).fresh_stream(5);
+            b.build()
+        };
+        let sa: HashSet<_> = a.iter().collect();
+        assert!(bb.iter().all(|p| !sa.contains(p)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut b = SeqBuilder::new(ProcId(2), 99);
+            b.zipf(50, 0.8, 100).uniform(20, 50);
+            b.build()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,195 @@
+//! HPC-flavoured access patterns: the loop nests and strided walks that
+//! parallel programs actually issue, complementing the paper's abstract
+//! repeater/polluter building blocks.
+
+use parapage_cache::{PageId, ProcId};
+
+use crate::gen::SeqBuilder;
+
+impl SeqBuilder {
+    /// A sawtooth scan: sweep `0..width` then back down, repeatedly —
+    /// the classic pattern on which LRU performs well but FIFO badly.
+    pub fn sawtooth(&mut self, width: usize, len: usize) -> &mut Self {
+        assert!(width >= 1);
+        let period = if width > 1 { 2 * width - 2 } else { 1 };
+        self.pattern(width as u64, len, move |i| {
+            let ph = i % period;
+            (if ph < width { ph } else { period - ph }) as u64
+        })
+    }
+
+    /// A strided walk over a `rows × cols` page matrix in column-major
+    /// order while pages are laid out row-major — i.e. stride `cols`.
+    /// This is the memory behaviour of a transposed matrix sweep: reuse
+    /// distance `rows·cols`, defeating any cache smaller than a full
+    /// column set.
+    pub fn strided(&mut self, rows: usize, cols: usize, len: usize) -> &mut Self {
+        assert!(rows >= 1 && cols >= 1);
+        let total = rows * cols;
+        self.pattern(total as u64, len, move |i| {
+            let t = i % total;
+            let (r, c) = (t % rows, t / rows);
+            (r * cols + c) as u64
+        })
+    }
+
+    /// Blocked (tiled) matrix sweep: visit `tile × tile` blocks of a
+    /// `rows × cols` row-major matrix, fully scanning each tile before
+    /// moving on — the cache-friendly counterpart of [`Self::strided`].
+    pub fn tiled(&mut self, rows: usize, cols: usize, tile: usize, len: usize) -> &mut Self {
+        assert!(tile >= 1 && rows % tile == 0 && cols % tile == 0);
+        let tiles_per_row = cols / tile;
+        let per_tile = tile * tile;
+        let total = rows * cols;
+        self.pattern(total as u64, len, move |i| {
+            let t = i % total;
+            let tile_idx = t / per_tile;
+            let (tr, tc) = (tile_idx / tiles_per_row, tile_idx % tiles_per_row);
+            let within = t % per_tile;
+            let (r, c) = (within / tile, within % tile);
+            ((tr * tile + r) * cols + (tc * tile + c)) as u64
+        })
+    }
+
+    /// Generic helper: `len` requests with local page `f(i)` drawn from a
+    /// reserved range of `width` pages.
+    fn pattern(
+        &mut self,
+        width: u64,
+        len: usize,
+        f: impl Fn(usize) -> u64,
+    ) -> &mut Self {
+        let base = self.reserve_range(width);
+        for i in 0..len {
+            let local = f(i);
+            debug_assert!(local < width);
+            let pg = PageId::namespaced(self.proc_id(), base + local);
+            self.push_page(pg);
+        }
+        self
+    }
+}
+
+/// Builds `p` sequences that **share** a common hot page set — the
+/// future-work scenario the paper's conclusion poses ("sequences running on
+/// different processors can share pages").
+///
+/// Each processor interleaves a private cycle of `private_width` pages with
+/// accesses into one shared cycle of `shared_width` pages (every
+/// `share_every`-th request). The result intentionally violates the paper's
+/// disjointness assumption, so experiments can measure how the
+/// disjointness-based algorithms degrade versus a shared cache that
+/// deduplicates.
+pub fn shared_hotset_workload(
+    p: usize,
+    private_width: usize,
+    shared_width: usize,
+    share_every: usize,
+    len: usize,
+) -> Vec<Vec<PageId>> {
+    assert!(share_every >= 2);
+    // Shared pages live in a dedicated namespace no generator uses.
+    let shared_ns = ProcId(0xFFFF);
+    (0..p)
+        .map(|x| {
+            let mut out = Vec::with_capacity(len);
+            let mut priv_idx = 0usize;
+            let mut shared_idx = x; // desynchronize processors slightly
+            for i in 0..len {
+                if (i + 1) % share_every == 0 {
+                    out.push(PageId::namespaced(
+                        shared_ns,
+                        (shared_idx % shared_width) as u64,
+                    ));
+                    shared_idx += 1;
+                } else {
+                    out.push(PageId::namespaced(
+                        ProcId(x as u32),
+                        (priv_idx % private_width) as u64,
+                    ));
+                    priv_idx += 1;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn distinct(seq: &[PageId]) -> usize {
+        seq.iter().collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn sawtooth_reverses_direction() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.sawtooth(4, 12);
+        let seq = b.build();
+        let locals: Vec<u64> = seq.iter().map(|p| p.0 & 0xFFFF).collect();
+        assert_eq!(locals, vec![0, 1, 2, 3, 2, 1, 0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sawtooth_width_one() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.sawtooth(1, 5);
+        assert_eq!(distinct(&b.build()), 1);
+    }
+
+    #[test]
+    fn strided_has_full_reuse_distance() {
+        // 4x8 matrix walked with stride 8: consecutive accesses are 8
+        // apart; the same page repeats only after all 32.
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.strided(4, 8, 64);
+        let seq = b.build();
+        assert_eq!(distinct(&seq[..32]), 32);
+        assert_eq!(seq[0], seq[32]);
+        let l0 = seq[0].0 & 0xFFFF;
+        let l1 = seq[1].0 & 0xFFFF;
+        assert_eq!(l1 - l0, 8);
+    }
+
+    #[test]
+    fn tiled_touches_each_tile_contiguously() {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.tiled(4, 4, 2, 16);
+        let seq = b.build();
+        // First 4 accesses stay inside the first 2x2 tile = pages
+        // {0,1,4,5}.
+        let first: HashSet<u64> = seq[..4].iter().map(|p| p.0 & 0xFFFF).collect();
+        assert_eq!(first, HashSet::from([0, 1, 4, 5]));
+        assert_eq!(distinct(&seq), 16);
+    }
+
+    #[test]
+    fn shared_workload_overlaps_exactly_on_the_hotset() {
+        let seqs = shared_hotset_workload(4, 8, 4, 3, 300);
+        assert_eq!(seqs.len(), 4);
+        let sets: Vec<HashSet<PageId>> =
+            seqs.iter().map(|s| s.iter().copied().collect()).collect();
+        let shared: HashSet<PageId> = sets[0].intersection(&sets[1]).copied().collect();
+        assert!(!shared.is_empty(), "no sharing happened");
+        assert!(shared.len() <= 4);
+        // All shared pages come from the shared namespace.
+        assert!(shared.iter().all(|p| p.namespace() == ProcId(0xFFFF)));
+        // Private pages do not overlap.
+        let private0: HashSet<_> = sets[0].difference(&shared).collect();
+        let private1: HashSet<_> = sets[1].difference(&shared).collect();
+        assert!(private0.is_disjoint(&private1));
+    }
+
+    #[test]
+    fn share_every_controls_the_mix() {
+        let seqs = shared_hotset_workload(1, 8, 4, 5, 100);
+        let shared_count = seqs[0]
+            .iter()
+            .filter(|p| p.namespace() == ProcId(0xFFFF))
+            .count();
+        assert_eq!(shared_count, 20);
+    }
+}

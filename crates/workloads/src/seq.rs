@@ -1,0 +1,101 @@
+//! The [`Workload`] container: one request sequence per processor.
+
+use std::collections::HashSet;
+
+use parapage_cache::{PageId, ProcId};
+
+/// A complete parallel-paging input: `p` disjoint request sequences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Workload {
+    seqs: Vec<Vec<PageId>>,
+}
+
+impl Workload {
+    /// Wraps per-processor sequences.
+    pub fn new(seqs: Vec<Vec<PageId>>) -> Self {
+        Workload { seqs }
+    }
+
+    /// The sequences, indexed by processor.
+    pub fn seqs(&self) -> &[Vec<PageId>] {
+        &self.seqs
+    }
+
+    /// Consumes the workload, yielding the sequences.
+    pub fn into_seqs(self) -> Vec<Vec<PageId>> {
+        self.seqs
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Sequence of one processor.
+    pub fn seq(&self, x: ProcId) -> &[PageId] {
+        &self.seqs[x.idx()]
+    }
+
+    /// Total requests across processors.
+    pub fn total_requests(&self) -> u64 {
+        self.seqs.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Length of the longest sequence.
+    pub fn max_len(&self) -> usize {
+        self.seqs.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of distinct pages touched by processor `x`.
+    pub fn distinct_pages(&self, x: ProcId) -> usize {
+        self.seqs[x.idx()].iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Checks the paper's disjointness requirement: no page appears in two
+    /// processors' sequences.
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen: HashSet<PageId> = HashSet::new();
+        for seq in &self.seqs {
+            let mine: HashSet<PageId> = seq.iter().copied().collect();
+            if mine.iter().any(|p| seen.contains(p)) {
+                return false;
+            }
+            seen.extend(mine);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let w = Workload::new(vec![
+            vec![PageId(1), PageId(2), PageId(1)],
+            vec![PageId(10)],
+        ]);
+        assert_eq!(w.p(), 2);
+        assert_eq!(w.total_requests(), 4);
+        assert_eq!(w.max_len(), 3);
+        assert_eq!(w.distinct_pages(ProcId(0)), 2);
+        assert_eq!(w.seq(ProcId(1)), &[PageId(10)]);
+    }
+
+    #[test]
+    fn disjointness_detects_overlap() {
+        let good = Workload::new(vec![vec![PageId(1)], vec![PageId(2)]]);
+        assert!(good.is_disjoint());
+        let bad = Workload::new(vec![vec![PageId(1)], vec![PageId(1)]]);
+        assert!(!bad.is_disjoint());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::default();
+        assert_eq!(w.p(), 0);
+        assert_eq!(w.total_requests(), 0);
+        assert!(w.is_disjoint());
+    }
+}

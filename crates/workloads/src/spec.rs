@@ -1,0 +1,186 @@
+//! Declarative workload assembly for experiments.
+//!
+//! Experiments describe each processor's sequence as a [`SeqSpec`] value;
+//! [`build_workload`] turns a list of specs into a concrete, disjoint,
+//! seeded [`Workload`]. This keeps experiment code free of generator
+//! plumbing and makes every run reproducible from `(specs, seed)`.
+
+use parapage_cache::ProcId;
+
+use crate::gen::SeqBuilder;
+use crate::seq::Workload;
+
+/// A declarative description of one processor's request sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeqSpec {
+    /// Cycle over `width` pages for `len` requests.
+    Cyclic {
+        /// Working-set width in pages.
+        width: usize,
+        /// Number of requests.
+        len: usize,
+    },
+    /// Polluted cycle (see [`SeqBuilder::polluted_cycle`]).
+    Polluted {
+        /// Repeater working-set width.
+        width: usize,
+        /// Number of requests.
+        len: usize,
+        /// A polluter every this many requests.
+        every: usize,
+    },
+    /// `len` all-distinct requests.
+    Fresh {
+        /// Number of requests.
+        len: usize,
+    },
+    /// Zipf-distributed requests.
+    Zipf {
+        /// Page universe size.
+        universe: usize,
+        /// Skew parameter (0 = uniform).
+        theta: f64,
+        /// Number of requests.
+        len: usize,
+    },
+    /// Uniform random requests.
+    Uniform {
+        /// Page universe size.
+        universe: usize,
+        /// Number of requests.
+        len: usize,
+    },
+    /// Consecutive cyclic phases with disjoint working sets.
+    Phased {
+        /// `(width, len)` per phase.
+        phases: Vec<(usize, usize)>,
+    },
+    /// A sliding working-set window.
+    Drift {
+        /// Window width.
+        width: usize,
+        /// Per-request slide probability.
+        drift: f64,
+        /// Number of requests.
+        len: usize,
+    },
+    /// Concatenation of sub-specs.
+    Concat(
+        /// The parts, generated in order.
+        Vec<SeqSpec>,
+    ),
+}
+
+impl SeqSpec {
+    fn generate(&self, b: &mut SeqBuilder) {
+        match self {
+            SeqSpec::Cyclic { width, len } => {
+                b.cyclic(*width, *len);
+            }
+            SeqSpec::Polluted { width, len, every } => {
+                b.polluted_cycle(*width, *len, *every);
+            }
+            SeqSpec::Fresh { len } => {
+                b.fresh_stream(*len);
+            }
+            SeqSpec::Zipf {
+                universe,
+                theta,
+                len,
+            } => {
+                b.zipf(*universe, *theta, *len);
+            }
+            SeqSpec::Uniform { universe, len } => {
+                b.uniform(*universe, *len);
+            }
+            SeqSpec::Phased { phases } => {
+                b.phased(phases);
+            }
+            SeqSpec::Drift { width, drift, len } => {
+                b.drift(*width, *drift, *len);
+            }
+            SeqSpec::Concat(parts) => {
+                for part in parts {
+                    part.generate(b);
+                }
+            }
+        }
+    }
+
+    /// Number of requests this spec generates.
+    pub fn len(&self) -> usize {
+        match self {
+            SeqSpec::Cyclic { len, .. }
+            | SeqSpec::Polluted { len, .. }
+            | SeqSpec::Fresh { len }
+            | SeqSpec::Zipf { len, .. }
+            | SeqSpec::Uniform { len, .. }
+            | SeqSpec::Drift { len, .. } => *len,
+            SeqSpec::Phased { phases } => phases.iter().map(|&(_, l)| l).sum(),
+            SeqSpec::Concat(parts) => parts.iter().map(SeqSpec::len).sum(),
+        }
+    }
+
+    /// `true` when the spec generates no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds the workload described by one spec per processor.
+pub fn build_workload(specs: &[SeqSpec], seed: u64) -> Workload {
+    let seqs = specs
+        .iter()
+        .enumerate()
+        .map(|(x, spec)| {
+            let mut b = SeqBuilder::new(ProcId(x as u32), seed);
+            spec.generate(&mut b);
+            b.build()
+        })
+        .collect();
+    Workload::new(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_declared_lengths() {
+        let specs = vec![
+            SeqSpec::Cyclic { width: 4, len: 10 },
+            SeqSpec::Concat(vec![
+                SeqSpec::Fresh { len: 5 },
+                SeqSpec::Zipf {
+                    universe: 8,
+                    theta: 0.9,
+                    len: 7,
+                },
+            ]),
+        ];
+        let w = build_workload(&specs, 3);
+        assert_eq!(w.seqs()[0].len(), specs[0].len());
+        assert_eq!(w.seqs()[1].len(), specs[1].len());
+        assert_eq!(specs[1].len(), 12);
+        assert!(w.is_disjoint());
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let specs = vec![SeqSpec::Uniform {
+            universe: 16,
+            len: 50,
+        }];
+        assert_eq!(build_workload(&specs, 9), build_workload(&specs, 9));
+        assert_ne!(build_workload(&specs, 9), build_workload(&specs, 10));
+    }
+
+    #[test]
+    fn phased_spec_length() {
+        let s = SeqSpec::Phased {
+            phases: vec![(2, 5), (3, 7)],
+        };
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+    }
+}

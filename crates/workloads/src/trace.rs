@@ -1,0 +1,138 @@
+//! Plain-text trace format for persisting workloads.
+//!
+//! The format is deliberately trivial (inspectable with standard tools, no
+//! serialization dependency):
+//!
+//! ```text
+//! parapage-trace v1
+//! <p>
+//! <len_0> <id id id …>
+//! <len_1> <id id id …>
+//! …
+//! ```
+//!
+//! One line per processor; page ids are the raw `u64` values.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use parapage_cache::PageId;
+
+use crate::seq::Workload;
+
+const HEADER: &str = "parapage-trace v1";
+
+/// Serializes a workload to the v1 text format.
+pub fn to_string(w: &Workload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "{}", w.p());
+    for seq in w.seqs() {
+        let _ = write!(out, "{}", seq.len());
+        for p in seq {
+            let _ = write!(out, " {}", p.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format.
+pub fn from_str(text: &str) -> Result<Workload, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == HEADER => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+    let p: usize = lines
+        .next()
+        .ok_or("missing processor count")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad processor count: {e}"))?;
+    let mut seqs = Vec::with_capacity(p);
+    for x in 0..p {
+        let line = lines.next().ok_or_else(|| format!("missing line for processor {x}"))?;
+        let mut toks = line.split_whitespace();
+        let len: usize = toks
+            .next()
+            .ok_or_else(|| format!("missing length for processor {x}"))?
+            .parse()
+            .map_err(|e| format!("bad length for processor {x}: {e}"))?;
+        let mut seq = Vec::with_capacity(len);
+        for t in toks {
+            let v: u64 = t
+                .parse()
+                .map_err(|e| format!("bad page id for processor {x}: {e}"))?;
+            seq.push(PageId(v));
+        }
+        if seq.len() != len {
+            return Err(format!(
+                "processor {x}: declared {len} ids, found {}",
+                seq.len()
+            ));
+        }
+        seqs.push(seq);
+    }
+    Ok(Workload::new(seqs))
+}
+
+/// Writes a workload to a file.
+pub fn save(w: &Workload, path: &Path) -> io::Result<()> {
+    fs::write(path, to_string(w))
+}
+
+/// Reads a workload from a file.
+pub fn load(path: &Path) -> io::Result<Workload> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_workload, SeqSpec};
+
+    #[test]
+    fn round_trips() {
+        let w = build_workload(
+            &[
+                SeqSpec::Cyclic { width: 4, len: 12 },
+                SeqSpec::Fresh { len: 5 },
+            ],
+            1,
+        );
+        let text = to_string(&w);
+        let back = from_str(&text).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_str("nope\n1\n0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let text = format!("{HEADER}\n1\n3 1 2\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn empty_workload_round_trips() {
+        let w = Workload::default();
+        assert_eq!(from_str(&to_string(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let w = build_workload(&[SeqSpec::Fresh { len: 3 }], 1);
+        let dir = std::env::temp_dir().join("parapage_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        save(&w, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), w);
+    }
+}

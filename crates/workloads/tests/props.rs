@@ -1,0 +1,90 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use parapage_cache::ProcId;
+use parapage_workloads::adversarial::{AdversarialConfig, AdversarialInstance};
+use parapage_workloads::{build_workload, trace, SeqBuilder, SeqSpec};
+
+fn spec_strategy() -> impl Strategy<Value = SeqSpec> {
+    prop_oneof![
+        (1usize..20, 0usize..200).prop_map(|(width, len)| SeqSpec::Cyclic { width, len }),
+        (0usize..150).prop_map(|len| SeqSpec::Fresh { len }),
+        (1usize..30, 0usize..150)
+            .prop_map(|(universe, len)| SeqSpec::Uniform { universe, len }),
+        (1usize..25, 0usize..150, 0.0f64..1.5).prop_map(|(universe, len, theta)| {
+            SeqSpec::Zipf { universe, theta, len }
+        }),
+        (2usize..20, 0usize..120, 2usize..9)
+            .prop_map(|(width, len, every)| SeqSpec::Polluted { width, len, every }),
+        (1usize..16, 0.0f64..0.3, 0usize..120)
+            .prop_map(|(width, drift, len)| SeqSpec::Drift { width, drift, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated lengths always match the declared spec lengths, and
+    /// workloads are always disjoint across processors.
+    #[test]
+    fn specs_generate_exact_lengths(
+        specs in prop::collection::vec(spec_strategy(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let w = build_workload(&specs, seed);
+        prop_assert_eq!(w.p(), specs.len());
+        for (seq, spec) in w.seqs().iter().zip(&specs) {
+            prop_assert_eq!(seq.len(), spec.len());
+        }
+        prop_assert!(w.is_disjoint());
+    }
+
+    /// Trace serialization round-trips every generated workload exactly.
+    #[test]
+    fn traces_round_trip(
+        specs in prop::collection::vec(spec_strategy(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let w = build_workload(&specs, seed);
+        let text = trace::to_string(&w);
+        let back = trace::from_str(&text).unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    /// Adversarial instances have the documented structure for any valid
+    /// (p, k, alpha).
+    #[test]
+    fn adversarial_structure(pe in 2u32..5, ke_extra in 1u32..3, alpha in 0.01f64..0.08) {
+        let p = 1usize << pe;
+        let k = p << ke_extra;
+        let cfg = AdversarialConfig::scaled(p, k, k as u64, alpha);
+        let inst = AdversarialInstance::build(cfg);
+        prop_assert_eq!(inst.workload.p(), p);
+        prop_assert!(inst.workload.is_disjoint());
+        prop_assert!(inst.num_prefixed() >= 1);
+        prop_assert!(inst.num_prefixed() <= p / 2);
+        let phase_len = cfg.phase_len();
+        let suffix_len = cfg.suffix_phases * phase_len;
+        for m in &inst.prefixed {
+            let seq = &inst.workload.seqs()[m.proc.idx()];
+            prop_assert_eq!(seq.len(), m.phases * phase_len + suffix_len);
+        }
+        // Suffix-only sequences are all-fresh.
+        let tail = &inst.workload.seqs()[p - 1];
+        let distinct: std::collections::HashSet<_> = tail.iter().collect();
+        prop_assert_eq!(distinct.len(), tail.len());
+    }
+
+    /// HPC patterns stay within their reserved ranges and are disjoint from
+    /// a following fresh stream.
+    #[test]
+    fn hpc_patterns_are_well_contained(rows in 1usize..8, cols in 1usize..8, len in 1usize..200) {
+        let mut b = SeqBuilder::new(ProcId(0), 1);
+        b.strided(rows, cols, len).fresh_stream(10);
+        let seq = b.build();
+        let strided: std::collections::HashSet<_> = seq[..len].iter().collect();
+        prop_assert!(strided.len() <= rows * cols);
+        prop_assert!(seq[len..].iter().all(|p| !strided.contains(p)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Capacity planning with the analysis toolkit: how much shared cache do
+//! these jobs need, and what does partitioning policy buy at each size?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use parapage::analysis::static_opt_makespan;
+use parapage::prelude::*;
+
+fn main() {
+    let p = 6usize;
+    let s = 16u64;
+    let len = 5000;
+    // The job mix under study.
+    let specs = vec![
+        SeqSpec::Cyclic { width: 12, len },
+        SeqSpec::Cyclic { width: 40, len },
+        SeqSpec::Zipf { universe: 96, theta: 0.9, len },
+        SeqSpec::Cyclic { width: 28, len },
+        SeqSpec::Phased { phases: vec![(8, len / 2), (48, len / 2)] },
+        SeqSpec::Uniform { universe: 24, len },
+    ];
+    let workload = build_workload(&specs, 11);
+
+    // Per-job cache appetite: the knee of each miss curve.
+    println!("per-job appetite (miss curve knees):\n");
+    let mut t = Table::new(["job", "distinct pages", "pages for <1% misses", "curve"]);
+    for (x, seq) in workload.seqs().iter().enumerate() {
+        let curve = miss_curve(seq, 128);
+        let knee = (1..=128)
+            .find(|&c| (curve.misses(c) as f64) / (seq.len() as f64) < 0.01)
+            .unwrap_or(128);
+        let samples: Vec<f64> = (1..=16)
+            .map(|i| curve.misses((128 * i / 16).max(1)) as f64)
+            .collect();
+        t.row([
+            format!("J{x}"),
+            curve.distinct_pages().to_string(),
+            knee.to_string(),
+            sparkline(&samples),
+        ]);
+    }
+    println!("{t}");
+
+    // Sweep the cache size: what does each policy deliver?
+    println!("cache-size sweep (makespan):\n");
+    let mut t2 = Table::new([
+        "k", "OPT-STATIC (oracle)", "DET-PAR", "STATIC-EQUAL", "DET vs oracle",
+    ]);
+    for &k in &[64usize, 128, 256, 512] {
+        let params = ModelParams::new(p, k, s);
+        let oracle = static_opt_makespan(workload.seqs(), k, s).objective;
+        let mut det = DetPar::new(&params);
+        let det_ms = run_engine(&mut det, workload.seqs(), &params, &EngineOpts::default()).makespan;
+        let mut st = StaticPartition::new(&params);
+        let st_ms = run_engine(&mut st, workload.seqs(), &params, &EngineOpts::default()).makespan;
+        t2.row([
+            k.to_string(),
+            oracle.to_string(),
+            det_ms.to_string(),
+            st_ms.to_string(),
+            format!("{:.2}", det_ms as f64 / oracle as f64),
+        ]);
+    }
+    println!("{t2}");
+    println!(
+        "Reading: the oracle knows the workloads in advance; DET-PAR is online\n\
+         and oblivious, yet tracks it — and the gap to STATIC-EQUAL is the\n\
+         price of not adapting at all."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: run the paper's algorithms on a small heterogeneous
+//! workload and compare makespans against a lower bound on OPT.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parapage::prelude::*;
+
+fn main() {
+    // Model: 8 processors sharing a 128-page cache, miss penalty 16.
+    let params = ModelParams::new(8, 128, 16);
+    println!("model: {params}\n");
+
+    // A heterogeneous mix: small loops, large loops, a fresh stream, a Zipf
+    // hotspot, and a phase-changing processor — the kind of mixture whose
+    // marginal cache benefits the paper's introduction discusses.
+    let len = 6_000;
+    let specs = vec![
+        SeqSpec::Cyclic { width: 8, len },
+        SeqSpec::Cyclic { width: 24, len },
+        SeqSpec::Cyclic { width: 96, len },
+        SeqSpec::Fresh { len },
+        SeqSpec::Zipf { universe: 256, theta: 0.9, len },
+        SeqSpec::Uniform { universe: 64, len },
+        SeqSpec::Phased { phases: vec![(8, len / 2), (64, len / 2)] },
+        SeqSpec::Drift { width: 32, drift: 0.02, len },
+    ];
+    let workload = build_workload(&specs, 7);
+    assert!(workload.is_disjoint());
+
+    // A certified lower bound on the optimal makespan.
+    let lb = opt_lower_bound(workload.seqs(), params.k, params.s);
+    println!("T_OPT lower bound: {lb}\n");
+
+    let mut table = Table::new(["policy", "makespan", "vs LB", "mean completion", "peak mem"]);
+
+    let add = |table: &mut Table, name: &str, result: RunResult| {
+        table.row([
+            name.to_string(),
+            result.makespan.to_string(),
+            format!("{:.2}x", result.makespan as f64 / lb as f64),
+            format!("{:.0}", result.mean_completion()),
+            result.peak_memory.to_string(),
+        ]);
+    };
+
+    let opts = EngineOpts::default();
+
+    let mut det = DetPar::new(&params);
+    add(&mut table, "DET-PAR", run_engine(&mut det, workload.seqs(), &params, &opts));
+
+    let mut rnd = RandPar::new(&params, 42);
+    add(&mut table, "RAND-PAR", run_engine(&mut rnd, workload.seqs(), &params, &opts));
+
+    let mut stat = StaticPartition::new(&params);
+    add(&mut table, "STATIC-EQUAL", run_engine(&mut stat, workload.seqs(), &params, &opts));
+
+    let mut prop = PropMissPartition::new(&params);
+    add(&mut table, "PROP-MISS", run_engine(&mut prop, workload.seqs(), &params, &opts));
+
+    add(&mut table, "SHARED-LRU", run_shared_lru(workload.seqs(), params.k, params.s));
+
+    println!("{table}");
+    println!("(\"vs LB\" is an upper bound on each policy's competitive ratio here)");
+}

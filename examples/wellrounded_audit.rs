@@ -1,0 +1,76 @@
+//! Inspect DET-PAR's allocation structure: phases, the well-roundedness
+//! audit, and a sparkline of one processor's allocated heights over time.
+//!
+//! ```sh
+//! cargo run --release --example wellrounded_audit
+//! ```
+
+use parapage::prelude::*;
+
+fn main() {
+    let p = 8usize;
+    let k = 128;
+    let params = ModelParams::new(p, k, 16);
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| SeqSpec::Cyclic {
+            width: 4 << (x % 4),
+            len: 3000 + 500 * x,
+        })
+        .collect();
+    let w = build_workload(&specs, 9);
+
+    let mut det = DetPar::new(&params);
+    let opts = EngineOpts {
+        record_timelines: true,
+        memory_limit: Some(parapage::core::DetPar::MEMORY_FACTOR * k),
+        ..Default::default()
+    };
+    let res = run_engine(&mut det, w.seqs(), &params, &opts);
+
+    println!("makespan {}   peak memory {} (= {:.2}k)\n", res.makespan, res.peak_memory,
+             res.peak_memory as f64 / k as f64);
+
+    println!("phases:");
+    let mut table = Table::new(["#", "start", "base height", "roster"]);
+    for (i, ph) in det.phases().iter().enumerate() {
+        table.row([
+            i.to_string(),
+            ph.start.to_string(),
+            ph.base_height.to_string(),
+            ph.roster_len.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let report = check_well_rounded(
+        res.timelines.as_ref().unwrap(),
+        &res.completions,
+        det.phases(),
+        &params,
+        4.0,
+    );
+    println!(
+        "well-rounded: {}   max gap factor {:.3} (Lemma 6 guarantees O(1))",
+        report.ok, report.max_gap_factor
+    );
+    for v in report.violations.iter().take(5) {
+        println!("  violation: {v}");
+    }
+
+    // Height-over-time sparkline for processor 0, sampled at 80 points.
+    let tl = &res.timelines.as_ref().unwrap()[0];
+    let horizon = res.completions[0].max(1);
+    let samples: Vec<f64> = (0..80)
+        .map(|i| {
+            let t = horizon * i / 80;
+            tl.iter()
+                .find(|iv| iv.start <= t && t < iv.end)
+                .map(|iv| iv.height as f64)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    println!("\nP0 allocated height over its lifetime (min {} .. max {}):",
+             samples.iter().cloned().fold(f64::INFINITY, f64::min) as u64,
+             samples.iter().cloned().fold(0.0f64, f64::max) as u64);
+    println!("{}", sparkline(&samples));
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every experiment log in experiment_logs/ from the release
+# binaries (run `cargo build --release --workspace` first).
+set -e
+cd "$(dirname "$0")"
+mkdir -p experiment_logs
+for e in e1_rand_green e2_box_distribution e3_rand_par e4_det_par \
+         e5_well_rounded e6_mean_completion e7_lower_bound e8_baselines \
+         e9_ablations e10_chunk_balance e11_engine_scaling e12_sharing \
+         e13_replacement e14_static_opt e15_model_critique e16_micro_exact; do
+  n=${e%%_*}
+  echo "running $e -> experiment_logs/$n.txt"
+  ./target/release/exp_"$e" > experiment_logs/"$n".txt 2>&1
+done
+echo all experiments regenerated
