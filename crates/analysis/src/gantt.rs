@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn renders_one_row_per_processor() {
-        let tls = vec![
-            vec![iv(0, 50, 8), iv(50, 100, 64)],
-            vec![iv(0, 100, 0)],
-        ];
+        let tls = vec![vec![iv(0, 50, 8), iv(50, 100, 64)], vec![iv(0, 100, 0)]];
         let s = gantt(&tls, 100, 64, 20);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // 2 rows + axis + label

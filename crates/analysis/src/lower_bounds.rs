@@ -107,7 +107,10 @@ mod tests {
     fn combined_bound_takes_the_max() {
         let seqs = vec![(0..50).map(|i| ns(0, i)).collect::<Vec<_>>()];
         let lb = opt_lower_bound(&seqs, 8, 10);
-        assert_eq!(lb, per_proc_bound(&seqs, 8, 10).max(impact_bound_estimate(&seqs, 8, 10)));
+        assert_eq!(
+            lb,
+            per_proc_bound(&seqs, 8, 10).max(impact_bound_estimate(&seqs, 8, 10))
+        );
         assert!(lb >= per_proc_bound(&seqs, 8, 10));
     }
 

@@ -156,7 +156,10 @@ mod tests {
         let micro = micro_opt_makespan(&seqs, 8, s);
         // All-thrash static split: both take 40*10 = 400 concurrently.
         let thrash = 400;
-        assert!(micro < thrash, "micro {micro} should beat thrashing {thrash}");
+        assert!(
+            micro < thrash,
+            "micro {micro} should beat thrashing {thrash}"
+        );
     }
 
     #[test]

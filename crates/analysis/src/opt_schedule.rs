@@ -92,9 +92,12 @@ mod tests {
             .iter()
             .map(|m| (m.phases * i.config.phase_len()) as u64)
             .sum();
-        assert!(sched.prefix_time < total_prefix_requests * 10 / 2,
+        assert!(
+            sched.prefix_time < total_prefix_requests * 10 / 2,
             "prefixes should mostly hit at full memory: {} vs all-miss {}",
-            sched.prefix_time, total_prefix_requests * 10);
+            sched.prefix_time,
+            total_prefix_requests * 10
+        );
         assert!(sched.prefix_time > 0);
     }
 

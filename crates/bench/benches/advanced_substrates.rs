@@ -10,7 +10,9 @@ use parapage::prelude::*;
 
 fn trace(n: usize) -> Vec<PageId> {
     let mut b = SeqBuilder::new(ProcId(0), 77);
-    b.zipf(1024, 0.9, n / 2).cyclic(200, n / 4).fresh_stream(n / 4);
+    b.zipf(1024, 0.9, n / 2)
+        .cyclic(200, n / 4)
+        .fresh_stream(n / 4);
     b.build()
 }
 

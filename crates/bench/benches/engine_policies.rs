@@ -19,19 +19,31 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("det_par", |b| {
         b.iter(|| {
             let mut det = DetPar::new(&params);
-            black_box(run_engine(&mut det, w.seqs(), &params, &opts).makespan)
+            black_box(
+                run_engine(&mut det, w.seqs(), &params, &opts)
+                    .unwrap()
+                    .makespan,
+            )
         })
     });
     group.bench_function("rand_par", |b| {
         b.iter(|| {
             let mut rp = RandPar::new(&params, 7);
-            black_box(run_engine(&mut rp, w.seqs(), &params, &opts).makespan)
+            black_box(
+                run_engine(&mut rp, w.seqs(), &params, &opts)
+                    .unwrap()
+                    .makespan,
+            )
         })
     });
     group.bench_function("static_partition", |b| {
         b.iter(|| {
             let mut st = StaticPartition::new(&params);
-            black_box(run_engine(&mut st, w.seqs(), &params, &opts).makespan)
+            black_box(
+                run_engine(&mut st, w.seqs(), &params, &opts)
+                    .unwrap()
+                    .makespan,
+            )
         })
     });
     group.bench_function("blackbox_green", |b| {
@@ -39,7 +51,11 @@ fn bench_engine(c: &mut Criterion) {
             let pagers: Vec<RandGreen> =
                 (0..p as u64).map(|i| RandGreen::new(&params, i)).collect();
             let mut bb = BlackboxGreenPacker::new(&params, pagers);
-            black_box(run_engine(&mut bb, w.seqs(), &params, &opts).makespan)
+            black_box(
+                run_engine(&mut bb, w.seqs(), &params, &opts)
+                    .unwrap()
+                    .makespan,
+            )
         })
     });
     group.bench_function("shared_lru", |b| {

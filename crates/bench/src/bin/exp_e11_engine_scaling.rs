@@ -33,12 +33,12 @@ fn main() {
 
         let t0 = Instant::now();
         let mut det = DetPar::new(&params);
-        let res_det = run_engine(&mut det, w.seqs(), &params, &opts);
+        let res_det = run_engine(&mut det, w.seqs(), &params, &opts).unwrap();
         let det_rate = total / t0.elapsed().as_secs_f64() / 1e6;
 
         let t1 = Instant::now();
         let mut rnd = RandPar::new(&params, cli.seed);
-        let _ = run_engine(&mut rnd, w.seqs(), &params, &opts);
+        let _ = run_engine(&mut rnd, w.seqs(), &params, &opts).unwrap();
         let rnd_rate = total / t1.elapsed().as_secs_f64() / 1e6;
 
         let t2 = Instant::now();

@@ -48,9 +48,11 @@ fn main() {
 
         let opts = EngineOpts::default();
         let mut det = DetPar::new(&params);
-        let det_ms = run_engine(&mut det, &seqs, &params, &opts).makespan;
+        let det_ms = run_engine(&mut det, &seqs, &params, &opts)
+            .unwrap()
+            .makespan;
         let mut st = StaticPartition::new(&params);
-        let st_ms = run_engine(&mut st, &seqs, &params, &opts).makespan;
+        let st_ms = run_engine(&mut st, &seqs, &params, &opts).unwrap().makespan;
         let sh_ms = run_shared_lru(&seqs, k, s).makespan;
 
         table.row([

@@ -10,21 +10,25 @@
 use parapage::prelude::*;
 use parapage_bench::{emit, parse_cli, recipes};
 
-fn run_with(
-    w: &Workload,
-    params: &ModelParams,
-    name: &str,
-) -> u64 {
+fn run_with(w: &Workload, params: &ModelParams, name: &str) -> u64 {
     let opts = EngineOpts::default();
     let mut det = DetPar::new(params);
     match name {
-        "LRU" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| LruCache::new(0)),
-        "FIFO" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| FifoCache::new(0)),
-        "Clock" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| ClockCache::new(0)),
-        "LFU" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| LfuCache::new(0)),
-        "ARC" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| ArcCache::new(0)),
-        "2Q" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| TwoQueueCache::new(0)),
-        "LIRS" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| LirsCache::new(0)),
+        "LRU" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| LruCache::new(0)).unwrap(),
+        "FIFO" => {
+            run_engine_with(&mut det, w.seqs(), params, &opts, |_| FifoCache::new(0)).unwrap()
+        }
+        "Clock" => {
+            run_engine_with(&mut det, w.seqs(), params, &opts, |_| ClockCache::new(0)).unwrap()
+        }
+        "LFU" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| LfuCache::new(0)).unwrap(),
+        "ARC" => run_engine_with(&mut det, w.seqs(), params, &opts, |_| ArcCache::new(0)).unwrap(),
+        "2Q" => {
+            run_engine_with(&mut det, w.seqs(), params, &opts, |_| TwoQueueCache::new(0)).unwrap()
+        }
+        "LIRS" => {
+            run_engine_with(&mut det, w.seqs(), params, &opts, |_| LirsCache::new(0)).unwrap()
+        }
         _ => unreachable!(),
     }
     .makespan

@@ -7,8 +7,8 @@
 //! reallocating" (OPT-STATIC, an oracle that already knows the workloads)
 //! and the online dynamic algorithms.
 
-use parapage::prelude::*;
 use parapage::analysis::{static_opt_makespan, static_opt_total_time};
+use parapage::prelude::*;
 use parapage_bench::{emit, parse_cli, recipes};
 
 fn main() {
@@ -52,9 +52,9 @@ fn main() {
 
         let opts = EngineOpts::default();
         let mut det = DetPar::new(&params);
-        let det_res = run_engine(&mut det, w.seqs(), &params, &opts);
+        let det_res = run_engine(&mut det, w.seqs(), &params, &opts).unwrap();
         let mut ucp = UcpPartition::new(&params);
-        let ucp_res = run_engine(&mut ucp, w.seqs(), &params, &opts);
+        let ucp_res = run_engine(&mut ucp, w.seqs(), &params, &opts).unwrap();
 
         let det_total: u64 = det_res.completions.iter().sum();
         table.row([

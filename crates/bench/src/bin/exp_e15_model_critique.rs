@@ -59,10 +59,13 @@ fn main() {
         "true makespan",
     ]);
     let mut results = Vec::new();
-    for (name, alloc) in [("A: starve the long proc", &alloc_a), ("B: starve the short procs", &alloc_b)] {
+    for (name, alloc) in [
+        ("A: starve the long proc", &alloc_a),
+        ("B: starve the short procs", &alloc_b),
+    ] {
         let inter = run_interleaved_partition(w.seqs(), alloc);
         let mut policy = FixedAlloc(alloc.clone(), s);
-        let res = run_engine(&mut policy, w.seqs(), &params, &EngineOpts::default());
+        let res = run_engine(&mut policy, w.seqs(), &params, &EngineOpts::default()).unwrap();
         table.row([
             name.to_string(),
             inter.stats.misses.to_string(),

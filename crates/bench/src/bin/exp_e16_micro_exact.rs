@@ -73,7 +73,9 @@ fn main() {
         let lb = per_proc_bound(w.seqs(), k, s);
         let ub = micro_opt_makespan(w.seqs(), k, s);
         let mut det = DetPar::new(&params);
-        let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).makespan;
+        let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default())
+            .unwrap()
+            .makespan;
         // Every feasible schedule upper-bounds T_OPT — including DET-PAR's
         // own run, so the certified interval is [LB, min(micro, DET)].
         let tight_ub = ub.min(det_ms);

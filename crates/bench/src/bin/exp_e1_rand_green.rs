@@ -70,7 +70,11 @@ fn main() {
             format!("{un:.3}"),
         ]);
     }
-    emit("E1: RAND-GREEN competitive ratio vs log p (Theorem 1)", &table, &cli);
+    emit(
+        "E1: RAND-GREEN competitive ratio vs log p (Theorem 1)",
+        &table,
+        &cli,
+    );
     if let Some(fit) = fit_linear(&points) {
         println!(
             "fit: ratio = {:.3} + {:.3}·log2(p)   (R² = {:.3})",

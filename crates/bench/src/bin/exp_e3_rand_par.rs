@@ -50,7 +50,11 @@ fn main() {
             format!("{ci:.3}"),
         ]);
     }
-    emit("E3: RAND-PAR makespan ratio vs log p (Theorem 2)", &table, &cli);
+    emit(
+        "E3: RAND-PAR makespan ratio vs log p (Theorem 2)",
+        &table,
+        &cli,
+    );
     if let Some(fit) = fit_linear(&points) {
         println!(
             "fit: ratio = {:.3} + {:.3}·log2(p)   (R² = {:.3})",

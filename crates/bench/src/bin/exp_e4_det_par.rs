@@ -55,7 +55,11 @@ fn main() {
             format!("{:.2}", peak as f64 / (16 * p) as f64),
         ]);
     }
-    emit("E4: DET-PAR makespan ratio vs log p (Theorem 3)", &table, &cli);
+    emit(
+        "E4: DET-PAR makespan ratio vs log p (Theorem 3)",
+        &table,
+        &cli,
+    );
     if let Some(fit) = fit_linear(&points) {
         println!(
             "fit: ratio = {:.3} + {:.3}·log2(p)   (R² = {:.3})",

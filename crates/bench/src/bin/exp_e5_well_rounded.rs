@@ -26,9 +26,7 @@ fn main() {
 
     let mut rows: Vec<(usize, &str, usize, f64, usize, f64, bool)> = ps
         .par_iter()
-        .flat_map(|&p| {
-            families.par_iter().map(move |&fam| (p, fam))
-        })
+        .flat_map(|&p| families.par_iter().map(move |&fam| (p, fam)))
         .map(|(p, fam)| {
             let k = 16 * p;
             let params = ModelParams::new(p, k, 16);
@@ -44,7 +42,7 @@ fn main() {
                 record_timelines: true,
                 ..Default::default()
             };
-            let res = run_engine(&mut det, w.seqs(), &params, &opts);
+            let res = run_engine(&mut det, w.seqs(), &params, &opts).unwrap();
             let report = check_well_rounded(
                 res.timelines.as_ref().unwrap(),
                 &res.completions,

@@ -12,11 +12,7 @@ use rayon::prelude::*;
 
 fn main() {
     let cli = parse_cli();
-    let ps: &[usize] = if cli.quick {
-        &[4, 8]
-    } else {
-        &[4, 8, 16, 32]
-    };
+    let ps: &[usize] = if cli.quick { &[4, 8] } else { &[4, 8, 16, 32] };
 
     let rows: Vec<(usize, f64, Vec<f64>)> = ps
         .par_iter()
@@ -34,11 +30,9 @@ fn main() {
 
             let mut ratios = Vec::new();
             let mut det = DetPar::new(&params);
-            ratios
-                .push(recipes::run_policy(&mut det, &w, &params).mean_completion() / mean_floor);
+            ratios.push(recipes::run_policy(&mut det, &w, &params).mean_completion() / mean_floor);
             let mut rnd = RandPar::new(&params, cli.seed);
-            ratios
-                .push(recipes::run_policy(&mut rnd, &w, &params).mean_completion() / mean_floor);
+            ratios.push(recipes::run_policy(&mut rnd, &w, &params).mean_completion() / mean_floor);
             let mut st = StaticPartition::new(&params);
             ratios.push(recipes::run_policy(&mut st, &w, &params).mean_completion() / mean_floor);
             let mut pm = PropMissPartition::new(&params);

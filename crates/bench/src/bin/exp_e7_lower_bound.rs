@@ -34,14 +34,14 @@ fn main() {
             let sched = lemma8_makespan(&inst);
 
             let mut det = DetPar::new(&params);
-            let det_ms = run_engine(&mut det, seqs, &params, &opts).makespan;
+            let det_ms = run_engine(&mut det, seqs, &params, &opts).unwrap().makespan;
             let mut rnd = RandPar::new(&params, cli.seed);
-            let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts).makespan;
+            let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts).unwrap().makespan;
             let pagers: Vec<RandGreen> = (0..p as u64)
                 .map(|i| RandGreen::new(&params, cli.seed ^ i))
                 .collect();
             let mut bb = BlackboxGreenPacker::new(&params, pagers);
-            let bb_ms = run_engine(&mut bb, seqs, &params, &opts).makespan;
+            let bb_ms = run_engine(&mut bb, seqs, &params, &opts).unwrap().makespan;
 
             (
                 p,

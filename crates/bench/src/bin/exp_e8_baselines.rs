@@ -37,7 +37,14 @@ fn main() {
         let w = build_workload(&specs, cli.seed);
         let lb = opt_lower_bound(w.seqs(), k, s);
 
-        let names = ["DET-PAR", "RAND-PAR", "STATIC", "PROP-MISS", "UCP", "SHARED-LRU"];
+        let names = [
+            "DET-PAR",
+            "RAND-PAR",
+            "STATIC",
+            "PROP-MISS",
+            "UCP",
+            "SHARED-LRU",
+        ];
         let results: Vec<RunResult> = (0..6usize)
             .into_par_iter()
             .map(|i| match i {
@@ -60,6 +67,10 @@ fn main() {
                 format!("{:.1}", 100.0 * r.stats.miss_ratio()),
             ]);
         }
-        emit(&format!("E8: workload `{fam}` (p={p}, k={k}, LB={lb})"), &table, &cli);
+        emit(
+            &format!("E8: workload `{fam}` (p={p}, k={k}, LB={lb})"),
+            &table,
+            &cli,
+        );
     }
 }

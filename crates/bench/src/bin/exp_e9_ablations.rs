@@ -6,9 +6,9 @@
 //! * RAND-PAR's primary-part length multiplier: longer primaries help
 //!   time-bound workloads and waste time on impact-bound ones.
 
+use parapage::core::RandParConfig;
 use parapage::prelude::*;
 use parapage_bench::{emit, parse_cli, recipes};
-use parapage::core::RandParConfig;
 use rayon::prelude::*;
 
 fn green_ablation(cli: &parapage_bench::Cli) {
@@ -55,11 +55,35 @@ fn rand_par_ablation(cli: &parapage_bench::Cli) {
     let lb = opt_lower_bound(w.seqs(), k, params.s);
 
     let configs: Vec<(String, RandParConfig)> = vec![
-        ("exp=1".into(), RandParConfig { exponent: 1.0, ..Default::default() }),
+        (
+            "exp=1".into(),
+            RandParConfig {
+                exponent: 1.0,
+                ..Default::default()
+            },
+        ),
         ("exp=2 (paper)".into(), RandParConfig::default()),
-        ("exp=3".into(), RandParConfig { exponent: 3.0, ..Default::default() }),
-        ("primary×2".into(), RandParConfig { primary_factor: 2, ..Default::default() }),
-        ("primary×4".into(), RandParConfig { primary_factor: 4, ..Default::default() }),
+        (
+            "exp=3".into(),
+            RandParConfig {
+                exponent: 3.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "primary×2".into(),
+            RandParConfig {
+                primary_factor: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "primary×4".into(),
+            RandParConfig {
+                primary_factor: 4,
+                ..Default::default()
+            },
+        ),
     ];
     let seeds = if cli.quick { 3u64 } else { 6 };
 

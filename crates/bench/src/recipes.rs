@@ -8,7 +8,10 @@ use parapage::prelude::*;
 pub fn mixed_specs(p: usize, k: usize, len: usize) -> Vec<SeqSpec> {
     (0..p)
         .map(|x| match x % 4 {
-            0 => SeqSpec::Cyclic { width: (k / 16).max(2), len },
+            0 => SeqSpec::Cyclic {
+                width: (k / 16).max(2),
+                len,
+            },
             1 => SeqSpec::Cyclic { width: k / 2, len },
             2 => SeqSpec::Zipf {
                 universe: (k / 2).max(4),
@@ -28,7 +31,10 @@ pub fn skewed_specs(p: usize, k: usize, len: usize) -> Vec<SeqSpec> {
     (0..p)
         .map(|x| {
             if x == 0 {
-                SeqSpec::Cyclic { width: 3 * k / 4, len }
+                SeqSpec::Cyclic {
+                    width: 3 * k / 4,
+                    len,
+                }
             } else {
                 SeqSpec::Cyclic { width: 4, len }
             }
@@ -58,10 +64,6 @@ pub fn green_sequence(k: usize, seed: u64) -> Vec<PageId> {
 }
 
 /// Runs one policy end-to-end on a workload and returns the result.
-pub fn run_policy(
-    alloc: &mut dyn BoxAllocator,
-    w: &Workload,
-    params: &ModelParams,
-) -> RunResult {
-    run_engine(alloc, w.seqs(), params, &EngineOpts::default())
+pub fn run_policy(alloc: &mut dyn BoxAllocator, w: &Workload, params: &ModelParams) -> RunResult {
+    run_engine(alloc, w.seqs(), params, &EngineOpts::default()).unwrap()
 }

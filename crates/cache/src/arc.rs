@@ -93,8 +93,7 @@ impl ArcCache {
                 break;
             }
         }
-        while self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len() > 2 * self.capacity
-        {
+        while self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len() > 2 * self.capacity {
             if let Some(old) = self.b2.pop_back() {
                 self.loc.remove(&old);
             } else {

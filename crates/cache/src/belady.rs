@@ -163,7 +163,9 @@ mod tests {
         let patterns: Vec<Vec<u64>> = vec![
             (0..50).map(|i| i % 7).collect(),
             (0..50).map(|i| (i * i) % 11).collect(),
-            (0..60).map(|i| if i % 3 == 0 { i } else { i % 5 }).collect(),
+            (0..60)
+                .map(|i| if i % 3 == 0 { i } else { i % 5 })
+                .collect(),
         ];
         for pat in patterns {
             let s = seq(&pat);

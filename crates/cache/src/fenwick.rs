@@ -13,7 +13,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates a tree over indices `0..n` with all counts zero.
     pub fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Number of indices the tree covers.

@@ -41,11 +41,7 @@ impl LfuCache {
     }
 
     fn evict_one(&mut self) {
-        if let Some((&victim, _)) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| (e.freq, e.stamp))
-        {
+        if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| (e.freq, e.stamp)) {
             self.entries.remove(&victim);
         }
     }

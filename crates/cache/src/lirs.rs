@@ -54,7 +54,11 @@ impl LirsCache {
     /// Creates an empty LIRS cache; ~1/8 of the capacity (at least one
     /// page, for capacities ≥ 2) is reserved for resident HIR pages.
     pub fn new(capacity: usize) -> Self {
-        let hir_cap = if capacity >= 2 { (capacity / 8).max(1) } else { 0 };
+        let hir_cap = if capacity >= 2 {
+            (capacity / 8).max(1)
+        } else {
+            0
+        };
         LirsCache {
             capacity,
             lir_cap: capacity - hir_cap,
@@ -234,10 +238,7 @@ impl Cache for LirsCache {
         if self.capacity == 1 {
             return self.state.get(&page) == Some(&St::Lir);
         }
-        matches!(
-            self.state.get(&page),
-            Some(St::Lir) | Some(St::HirResident)
-        )
+        matches!(self.state.get(&page), Some(St::Lir) | Some(St::HirResident))
     }
 
     fn len(&self) -> usize {
@@ -337,7 +338,10 @@ mod tests {
             c.access(p(v));
         }
         let hot_resident = (0..6).filter(|&v| c.contains(p(v))).count();
-        assert!(hot_resident >= 5, "scan displaced the LIR set: {hot_resident}/6");
+        assert!(
+            hot_resident >= 5,
+            "scan displaced the LIR set: {hot_resident}/6"
+        );
     }
 
     #[test]
@@ -387,7 +391,7 @@ mod tests {
     #[test]
     fn ghost_promotion_requires_reuse_within_stack() {
         let mut c = LirsCache::new(4); // lir_cap 3, hir_cap 1
-        // Fill LIR with 0,1,2; 3 becomes resident HIR.
+                                       // Fill LIR with 0,1,2; 3 becomes resident HIR.
         for v in 0..4 {
             c.access(p(v));
         }

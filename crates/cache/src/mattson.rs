@@ -154,10 +154,7 @@ mod tests {
     fn distances_on_small_example() {
         let s = seq(&[1, 2, 1, 1, 3, 2]);
         let d = stack_distances(&s);
-        assert_eq!(
-            d,
-            vec![None, None, Some(2), Some(1), None, Some(3)]
-        );
+        assert_eq!(d, vec![None, None, Some(2), Some(1), None, Some(3)]);
     }
 
     #[test]

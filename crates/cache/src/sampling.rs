@@ -189,14 +189,11 @@ mod tests {
         assert!(err < 0.3, "miss-ratio error {err}");
         // Away from the knee the estimate is tight.
         let tail_err = (192..=256)
-            .map(|c| {
-                (exact.misses(c) as f64 / seq.len() as f64 - approx.miss_ratio(c)).abs()
-            })
+            .map(|c| (exact.misses(c) as f64 / seq.len() as f64 - approx.miss_ratio(c)).abs())
             .fold(0.0, f64::max);
         assert!(tail_err < 0.1, "tail error {tail_err}");
         // Totals scale back to within 25%.
-        let total_err =
-            (approx.total_requests() - seq.len() as f64).abs() / seq.len() as f64;
+        let total_err = (approx.total_requests() - seq.len() as f64).abs() / seq.len() as f64;
         assert!(total_err < 0.25, "total error {total_err}");
     }
 

@@ -41,6 +41,12 @@ impl CacheStats {
     pub fn service_time(&self, s: u64) -> u64 {
         self.hits + s * self.misses
     }
+
+    /// Service time widened to `u128`, for aggregate accounting over long
+    /// runs where `hits + s·misses` does not fit a `u64`.
+    pub fn service_time_wide(&self, s: u64) -> u128 {
+        self.hits as u128 + s as u128 * self.misses as u128
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -65,6 +71,17 @@ mod tests {
         assert_eq!(s.accesses(), 3);
         assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.service_time(10), 21);
+    }
+
+    #[test]
+    fn wide_service_time_does_not_wrap() {
+        let s = CacheStats {
+            hits: 7,
+            misses: u64::MAX / 2,
+        };
+        let expect = 7u128 + 16u128 * (u64::MAX / 2) as u128;
+        assert!(expect > u64::MAX as u128);
+        assert_eq!(s.service_time_wide(16), expect);
     }
 
     #[test]

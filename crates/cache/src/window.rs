@@ -60,7 +60,11 @@ pub fn run_window<C: Cache>(
     while idx < seq.len() {
         let page = seq[idx];
         // Peek the cost without mutating: a request only runs if it fits.
-        let cost = if cache.contains(page) { 1 } else { miss_penalty };
+        let cost = if cache.contains(page) {
+            1
+        } else {
+            miss_penalty
+        };
         if cost > remaining {
             break;
         }
@@ -86,12 +90,7 @@ pub fn run_window<C: Cache>(
 /// height `h` always serves at least `h` requests when at least `h` remain,
 /// because even all-miss service costs `s` per request and the budget is
 /// `s·h`. For `height == 0` the box has zero duration and serves nothing.
-pub fn run_box(
-    seq: &[PageId],
-    start: usize,
-    height: usize,
-    miss_penalty: u64,
-) -> WindowOutcome {
+pub fn run_box(seq: &[PageId], start: usize, height: usize, miss_penalty: u64) -> WindowOutcome {
     let mut cache = crate::lru::LruCache::new(height);
     run_window(
         seq,

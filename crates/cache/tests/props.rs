@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 
 use parapage_cache::{
-    min_misses, miss_curve, run_window, Cache, ClockCache, FifoCache, LfuCache, LirsCache,
-    LruCache, PageId, TwoQueueCache, ArcCache,
+    min_misses, miss_curve, run_window, ArcCache, Cache, ClockCache, FifoCache, LfuCache,
+    LirsCache, LruCache, PageId, TwoQueueCache,
 };
 
 fn seq_strategy(max_len: usize, universe: u64) -> impl Strategy<Value = Vec<PageId>> {

@@ -42,14 +42,18 @@ pub fn exec(args: &Args) -> Result<(), String> {
         "1.00".to_string(),
     ]);
     let mut det = DetPar::new(&params);
-    let det_ms = run_engine(&mut det, seqs, &params, &opts).makespan;
+    let det_ms = run_engine(&mut det, seqs, &params, &opts)
+        .map_err(|e| e.to_string())?
+        .makespan;
     t.row([
         "DET-PAR".to_string(),
         det_ms.to_string(),
         format!("{:.3}", det_ms as f64 / sched.makespan() as f64),
     ]);
     let mut rnd = RandPar::new(&params, seed);
-    let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts).makespan;
+    let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts)
+        .map_err(|e| e.to_string())?
+        .makespan;
     t.row([
         "RAND-PAR".to_string(),
         rnd_ms.to_string(),
@@ -59,7 +63,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
         .map(|i| RandGreen::new(&params, seed ^ i))
         .collect();
     let mut bb = BlackboxGreenPacker::new(&params, pagers);
-    let bb_ms = run_engine(&mut bb, seqs, &params, &opts).makespan;
+    let bb_ms = run_engine(&mut bb, seqs, &params, &opts)
+        .map_err(|e| e.to_string())?
+        .makespan;
     t.row([
         "BB-GREEN".to_string(),
         bb_ms.to_string(),

@@ -17,7 +17,7 @@ pub fn exec(args: &Args) -> Result<(), String> {
         record_timelines: true,
         ..Default::default()
     };
-    let res = run_engine(&mut det, w.seqs(), &params, &opts);
+    let res = run_engine(&mut det, w.seqs(), &params, &opts).map_err(|e| e.to_string())?;
     let report = check_well_rounded(
         res.timelines.as_ref().unwrap(),
         &res.completions,

@@ -18,7 +18,14 @@ pub fn exec(args: &Args) -> Result<(), String> {
         params,
         w.total_requests()
     );
-    let mut t = Table::new(["policy", "makespan", "vs LB", "mean compl", "miss %", "peak mem"]);
+    let mut t = Table::new([
+        "policy",
+        "makespan",
+        "vs LB",
+        "mean compl",
+        "miss %",
+        "peak mem",
+    ]);
     for &name in ALL_POLICIES {
         let res = run_named_policy(name, &w, &params, &opts, seed)?;
         t.row([

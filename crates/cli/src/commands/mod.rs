@@ -1,9 +1,10 @@
 //! CLI subcommands.
 
 pub mod adversarial;
-pub mod audit;
 pub mod analyze;
+pub mod audit;
 pub mod compare;
+pub mod faults;
 pub mod gen;
 pub mod green;
 pub mod profile;
@@ -28,6 +29,10 @@ COMMANDS:
                  offline OPT: --p N --k N [--seeds N]
   audit        run DET-PAR and audit Lemma-6 well-roundedness:
                  --p N --k N [--slack F] (exits non-zero on violation)
+  faults       fault-injection matrix: run one policy raw and hardened
+                 under each fault scenario (stalls, latency spikes, memory
+                 pressure, chaos) and report makespan degradation vs the
+                 clean run (same flags as run)
   profile      visualize green box profiles (OPT vs RAND-GREEN):
                  --p N --k N [--seed N] [--width N]
   analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]

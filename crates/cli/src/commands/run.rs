@@ -21,7 +21,11 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let res = run_named_policy(&policy, &w, &params, &opts, seed)?;
     let lb = per_proc_bound(w.seqs(), params.k, params.s);
 
-    println!("policy {policy} on {} ({} requests)\n", params, w.total_requests());
+    println!(
+        "policy {policy} on {} ({} requests)\n",
+        params,
+        w.total_requests()
+    );
     let mut t = Table::new(["metric", "value"]);
     t.row(["makespan", &res.makespan.to_string()]);
     t.row(["mean completion", &format!("{:.1}", res.mean_completion())]);
@@ -37,10 +41,7 @@ pub fn exec(args: &Args) -> Result<(), String> {
         &format!("{:.2}%", 100.0 * res.stats.miss_ratio()),
     ]);
     t.row(["peak memory", &res.peak_memory.to_string()]);
-    t.row([
-        "memory integral",
-        &res.memory_integral.to_string(),
-    ]);
+    t.row(["memory integral", &res.memory_integral.to_string()]);
     t.row(["grants issued", &res.grants_issued.to_string()]);
     println!("{t}");
 

@@ -32,9 +32,16 @@ pub fn workload_from(args: &Args, params: &ModelParams) -> Result<Workload, Stri
     let specs: Vec<SeqSpec> = match name.as_str() {
         "mixed" => (0..p)
             .map(|x| match x % 4 {
-                0 => SeqSpec::Cyclic { width: (k / 16).max(2), len },
+                0 => SeqSpec::Cyclic {
+                    width: (k / 16).max(2),
+                    len,
+                },
                 1 => SeqSpec::Cyclic { width: k / 2, len },
-                2 => SeqSpec::Zipf { universe: (k / 2).max(4), theta: 0.9, len },
+                2 => SeqSpec::Zipf {
+                    universe: (k / 2).max(4),
+                    theta: 0.9,
+                    len,
+                },
                 _ => SeqSpec::Phased {
                     phases: vec![((k / 16).max(2), len / 2), (k / 2, len - len / 2)],
                 },
@@ -43,18 +50,28 @@ pub fn workload_from(args: &Args, params: &ModelParams) -> Result<Workload, Stri
         "skewed" => (0..p)
             .map(|x| {
                 if x == 0 {
-                    SeqSpec::Cyclic { width: 3 * k / 4, len }
+                    SeqSpec::Cyclic {
+                        width: 3 * k / 4,
+                        len,
+                    }
                 } else {
                     SeqSpec::Cyclic { width: 4, len }
                 }
             })
             .collect(),
         "uniform" => (0..p)
-            .map(|_| SeqSpec::Uniform { universe: (2 * k / p).max(2), len })
+            .map(|_| SeqSpec::Uniform {
+                universe: (2 * k / p).max(2),
+                len,
+            })
             .collect(),
         "fresh" => (0..p).map(|_| SeqSpec::Fresh { len }).collect(),
         "zipf" => (0..p)
-            .map(|_| SeqSpec::Zipf { universe: k, theta: 0.9, len })
+            .map(|_| SeqSpec::Zipf {
+                universe: k,
+                theta: 0.9,
+                len,
+            })
             .collect(),
         other => {
             return Err(format!(
@@ -75,35 +92,56 @@ pub fn run_named_policy(
     opts: &EngineOpts,
     seed: u64,
 ) -> Result<RunResult, String> {
+    if name == "shared-lru" {
+        return Ok(run_shared_lru(w.seqs(), params.k, params.s));
+    }
+    run_named_policy_faults(name, w, params, opts, seed, &FaultPlan::none(), false)?
+        .map_err(|e| format!("policy `{name}`: {e}"))
+}
+
+/// Runs a named *box* policy under a fault plan, optionally wrapped in
+/// [`HardenedAllocator`] (budget = `k`, so the wrapper reacts to pressure
+/// events instead of tripping the engine's limit).
+///
+/// The outer `Err(String)` is a usage error (unknown policy name, or
+/// `shared-lru`, which runs outside the box engine and takes no faults);
+/// the inner `Result` is the run outcome, with [`EngineError`] reported as
+/// data so callers like the fault matrix can tabulate failures.
+pub fn run_named_policy_faults(
+    name: &str,
+    w: &Workload,
+    params: &ModelParams,
+    opts: &EngineOpts,
+    seed: u64,
+    plan: &FaultPlan,
+    hardened: bool,
+) -> Result<Result<RunResult, EngineError>, String> {
+    macro_rules! launch {
+        ($alloc:expr) => {{
+            let mut a = $alloc;
+            if hardened {
+                let mut h = HardenedAllocator::new(a, params.k);
+                run_engine_faults(&mut h, w.seqs(), params, opts, plan)
+            } else {
+                run_engine_faults(&mut a, w.seqs(), params, opts, plan)
+            }
+        }};
+    }
     let res = match name {
-        "det-par" => {
-            let mut a = DetPar::new(params);
-            run_engine(&mut a, w.seqs(), params, opts)
-        }
-        "rand-par" => {
-            let mut a = RandPar::new(params, seed);
-            run_engine(&mut a, w.seqs(), params, opts)
-        }
-        "static" => {
-            let mut a = StaticPartition::new(params);
-            run_engine(&mut a, w.seqs(), params, opts)
-        }
-        "prop-miss" => {
-            let mut a = PropMissPartition::new(params);
-            run_engine(&mut a, w.seqs(), params, opts)
-        }
-        "ucp" => {
-            let mut a = UcpPartition::new(params);
-            run_engine(&mut a, w.seqs(), params, opts)
-        }
+        "det-par" => launch!(DetPar::new(params)),
+        "rand-par" => launch!(RandPar::new(params, seed)),
+        "static" => launch!(StaticPartition::new(params)),
+        "prop-miss" => launch!(PropMissPartition::new(params)),
+        "ucp" => launch!(UcpPartition::new(params)),
         "bb-green" => {
             let pagers: Vec<RandGreen> = (0..params.p as u64)
                 .map(|i| RandGreen::new(params, seed ^ i))
                 .collect();
-            let mut a = BlackboxGreenPacker::new(params, pagers);
-            run_engine(&mut a, w.seqs(), params, opts)
+            launch!(BlackboxGreenPacker::new(params, pagers))
         }
-        "shared-lru" => run_shared_lru(w.seqs(), params.k, params.s),
+        "shared-lru" => {
+            return Err("`shared-lru` runs outside the box engine (no fault injection)".into())
+        }
         other => {
             return Err(format!(
                 "unknown --policy `{other}` (det-par|rand-par|static|prop-miss|\

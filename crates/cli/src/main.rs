@@ -4,6 +4,7 @@
 //! parapage run         --policy det-par --p 8 --k 128 --workload mixed [--gantt]
 //! parapage compare     --p 8 --k 128 --workload skewed
 //! parapage adversarial --p 32 --k 128 [--alpha 0.05]
+//! parapage faults      --policy det-par --p 8 --k 128 --workload mixed
 //! parapage green       --p 8 --k 64 --workload mixed [--seeds 8]
 //! parapage analyze     --trace FILE [--max-cap 256]
 //! parapage gen         --workload mixed --p 8 --k 128 --out FILE
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare::exec(&parsed),
         "adversarial" => commands::adversarial::exec(&parsed),
         "audit" => commands::audit::exec(&parsed),
+        "faults" => commands::faults::exec(&parsed),
         "green" => commands::green::exec(&parsed),
         "profile" => commands::profile::exec(&parsed),
         "analyze" => commands::analyze::exec(&parsed),

@@ -5,7 +5,10 @@ use std::process::Command;
 
 fn parapage(args: &[&str]) -> (bool, String, String) {
     let exe = env!("CARGO_BIN_EXE_parapage");
-    let out = Command::new(exe).args(args).output().expect("spawn parapage");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn parapage");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -51,7 +54,15 @@ fn run_with_gantt_renders_rows() {
 #[test]
 fn compare_lists_all_policies() {
     let (ok, stdout, stderr) = parapage(&[
-        "compare", "--p", "4", "--k", "32", "--workload", "uniform", "--len", "400",
+        "compare",
+        "--p",
+        "4",
+        "--k",
+        "32",
+        "--workload",
+        "uniform",
+        "--len",
+        "400",
     ]);
     assert!(ok, "stderr: {stderr}");
     for name in ["det-par", "rand-par", "static", "ucp", "shared-lru"] {
@@ -62,7 +73,15 @@ fn compare_lists_all_policies() {
 #[test]
 fn adversarial_races_against_lemma8() {
     let (ok, stdout, stderr) = parapage(&[
-        "adversarial", "--p", "8", "--k", "32", "--s", "32", "--alpha", "0.02",
+        "adversarial",
+        "--p",
+        "8",
+        "--k",
+        "32",
+        "--s",
+        "32",
+        "--alpha",
+        "0.02",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("OPT (Lemma 8 schedule)"));
@@ -83,13 +102,21 @@ fn gen_then_analyze_round_trip() {
     let trace = dir.join("w.trace");
     let trace_str = trace.to_str().unwrap();
     let (ok, stdout, stderr) = parapage(&[
-        "gen", "--workload", "zipf", "--p", "2", "--k", "16", "--len", "200", "--out",
+        "gen",
+        "--workload",
+        "zipf",
+        "--p",
+        "2",
+        "--k",
+        "16",
+        "--len",
+        "200",
+        "--out",
         trace_str,
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("wrote 2 processors"));
-    let (ok2, stdout2, stderr2) =
-        parapage(&["analyze", "--trace", trace_str, "--max-cap", "16"]);
+    let (ok2, stdout2, stderr2) = parapage(&["analyze", "--trace", trace_str, "--max-cap", "16"]);
     assert!(ok2, "stderr: {stderr2}");
     assert!(stdout2.contains("P0") && stdout2.contains("P1"));
     // run accepts the trace too.
@@ -101,8 +128,9 @@ fn gen_then_analyze_round_trip() {
 
 #[test]
 fn green_reports_theorem1() {
-    let (ok, stdout, stderr) =
-        parapage(&["green", "--p", "4", "--k", "32", "--len", "800", "--seeds", "3"]);
+    let (ok, stdout, stderr) = parapage(&[
+        "green", "--p", "4", "--k", "32", "--len", "800", "--seeds", "3",
+    ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("RAND-GREEN"));
     assert!(stdout.contains("Theorem 1"));
@@ -124,8 +152,7 @@ fn unknown_policy_is_rejected() {
 
 #[test]
 fn profile_renders_both_strips() {
-    let (ok, stdout, stderr) =
-        parapage(&["profile", "--p", "4", "--k", "32", "--len", "600"]);
+    let (ok, stdout, stderr) = parapage(&["profile", "--p", "4", "--k", "32", "--len", "600"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("OPT"));
     assert!(stdout.contains("RAND"));

@@ -211,13 +211,15 @@ mod tests {
         // new box pays the compulsory misses again.
         let s = 10;
         let requests = seq(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3]);
-        let profile: BoxProfile = std::iter::repeat_n(MemBox::canonical(3, s), 4)
-            .collect();
+        let profile: BoxProfile = std::iter::repeat_n(MemBox::canonical(3, s), 4).collect();
         let run = run_profile(&requests, &profile, s);
         assert!(run.finished);
         // First box: 3 misses (30 time, budget exhausted). Each subsequent
         // box re-misses its first pages.
-        assert!(run.stats.misses > 3, "compartmentalization forces re-misses");
+        assert!(
+            run.stats.misses > 3,
+            "compartmentalization forces re-misses"
+        );
     }
 
     #[test]

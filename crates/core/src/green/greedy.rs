@@ -155,7 +155,11 @@ mod tests {
             audit.factor,
             greedy
         );
-        assert!(audit.factor > 3.0, "factor {} should approach ~4.7", audit.factor);
+        assert!(
+            audit.factor > 3.0,
+            "factor {} should approach ~4.7",
+            audit.factor
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn run_green<P: GreenPolicy + ?Sized>(
         policy.observe(&out);
         profile.push(b);
         impact += b.impact();
-        elapsed += if out.finished { out.time_used } else { b.duration };
+        elapsed += if out.finished {
+            out.time_used
+        } else {
+            b.duration
+        };
         stats += out.stats;
         idx = out.end_index;
     }

@@ -189,11 +189,7 @@ mod tests {
                 let table = next_table(&seq, &dists, &prev, h, 9);
                 for (i, &entry) in table.iter().enumerate() {
                     let expect = run_box(&seq, i, h, 9).end_index;
-                    assert_eq!(
-                        entry as usize, expect,
-                        "h={h} i={i} (len {})",
-                        seq.len()
-                    );
+                    assert_eq!(entry as usize, expect, "h={h} i={i} (len {})", seq.len());
                 }
             }
         }

@@ -41,9 +41,10 @@ pub use green::rand_green::RandGreen;
 pub use green::universal::UniversalGreen;
 pub use green::{run_green, GreenPolicy, GreenRun};
 pub use parallel::baselines::{PropMissPartition, SrptPartition, StaticPartition};
-pub use parallel::ucp::UcpPartition;
 pub use parallel::blackbox::BlackboxGreenPacker;
 pub use parallel::det_par::{DetPar, PhaseRecord};
+pub use parallel::hardened::HardenedAllocator;
 pub use parallel::rand_par::{ChunkRecord, RandPar, RandParConfig};
-pub use parallel::{BoxAllocator, Grant};
+pub use parallel::ucp::UcpPartition;
+pub use parallel::{BoxAllocator, FaultEvent, Grant};
 pub use wellrounded::{check_well_rounded, Interval, WellRoundedReport};

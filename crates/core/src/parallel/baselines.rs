@@ -283,7 +283,10 @@ mod srpt_tests {
             ProcId(0),
             &WindowOutcome {
                 end_index: 30,
-                stats: CacheStats { hits: 25, misses: 5 },
+                stats: CacheStats {
+                    hits: 25,
+                    misses: 5,
+                },
                 time_used: 75,
                 finished: true,
             },

@@ -216,7 +216,7 @@ mod tests {
         assert_eq!(g0.height, 32); // fills the whole budget
         let g1 = bb.grant(ProcId(1), 0);
         assert_eq!(g1.height, 8); // filler k/v = 32/4
-        // Pending request survives and is granted once room frees.
+                                  // Pending request survives and is granted once room frees.
         let g1b = bb.grant(ProcId(1), g0.duration);
         assert_eq!(g1b.height, 32);
     }

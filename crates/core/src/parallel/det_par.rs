@@ -28,7 +28,7 @@
 
 use parapage_cache::{ProcId, Time};
 
-use crate::config::{log2_ceil, ModelParams};
+use crate::config::{log2_ceil, log2_floor, ModelParams};
 use crate::parallel::{BoxAllocator, Grant};
 
 /// One phase of DET-PAR, for analysis and the well-roundedness checker.
@@ -207,6 +207,21 @@ impl BoxAllocator for DetPar {
         }
     }
 
+    /// Degraded mode, entered only when a supervising wrapper (e.g.
+    /// `HardenedAllocator`) asks for it: on `k → k'`, shrink the working
+    /// `k` to the largest power of two ≤ `k'` and cut the current phase
+    /// short, so the next grant opens a phase with rescaled base height
+    /// `b = k'/p_Q` and rebuilt height classes. Budgets never grow back:
+    /// pressure only tightens. A bare (unwrapped) DET-PAR stays oblivious
+    /// and keeps allocating against the original `k`.
+    fn on_budget_shrunk(&mut self, new_k: usize) {
+        let k_new = 1usize << log2_floor(new_k.max(1));
+        if k_new < self.params.k {
+            self.params.k = k_new;
+            self.pending_new_phase = true;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "DET-PAR"
     }
@@ -342,6 +357,31 @@ mod tests {
         // Asking mid-period returns the remainder.
         let g1 = dp.grant(ProcId(1), 13);
         assert_eq!(g1.duration, dp.base_period - 13);
+    }
+
+    #[test]
+    fn memory_pressure_rescales_base_height() {
+        let p = params();
+        let mut dp = DetPar::new(&p);
+        dp.grant(ProcId(0), 0);
+        assert_eq!(dp.phases()[0].base_height, 16);
+        // k: 64 → 16. Next grant opens a rescaled phase: all 8 processors
+        // still active, p_Q = 4, b = 16/4 = 4.
+        dp.on_budget_shrunk(16);
+        let g = dp.grant(ProcId(1), 160);
+        assert_eq!(dp.phases().len(), 2);
+        assert_eq!(dp.phases()[1].base_height, 4);
+        assert!(g.height <= 16);
+    }
+
+    #[test]
+    fn pressure_never_grows_the_budget() {
+        let p = params();
+        let mut dp = DetPar::new(&p);
+        dp.grant(ProcId(0), 0);
+        dp.on_budget_shrunk(16);
+        dp.on_budget_shrunk(4096);
+        assert_eq!(dp.params.k, 16);
     }
 
     #[test]

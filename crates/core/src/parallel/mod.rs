@@ -31,12 +31,66 @@
 //!   optimal.
 
 pub mod baselines;
-pub mod ucp;
 pub mod blackbox;
 pub mod det_par;
+pub mod hardened;
 pub mod rand_par;
+pub mod ucp;
 
 use parapage_cache::{ProcId, Time, WindowOutcome};
+
+/// An environmental fault injected into a run, delivered to the policy by
+/// the engine when simulated time reaches the event.
+///
+/// Faults model the failure modes a production pager must survive: a
+/// processor freezing, fetch latency spiking, and the global memory budget
+/// shrinking under pressure. The engine applies each fault's *mechanical*
+/// effect itself (freezing grant issuance, scaling the miss penalty,
+/// tightening the enforced memory limit); this notification exists so that
+/// policies can *adapt* — see [`hardened::HardenedAllocator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Processor `proc` is frozen during `[from, until)`: the engine issues
+    /// it no grants in that window (in-flight grants run to completion).
+    ProcStall {
+        /// The frozen processor.
+        proc: ProcId,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+    /// The miss penalty is multiplied by `factor` for grants starting in
+    /// `[from, until)` (a fetch-latency spike: contended bus, slow tier).
+    LatencySpike {
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+        /// Multiplier applied to the model's `s` (≥ 1).
+        factor: u64,
+    },
+    /// From time `at` on, the global memory budget shrinks to `new_limit`
+    /// pages (`k → k'`); the engine enforces the tightened limit on every
+    /// subsequent grant.
+    MemoryPressure {
+        /// Time the pressure hits.
+        at: Time,
+        /// The shrunken budget `k'`, in pages.
+        new_limit: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The simulated time at which the fault takes effect.
+    pub fn at(&self) -> Time {
+        match *self {
+            FaultEvent::ProcStall { from, .. } => from,
+            FaultEvent::LatencySpike { from, .. } => from,
+            FaultEvent::MemoryPressure { at, .. } => at,
+        }
+    }
+}
 
 /// One allocation decision: `height` cache pages for `duration` time steps.
 ///
@@ -87,6 +141,33 @@ pub trait BoxAllocator {
     /// information — e.g. [`ucp::UcpPartition`]'s shadow Mattson monitors —
     /// read it here; the paper's oblivious algorithms never implement this.
     fn observe_accesses(&mut self, _proc: ProcId, _served: &[parapage_cache::PageId]) {}
+
+    /// Notification that a fault was injected at the event's timestamp
+    /// (default: ignored). The engine delivers every injected
+    /// [`FaultEvent`] here before making any decision at that time;
+    /// [`hardened::HardenedAllocator`] reacts by tightening the budget it
+    /// clamps grants to. A bare paper policy deliberately keeps the default
+    /// — obliviousness means it cannot see the environment change, which is
+    /// exactly what the hardened wrapper compensates for.
+    fn on_fault(&mut self, _event: &FaultEvent) {}
+
+    /// Degraded-mode request: the global budget shrank to `new_k` pages and
+    /// the policy should reshape future grants accordingly (default:
+    /// ignored). Unlike [`BoxAllocator::on_fault`], this is *not* called by
+    /// the engine — only by a supervising wrapper such as
+    /// [`hardened::HardenedAllocator`], which invokes it on
+    /// [`FaultEvent::MemoryPressure`] so that, e.g.,
+    /// [`det_par::DetPar`] rescales its base height to `b = k'/p_Q` while
+    /// the wrapper clamps whatever the policy still gets wrong.
+    fn on_budget_shrunk(&mut self, _new_k: usize) {}
+
+    /// Number of grants this policy degraded (clamped, backed off, or
+    /// converted to stalls) to stay within a shrunken budget. Policies
+    /// without a degraded mode report 0; the engine copies this into
+    /// `RunResult::degraded_grants`.
+    fn degraded_grants(&self) -> u64 {
+        0
+    }
 
     /// Short policy name for reports.
     fn name(&self) -> &'static str;

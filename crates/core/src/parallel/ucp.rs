@@ -79,8 +79,7 @@ impl UcpPartition {
                 let base = curve.misses(cur);
                 // Lookahead: the best average gain over any extension.
                 for delta in 1..=remaining.min(self.k - cur) {
-                    let gain = base.saturating_sub(curve.misses(cur + delta)) as f64
-                        / delta as f64;
+                    let gain = base.saturating_sub(curve.misses(cur + delta)) as f64 / delta as f64;
                     if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 0.0) {
                         best = Some((gain, i, delta));
                     }
@@ -164,7 +163,11 @@ mod tests {
         let g0 = ucp.grant(ProcId(0), 100);
         let g1 = ucp.grant(ProcId(1), 100);
         assert!(g0.height >= 12, "hungry proc got {}", g0.height);
-        assert!(g1.height >= 2 && g1.height <= 4, "small proc got {}", g1.height);
+        assert!(
+            g1.height >= 2 && g1.height <= 4,
+            "small proc got {}",
+            g1.height
+        );
         assert!(g0.height + g1.height <= 16);
     }
 

@@ -109,8 +109,7 @@ pub fn check_well_rounded(
             // Property 2: bounded gaps for every height class z = b·2^c.
             let mut z = b;
             while z <= params.k as u64 {
-                let period = (s as u128 * z as u128 * z as u128 * log_p as u128
-                    / b as u128) as u64;
+                let period = (s as u128 * z as u128 * z as u128 * log_p as u128 / b as u128) as u64;
                 let bound = (slack * period as f64) as u64 + s * z;
                 let mut prev_end = phase.start;
                 let mut worst = 0u64;
@@ -222,10 +221,7 @@ mod tests {
         let completions = vec![2_000_000];
         let report = check_well_rounded(&timelines, &completions, &phase0(8), &p, 4.0);
         assert!(!report.ok);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.contains("height 16")));
+        assert!(report.violations.iter().any(|v| v.contains("height 16")));
     }
 
     #[test]

@@ -39,7 +39,8 @@
 //! // Run the paper's deterministic algorithm.
 //! let mut policy = DetPar::new(&params);
 //! let result = run_engine(&mut policy, workload.seqs(), &params,
-//!                         &EngineOpts::default());
+//!                         &EngineOpts::default())
+//!     .expect("engine run failed");
 //!
 //! // Compare against a certified lower bound on OPT.
 //! let lb = per_proc_bound(workload.seqs(), params.k, params.s);
@@ -64,22 +65,22 @@ pub mod prelude {
         quantile, sparkline, summarize, Table,
     };
     pub use parapage_cache::{
-        min_misses, miss_curve, run_box, run_window, sampled_miss_curve, Access, ArcCache,
-        Cache, ClockCache, FifoCache, LfuCache, LirsCache, LruCache, PageId, ProcId, Time,
-        TwoQueueCache,
+        min_misses, miss_curve, run_box, run_window, sampled_miss_curve, Access, ArcCache, Cache,
+        ClockCache, FifoCache, LfuCache, LirsCache, LruCache, PageId, ProcId, Time, TwoQueueCache,
     };
     pub use parapage_core::{
         audit_greedy, check_well_rounded, green_opt, green_opt_fast, green_opt_fast_normalized,
-        green_opt_normalized,
-        run_green, run_profile, AdaptiveGreen, BlackboxGreenPacker, BoxAllocator,
-        BoxHeightDist, BoxProfile, DetPar, Grant, GreenPolicy, MemBox, ModelParams,
-        PropMissPartition, RandGreen, RandPar, RebootingGreen, SrptPartition, StaticPartition,
-        UniversalGreen,
-        UcpPartition,
+        green_opt_normalized, run_green, run_profile, AdaptiveGreen, BlackboxGreenPacker,
+        BoxAllocator, BoxHeightDist, BoxProfile, DetPar, FaultEvent, Grant, GreenPolicy,
+        HardenedAllocator, MemBox, ModelParams, PropMissPartition, RandGreen, RandPar,
+        RebootingGreen, SrptPartition, StaticPartition, UcpPartition, UniversalGreen,
     };
-    pub use parapage_sched::{run_engine, run_engine_with, run_shared_lru, EngineOpts, RunResult};
+    pub use parapage_sched::{
+        run_engine, run_engine_faults, run_engine_with, run_engine_with_faults, run_shared_lru,
+        EngineError, EngineOpts, FaultPlan, RunResult, DEFAULT_MAX_TIME,
+    };
     pub use parapage_workloads::{
-        build_workload, shared_hotset_workload, AdversarialConfig, AdversarialInstance,
-        SeqBuilder, SeqSpec, Workload,
+        build_workload, fault_scenario, shared_hotset_workload, AdversarialConfig,
+        AdversarialInstance, SeqBuilder, SeqSpec, Workload, FAULT_SCENARIOS,
     };
 }

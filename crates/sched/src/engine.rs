@@ -27,14 +27,37 @@
 //! before any grant request at that time. Policies therefore observe
 //! completions in exact time order, so phase transitions (DET-PAR, RAND-PAR)
 //! fire at the moment the paper's model says they do.
+//!
+//! ### Abnormal conditions and fault injection
+//!
+//! The engine never panics on a misbehaving policy or a pathological
+//! instance: every abnormal condition — a zero-duration grant, a memory
+//! limit violation, the time cap, event-time overflow — is returned as a
+//! typed [`EngineError`], so a single bad run can be observed and reported
+//! without killing a sweep. The [`run_engine_faults`] entry points
+//! additionally replay a deterministic [`FaultPlan`] (processor stalls,
+//! fetch-latency spikes, memory pressure) against the run; see
+//! [`crate::fault`] for the exact mechanics.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use parapage_cache::{run_window, Cache, CacheStats, LruCache, PageId, ProcId, Time};
-use parapage_core::{BoxAllocator, Interval, ModelParams};
+use parapage_core::{BoxAllocator, FaultEvent, Interval, ModelParams};
 
+use crate::error::EngineError;
+use crate::fault::{FaultCursor, FaultPlan};
 use crate::metrics::RunResult;
+
+/// Default hard cap on simulated time.
+///
+/// A quarter of the `u64` range: generous enough that no realistic workload
+/// (requests × miss penalty × spike factor) approaches it, while leaving
+/// ample headroom so a single further addition to an in-range event time
+/// cannot wrap — and even if a pathological `s` pushes past that, all
+/// event-time arithmetic is `checked_` and surfaces
+/// [`EngineError::TimeOverflow`] instead of wrapping silently.
+pub const DEFAULT_MAX_TIME: Time = u64::MAX / 4;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -45,13 +68,17 @@ pub struct EngineOpts {
     /// Start every grant with a cold cache (the paper's compartmentalized
     /// WLOG). Default `false`: resize semantics.
     pub compartmentalized: bool,
-    /// Hard wall-clock cap; the engine panics past it (a policy that stalls
-    /// everyone forever would otherwise hang).
+    /// Hard wall-clock cap (default [`DEFAULT_MAX_TIME`]); the engine
+    /// returns [`EngineError::TimeCapExceeded`] past it (a policy that
+    /// stalls everyone forever would otherwise hang the simulation).
     pub max_time: Time,
     /// When set, the engine *enforces* this bound on concurrently allocated
-    /// height at grant time (panicking on violation), instead of only
+    /// height at grant time (returning
+    /// [`EngineError::MemoryLimitExceeded`] on violation), instead of only
     /// reporting the peak post-hoc. Use it to pin a policy's resource
-    /// augmentation `ξ·k` in tests.
+    /// augmentation `ξ·k` in tests. A
+    /// [`FaultEvent::MemoryPressure`] event tightens (or, when unset,
+    /// activates) this limit mid-run.
     pub memory_limit: Option<usize>,
 }
 
@@ -60,7 +87,7 @@ impl Default for EngineOpts {
         EngineOpts {
             record_timelines: false,
             compartmentalized: false,
-            max_time: u64::MAX / 4,
+            max_time: DEFAULT_MAX_TIME,
             memory_limit: None,
         }
     }
@@ -71,16 +98,27 @@ impl Default for EngineOpts {
 /// `seqs[x]` is processor `x`'s request sequence; `seqs.len()` must equal
 /// `params.p`.
 ///
-/// # Panics
-/// If the policy emits a zero-duration grant, or simulated time exceeds
-/// `opts.max_time`.
+/// # Errors
+/// [`EngineError`] on a zero-duration grant, a memory-limit violation,
+/// exceeding `opts.max_time`, or event-time overflow.
 pub fn run_engine(
     alloc: &mut dyn BoxAllocator,
     seqs: &[Vec<PageId>],
     params: &ModelParams,
     opts: &EngineOpts,
-) -> RunResult {
+) -> Result<RunResult, EngineError> {
     run_engine_with(alloc, seqs, params, opts, |_| LruCache::new(0))
+}
+
+/// Like [`run_engine`], but additionally replaying a [`FaultPlan`].
+pub fn run_engine_faults(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    faults: &FaultPlan,
+) -> Result<RunResult, EngineError> {
+    run_engine_with_faults(alloc, seqs, params, opts, faults, |_| LruCache::new(0))
 }
 
 /// Like [`run_engine`], but with a caller-chosen replacement policy inside
@@ -93,7 +131,20 @@ pub fn run_engine_with<C: Cache>(
     params: &ModelParams,
     opts: &EngineOpts,
     cache_factory: impl FnMut(usize) -> C,
-) -> RunResult {
+) -> Result<RunResult, EngineError> {
+    run_engine_with_faults(alloc, seqs, params, opts, &FaultPlan::none(), cache_factory)
+}
+
+/// The full engine: caller-chosen replacement policy *and* fault injection.
+/// All other entry points delegate here.
+pub fn run_engine_with_faults<C: Cache>(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    faults: &FaultPlan,
+    cache_factory: impl FnMut(usize) -> C,
+) -> Result<RunResult, EngineError> {
     let mut factory = cache_factory;
     assert_eq!(seqs.len(), params.p, "one sequence per processor");
     let p = params.p;
@@ -110,9 +161,14 @@ pub fn run_engine_with<C: Cache>(
     // Height deltas for the peak-memory audit: (time, delta); at equal
     // times, releases (< 0) sort before acquisitions.
     let mut deltas: Vec<(Time, i64)> = Vec::new();
-    // Online usage tracking for `memory_limit` enforcement.
+    // Online usage tracking for memory-limit enforcement. The enforced
+    // limit starts at `opts.memory_limit` and only tightens: a
+    // MemoryPressure fault activates (or shrinks) it mid-run.
     let mut live_usage = 0usize;
     let mut releases: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    let mut current_limit = opts.memory_limit;
+    let mut fault_cursor = FaultCursor::new(faults);
+    let mut faults_injected = 0u64;
 
     // Events: (time, kind, proc). Completion notifications (kind 0) sort
     // before grant requests (kind 1) at equal timestamps, so a policy sees
@@ -134,21 +190,56 @@ pub fn run_engine_with<C: Cache>(
 
     while let Some(Reverse((now, kind, xi))) = heap.pop() {
         let x = xi as usize;
+        // Deliver matured fault events before any decision at `now`: the
+        // policy hears about a fault no later than its first grant request
+        // at-or-after the fault's timestamp.
+        while let Some(ev) = fault_cursor.pop_due(now) {
+            if let FaultEvent::MemoryPressure { new_limit, .. } = ev {
+                current_limit = Some(current_limit.map_or(new_limit, |l| l.min(new_limit)));
+            }
+            alloc.on_fault(&ev);
+            faults_injected += 1;
+        }
         if kind == EV_COMPLETION {
             remaining -= 1;
             alloc.on_proc_finished(ProcId(xi), now);
             continue;
         }
-        assert!(
-            now <= opts.max_time,
-            "engine exceeded max_time={} (policy `{}` stalled?)",
-            opts.max_time,
-            alloc.name()
-        );
+        if now > opts.max_time {
+            return Err(EngineError::TimeCapExceeded {
+                at: now,
+                cap: opts.max_time,
+            });
+        }
+        // A frozen processor gets no grant: defer the request to the stall
+        // window's end (recorded as a height-0 interval so timelines stay
+        // contiguous).
+        if let Some(until) = fault_cursor.stalled_until(x, now) {
+            if opts.record_timelines {
+                timelines[x].push(Interval {
+                    start: now,
+                    end: until,
+                    height: 0,
+                });
+            }
+            heap.push(Reverse((until, EV_GRANT, xi)));
+            continue;
+        }
         let grant = alloc.grant(ProcId(xi), now);
-        assert!(grant.duration >= 1, "zero-duration grant from {}", alloc.name());
+        if grant.duration == 0 {
+            return Err(EngineError::ZeroDurationGrant {
+                policy: alloc.name(),
+                at: now,
+            });
+        }
         grants_issued += 1;
-        let end = now + grant.duration;
+        let end = now
+            .checked_add(grant.duration)
+            .ok_or(EngineError::TimeOverflow { at: now })?;
+        // Effective miss penalty: scaled during an injected latency spike.
+        let eff_s = s
+            .checked_mul(fault_cursor.latency_factor(now))
+            .ok_or(EngineError::TimeOverflow { at: now })?;
 
         let cache = &mut caches[x];
         if opts.compartmentalized {
@@ -166,7 +257,7 @@ pub fn run_engine_with<C: Cache>(
                 finished: pos[x] >= seqs[x].len(),
             }
         } else {
-            run_window(&seqs[x], pos[x], cache, grant.duration, s)
+            run_window(&seqs[x], pos[x], cache, grant.duration, eff_s)
         };
         let served_from = pos[x];
         pos[x] = out.end_index;
@@ -177,7 +268,8 @@ pub fn run_engine_with<C: Cache>(
             // processor finishes mid-grant (a real allocator reclaims on
             // completion); the memory *integral* above still charges the
             // committed grant in full, matching the paper's impact
-            // accounting.
+            // accounting. (`now + out.time_used` cannot overflow:
+            // `time_used ≤ duration` and `now + duration` was checked.)
             let release_at = if out.finished {
                 (now + out.time_used).max(now + 1)
             } else {
@@ -185,23 +277,24 @@ pub fn run_engine_with<C: Cache>(
             };
             deltas.push((now, grant.height as i64));
             deltas.push((release_at, -(grant.height as i64)));
-            if let Some(limit) = opts.memory_limit {
-                while let Some(&Reverse((t, h))) = releases.peek() {
-                    if t <= now {
-                        releases.pop();
-                        live_usage -= h;
-                    } else {
-                        break;
-                    }
+            while let Some(&Reverse((t, h))) = releases.peek() {
+                if t <= now {
+                    releases.pop();
+                    live_usage -= h;
+                } else {
+                    break;
                 }
-                live_usage += grant.height;
-                assert!(
-                    live_usage <= limit,
-                    "policy `{}` exceeded memory limit {limit} \
-                     (usage {live_usage} at t={now})",
-                    alloc.name()
-                );
-                releases.push(Reverse((release_at, grant.height)));
+            }
+            live_usage += grant.height;
+            releases.push(Reverse((release_at, grant.height)));
+            if let Some(limit) = current_limit {
+                if live_usage > limit {
+                    return Err(EngineError::MemoryLimitExceeded {
+                        at: now,
+                        allocated: live_usage,
+                        limit,
+                    });
+                }
             }
         }
         if opts.record_timelines {
@@ -236,19 +329,21 @@ pub fn run_engine_with<C: Cache>(
     }
 
     let makespan = completions.iter().copied().max().unwrap_or(0);
-    RunResult {
+    Ok(RunResult {
         completions,
         makespan,
         stats,
         memory_integral,
         peak_memory: peak as usize,
         grants_issued,
+        faults_injected,
+        degraded_grants: alloc.degraded_grants(),
         timelines: if opts.record_timelines {
             Some(timelines)
         } else {
             None
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -271,7 +366,7 @@ mod tests {
         let params = ModelParams::new(4, 32, 10);
         let seqs = cyclic_seqs(4, 100, 8);
         let mut alloc = StaticPartition::new(&params);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert_eq!(res.stats.accesses(), 400);
         assert!(res.makespan > 0);
         assert_eq!(res.completions.len(), 4);
@@ -287,7 +382,7 @@ mod tests {
         let params = ModelParams::new(4, 32, 10);
         let seqs = cyclic_seqs(4, 200, 16);
         let mut alloc = DetPar::new(&params);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert_eq!(res.stats.accesses(), 800);
         assert!(res.makespan >= *res.completions.iter().max().unwrap());
     }
@@ -297,7 +392,7 @@ mod tests {
         let params = ModelParams::new(8, 64, 10);
         let seqs = cyclic_seqs(8, 500, 24);
         let mut alloc = DetPar::new(&params);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert!(
             res.peak_memory <= DetPar::MEMORY_FACTOR * params.k,
             "peak {} exceeds {}k",
@@ -311,7 +406,7 @@ mod tests {
         let params = ModelParams::new(8, 64, 10);
         let seqs = cyclic_seqs(8, 400, 12);
         let mut alloc = RandPar::new(&params, 42);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert_eq!(res.stats.accesses(), 8 * 400);
         // Primary (r*h_min <= k) and secondary (batch*j <= k) never exceed
         // ~2k concurrently even across chunk boundaries.
@@ -323,7 +418,7 @@ mod tests {
         let params = ModelParams::new(2, 8, 10);
         let seqs = vec![vec![], vec![PageId(1)]];
         let mut alloc = StaticPartition::new(&params);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert_eq!(res.completions[0], 0);
         assert_eq!(res.completions[1], 10);
         assert_eq!(res.makespan, 10);
@@ -338,7 +433,7 @@ mod tests {
             record_timelines: true,
             ..Default::default()
         };
-        let res = run_engine(&mut alloc, &seqs, &params, &opts);
+        let res = run_engine(&mut alloc, &seqs, &params, &opts).unwrap();
         let tl = res.timelines.as_ref().unwrap();
         for (x, ivs) in tl.iter().enumerate() {
             assert!(!ivs.is_empty());
@@ -356,7 +451,7 @@ mod tests {
         let params = ModelParams::new(4, 32, 10);
         let seqs = cyclic_seqs(4, 300, 8);
         let mut a1 = StaticPartition::new(&params);
-        let plain = run_engine(&mut a1, &seqs, &params, &EngineOpts::default());
+        let plain = run_engine(&mut a1, &seqs, &params, &EngineOpts::default()).unwrap();
         let mut a2 = StaticPartition::new(&params);
         let comp = run_engine(
             &mut a2,
@@ -366,14 +461,14 @@ mod tests {
                 compartmentalized: true,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(comp.makespan >= plain.makespan);
         assert!(comp.stats.misses >= plain.stats.misses);
     }
 
     #[test]
-    #[should_panic(expected = "max_time")]
-    fn eternal_stalling_is_detected() {
+    fn eternal_stalling_returns_time_cap_error() {
         struct Staller;
         impl BoxAllocator for Staller {
             fn grant(&mut self, _x: ProcId, _now: Time) -> Grant {
@@ -390,7 +485,70 @@ mod tests {
             max_time: 10_000,
             ..Default::default()
         };
-        run_engine(&mut Staller, &seqs, &params, &opts);
+        let err = run_engine(&mut Staller, &seqs, &params, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::TimeCapExceeded { cap: 10_000, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_duration_grant_is_a_typed_error() {
+        struct Degenerate;
+        impl BoxAllocator for Degenerate {
+            fn grant(&mut self, _x: ProcId, _now: Time) -> Grant {
+                Grant {
+                    height: 2,
+                    duration: 0,
+                }
+            }
+            fn on_proc_finished(&mut self, _x: ProcId, _now: Time) {}
+            fn name(&self) -> &'static str {
+                "degenerate"
+            }
+        }
+        let params = ModelParams::new(1, 4, 10);
+        let seqs = vec![vec![PageId(1)]];
+        let err = run_engine(&mut Degenerate, &seqs, &params, &EngineOpts::default()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ZeroDurationGrant {
+                policy: "degenerate",
+                at: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overflowing_grant_duration_is_a_typed_error() {
+        // First a stall to move `now` off zero, then a grant whose end time
+        // `now + u64::MAX` would wrap.
+        struct Eternal(bool);
+        impl BoxAllocator for Eternal {
+            fn grant(&mut self, _x: ProcId, _now: Time) -> Grant {
+                if !self.0 {
+                    self.0 = true;
+                    Grant::stall(1000)
+                } else {
+                    Grant {
+                        height: 1,
+                        duration: u64::MAX,
+                    }
+                }
+            }
+            fn on_proc_finished(&mut self, _x: ProcId, _now: Time) {}
+            fn name(&self) -> &'static str {
+                "eternal"
+            }
+        }
+        let params = ModelParams::new(1, 4, 10);
+        let seqs = vec![vec![PageId(1)]];
+        let opts = EngineOpts {
+            max_time: u64::MAX,
+            ..Default::default()
+        };
+        let err = run_engine(&mut Eternal(false), &seqs, &params, &opts).unwrap_err();
+        assert_eq!(err, EngineError::TimeOverflow { at: 1000 });
     }
 
     #[test]
@@ -399,7 +557,7 @@ mod tests {
         // One processor, one page: StaticPartition grants height 4 for 40.
         let seqs = vec![vec![PageId(1)]];
         let mut alloc = StaticPartition::new(&params);
-        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default());
+        let res = run_engine(&mut alloc, &seqs, &params, &EngineOpts::default()).unwrap();
         assert_eq!(res.memory_integral, 4 * 40);
         assert_eq!(res.grants_issued, 1);
     }
@@ -428,11 +586,13 @@ mod generic_engine_tests {
         let mut a1 = StaticPartition::new(&params);
         let fifo = run_engine_with(&mut a1, &w, &params, &EngineOpts::default(), |_| {
             FifoCache::new(0)
-        });
+        })
+        .unwrap();
         let mut a2 = StaticPartition::new(&params);
         let arc = run_engine_with(&mut a2, &w, &params, &EngineOpts::default(), |_| {
             ArcCache::new(0)
-        });
+        })
+        .unwrap();
         assert_eq!(fifo.stats.accesses(), 800);
         assert_eq!(arc.stats.accesses(), 800);
         // Same partition sizes: both must land between all-hit and all-miss.
@@ -450,12 +610,11 @@ mod generic_engine_tests {
             memory_limit: Some(params.k),
             ..Default::default()
         };
-        let res = run_engine(&mut st, &w, &params, &opts);
+        let res = run_engine(&mut st, &w, &params, &opts).unwrap();
         assert!(res.peak_memory <= params.k);
     }
 
     #[test]
-    #[should_panic(expected = "memory limit")]
     fn memory_limit_catches_oversubscription() {
         struct Greedy(usize);
         impl BoxAllocator for Greedy {
@@ -476,7 +635,156 @@ mod generic_engine_tests {
             memory_limit: Some(params.k),
             ..Default::default()
         };
-        // Four concurrent grants of k pages each: 4k > k.
-        run_engine(&mut Greedy(32), &w, &params, &opts);
+        // Four concurrent grants of k pages each: 4k > k; the second grant
+        // (at t=0) already crosses the limit.
+        let err = run_engine(&mut Greedy(32), &w, &params, &opts).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::MemoryLimitExceeded {
+                at: 0,
+                allocated: 64,
+                limit: 32
+            }
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use parapage_core::StaticPartition;
+
+    fn seqs(p: usize, len: usize, width: u64) -> Vec<Vec<PageId>> {
+        (0..p)
+            .map(|x| {
+                (0..len)
+                    .map(|i| PageId::namespaced(ProcId(x as u32), i as u64 % width))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_matches_plain_run() {
+        let params = ModelParams::new(4, 32, 10);
+        let w = seqs(4, 200, 8);
+        let mut a1 = StaticPartition::new(&params);
+        let plain = run_engine(&mut a1, &w, &params, &EngineOpts::default()).unwrap();
+        let mut a2 = StaticPartition::new(&params);
+        let faulted = run_engine_faults(
+            &mut a2,
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(plain.makespan, faulted.makespan);
+        assert_eq!(plain.stats, faulted.stats);
+        assert_eq!(faulted.faults_injected, 0);
+        assert_eq!(faulted.degraded_grants, 0);
+    }
+
+    #[test]
+    fn stall_window_freezes_the_processor() {
+        let params = ModelParams::new(2, 8, 10);
+        let w = seqs(2, 50, 4);
+        let mut a1 = StaticPartition::new(&params);
+        let clean = run_engine(&mut a1, &w, &params, &EngineOpts::default()).unwrap();
+        // Freeze processor 0 for a long window; its completion must slip
+        // past the window's end while processor 1 is unaffected.
+        let window_end = clean.makespan + 500;
+        let plan = FaultPlan::new(vec![FaultEvent::ProcStall {
+            proc: ProcId(0),
+            from: 0,
+            until: window_end,
+        }]);
+        let mut a2 = StaticPartition::new(&params);
+        let res = run_engine_faults(&mut a2, &w, &params, &EngineOpts::default(), &plan).unwrap();
+        assert!(res.completions[0] >= window_end);
+        assert_eq!(res.completions[1], clean.completions[1]);
+        assert_eq!(res.faults_injected, 1);
+    }
+
+    #[test]
+    fn latency_spike_slows_misses_only_inside_window() {
+        let params = ModelParams::new(1, 8, 10);
+        let w = seqs(1, 40, 4);
+        let mut a1 = StaticPartition::new(&params);
+        let clean = run_engine(&mut a1, &w, &params, &EngineOpts::default()).unwrap();
+        // A spike covering the whole run multiplies every miss by 5: the
+        // same 4 compulsory misses cost 50 each (plus box-boundary waste
+        // when a fetch no longer fits the remaining quantum).
+        let plan = FaultPlan::new(vec![FaultEvent::LatencySpike {
+            from: 0,
+            until: u64::MAX / 8,
+            factor: 5,
+        }]);
+        let mut a2 = StaticPartition::new(&params);
+        let res = run_engine_faults(&mut a2, &w, &params, &EngineOpts::default(), &plan).unwrap();
+        assert!(res.makespan > clean.makespan);
+        assert!(res.makespan >= 4 * 50 + 36);
+        assert_eq!(res.stats, clean.stats);
+        // A spike after completion changes nothing (and is never injected).
+        let late = FaultPlan::new(vec![FaultEvent::LatencySpike {
+            from: clean.makespan + 1000,
+            until: clean.makespan + 2000,
+            factor: 5,
+        }]);
+        let mut a3 = StaticPartition::new(&params);
+        let res2 = run_engine_faults(&mut a3, &w, &params, &EngineOpts::default(), &late).unwrap();
+        assert_eq!(res2.makespan, clean.makespan);
+        assert_eq!(res2.faults_injected, 0);
+    }
+
+    #[test]
+    fn memory_pressure_activates_enforcement_mid_run() {
+        struct Greedy;
+        impl BoxAllocator for Greedy {
+            fn grant(&mut self, _x: ProcId, _now: Time) -> parapage_core::Grant {
+                parapage_core::Grant {
+                    height: 8,
+                    duration: 50,
+                }
+            }
+            fn on_proc_finished(&mut self, _x: ProcId, _now: Time) {}
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+        }
+        let params = ModelParams::new(2, 16, 10);
+        let w = seqs(2, 400, 12);
+        // No static memory_limit: the pressure event itself activates
+        // enforcement at 4 pages, which Greedy's height-8 grants violate.
+        let plan = FaultPlan::new(vec![FaultEvent::MemoryPressure {
+            at: 100,
+            new_limit: 4,
+        }]);
+        let err =
+            run_engine_faults(&mut Greedy, &w, &params, &EngineOpts::default(), &plan).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::MemoryLimitExceeded { limit: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn latency_spike_can_overflow_to_typed_error() {
+        let params = ModelParams::new(1, 8, 10);
+        let w = seqs(1, 10, 4);
+        let plan = FaultPlan::new(vec![FaultEvent::LatencySpike {
+            from: 0,
+            until: 100,
+            factor: u64::MAX,
+        }]);
+        let err = run_engine_faults(
+            &mut StaticPartition::new(&params),
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::TimeOverflow { .. }));
     }
 }

@@ -1,0 +1,115 @@
+//! Typed abnormal-condition reporting for the execution engine.
+//!
+//! The engine used to `panic!` on a misbehaving policy or a pathological
+//! model instance, killing the whole process. Every abnormal condition is
+//! now a variant of [`EngineError`], so callers (experiment harnesses, the
+//! CLI fault matrix, batch sweeps) can observe a failed run, report it, and
+//! carry on with the next configuration.
+
+use std::fmt;
+
+use parapage_cache::Time;
+
+/// Why an engine run was aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The policy emitted a grant with `duration == 0`. A zero-duration
+    /// grant would re-enqueue the same grant request at the same timestamp
+    /// forever, so the engine refuses it outright.
+    ZeroDurationGrant {
+        /// Name of the offending policy.
+        policy: &'static str,
+        /// Time of the offending grant request.
+        at: Time,
+    },
+    /// Concurrently allocated height exceeded the enforced memory limit
+    /// (from [`crate::EngineOpts::memory_limit`] or a
+    /// [`parapage_core::FaultEvent::MemoryPressure`] event).
+    MemoryLimitExceeded {
+        /// Time of the grant that crossed the limit.
+        at: Time,
+        /// Concurrently allocated height after the offending grant.
+        allocated: usize,
+        /// The enforced limit, in pages.
+        limit: usize,
+    },
+    /// Simulated time passed [`crate::EngineOpts::max_time`] with work
+    /// still pending — the signature of a policy stalling forever.
+    TimeCapExceeded {
+        /// The first event time observed past the cap.
+        at: Time,
+        /// The configured cap.
+        cap: Time,
+    },
+    /// Event-time arithmetic overflowed `u64` — a pathological miss
+    /// penalty, latency-spike factor, or grant duration would have wrapped
+    /// silently.
+    TimeOverflow {
+        /// The last valid time before the overflowing addition.
+        at: Time,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EngineError::ZeroDurationGrant { policy, at } => {
+                write!(f, "zero-duration grant from policy `{policy}` at t={at}")
+            }
+            EngineError::MemoryLimitExceeded {
+                at,
+                allocated,
+                limit,
+            } => write!(
+                f,
+                "memory limit exceeded at t={at}: {allocated} pages allocated, limit {limit}"
+            ),
+            EngineError::TimeCapExceeded { at, cap } => {
+                write!(
+                    f,
+                    "simulated time {at} exceeded max_time={cap} (policy stalled?)"
+                )
+            }
+            EngineError::TimeOverflow { at } => {
+                write!(f, "event-time arithmetic overflowed u64 past t={at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (
+                EngineError::ZeroDurationGrant {
+                    policy: "bad",
+                    at: 7,
+                },
+                "zero-duration",
+            ),
+            (
+                EngineError::MemoryLimitExceeded {
+                    at: 3,
+                    allocated: 40,
+                    limit: 32,
+                },
+                "limit 32",
+            ),
+            (
+                EngineError::TimeCapExceeded { at: 11, cap: 10 },
+                "max_time=10",
+            ),
+            (EngineError::TimeOverflow { at: 9 }, "overflow"),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "`{s}` missing `{needle}`");
+        }
+    }
+}

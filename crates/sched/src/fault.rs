@@ -1,0 +1,209 @@
+//! Deterministic fault injection for the execution engine.
+//!
+//! A [`FaultPlan`] is a time-sorted list of [`FaultEvent`]s the engine
+//! replays during a run. Injection is fully deterministic: the same plan on
+//! the same workload and policy produces the same [`crate::RunResult`],
+//! which is what makes fault runs reproducible and diffable against clean
+//! runs (see the `faults` CLI subcommand and the fault proptests).
+//!
+//! Mechanics, as applied by the engine:
+//!
+//! * [`FaultEvent::ProcStall`] — while `now` lies in a processor's stall
+//!   window, the engine issues that processor no grants; its grant request
+//!   is deferred to the window end. In-flight grants run to completion (the
+//!   freeze models a stalled *processor*, not revoked memory).
+//! * [`FaultEvent::LatencySpike`] — grants *starting* inside the window
+//!   simulate misses at cost `s × factor` for their whole duration (the
+//!   engine simulates a grant in one shot, so the penalty at grant start
+//!   applies throughout; windows ≥ one grant length capture the intent).
+//! * [`FaultEvent::MemoryPressure`] — from delivery on, the engine enforces
+//!   the shrunken budget on every grant, whether or not
+//!   [`crate::EngineOpts::memory_limit`] was set; an unhardened policy that
+//!   keeps allocating against the old `k` gets
+//!   [`crate::EngineError::MemoryLimitExceeded`].
+//!
+//! Every event is also delivered to the policy via
+//! [`parapage_core::BoxAllocator::on_fault`] when its timestamp is reached,
+//! before any grant decision at that time — the hook degraded-mode policies
+//! (e.g. `HardenedAllocator`) react to.
+
+use parapage_cache::Time;
+use parapage_core::FaultEvent;
+
+/// A time-sorted schedule of faults to inject into one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a plan, sorting the events by their effect time (stable, so
+    /// equal-time events keep their given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(FaultEvent::at);
+        FaultPlan { events }
+    }
+
+    /// The empty plan: a clean run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The scheduled events, in delivery order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The engine's per-run cursor over a [`FaultPlan`].
+pub(crate) struct FaultCursor<'a> {
+    plan: &'a FaultPlan,
+    next: usize,
+}
+
+impl<'a> FaultCursor<'a> {
+    pub(crate) fn new(plan: &'a FaultPlan) -> Self {
+        FaultCursor { plan, next: 0 }
+    }
+
+    /// Pops the next undelivered event with effect time ≤ `now`.
+    pub(crate) fn pop_due(&mut self, now: Time) -> Option<FaultEvent> {
+        let ev = *self.plan.events.get(self.next)?;
+        if ev.at() <= now {
+            self.next += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    /// Latest end of any stall window covering processor `x` at `now`
+    /// (windows are few; a linear scan per grant request is fine).
+    pub(crate) fn stalled_until(&self, x: usize, now: Time) -> Option<Time> {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::ProcStall { proc, from, until }
+                    if proc.idx() == x && from <= now && now < until =>
+                {
+                    Some(until)
+                }
+                _ => None,
+            })
+            .max()
+    }
+
+    /// The latency multiplier in effect at `now` (the max over active spike
+    /// windows; 1 when none is active).
+    pub(crate) fn latency_factor(&self, now: Time) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::LatencySpike {
+                    from,
+                    until,
+                    factor,
+                } if from <= now && now < until => Some(factor.max(1)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_cache::ProcId;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultEvent::MemoryPressure {
+                at: 50,
+                new_limit: 8,
+            },
+            FaultEvent::ProcStall {
+                proc: ProcId(1),
+                from: 10,
+                until: 30,
+            },
+            FaultEvent::LatencySpike {
+                from: 20,
+                until: 40,
+                factor: 4,
+            },
+        ])
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let p = plan();
+        let times: Vec<Time> = p.events().iter().map(FaultEvent::at).collect();
+        assert_eq!(times, vec![10, 20, 50]);
+    }
+
+    #[test]
+    fn cursor_delivers_in_order() {
+        let p = plan();
+        let mut c = FaultCursor::new(&p);
+        assert!(c.pop_due(5).is_none());
+        assert!(matches!(c.pop_due(25), Some(FaultEvent::ProcStall { .. })));
+        assert!(matches!(
+            c.pop_due(25),
+            Some(FaultEvent::LatencySpike { .. })
+        ));
+        assert!(c.pop_due(25).is_none());
+        assert!(matches!(
+            c.pop_due(100),
+            Some(FaultEvent::MemoryPressure { .. })
+        ));
+        assert!(c.pop_due(100).is_none());
+    }
+
+    #[test]
+    fn stall_windows_cover_half_open_ranges() {
+        let p = plan();
+        let c = FaultCursor::new(&p);
+        assert_eq!(c.stalled_until(1, 10), Some(30));
+        assert_eq!(c.stalled_until(1, 29), Some(30));
+        assert_eq!(c.stalled_until(1, 30), None);
+        assert_eq!(c.stalled_until(0, 15), None);
+    }
+
+    #[test]
+    fn latency_factor_is_window_scoped() {
+        let p = plan();
+        let c = FaultCursor::new(&p);
+        assert_eq!(c.latency_factor(19), 1);
+        assert_eq!(c.latency_factor(20), 4);
+        assert_eq!(c.latency_factor(39), 4);
+        assert_eq!(c.latency_factor(40), 1);
+    }
+
+    #[test]
+    fn overlapping_spikes_take_the_max() {
+        let p = FaultPlan::new(vec![
+            FaultEvent::LatencySpike {
+                from: 0,
+                until: 10,
+                factor: 2,
+            },
+            FaultEvent::LatencySpike {
+                from: 5,
+                until: 15,
+                factor: 8,
+            },
+        ]);
+        let c = FaultCursor::new(&p);
+        assert_eq!(c.latency_factor(7), 8);
+        assert_eq!(c.latency_factor(12), 8);
+        assert_eq!(c.latency_factor(2), 2);
+    }
+}

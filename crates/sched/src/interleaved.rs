@@ -28,10 +28,7 @@ pub struct InterleavedResult {
 /// Runs the interleaved model with a **static partition**: processor `x`
 /// owns `alloc[x]` pages throughout; every round, each unfinished processor
 /// issues exactly one request.
-pub fn run_interleaved_partition(
-    seqs: &[Vec<PageId>],
-    alloc: &[usize],
-) -> InterleavedResult {
+pub fn run_interleaved_partition(seqs: &[Vec<PageId>], alloc: &[usize]) -> InterleavedResult {
     assert_eq!(seqs.len(), alloc.len());
     let mut caches: Vec<LruCache> = alloc.iter().map(|&c| LruCache::new(c)).collect();
     run_rounds(seqs, |x, page| caches[x].access(page).is_hit())

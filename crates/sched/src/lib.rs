@@ -16,6 +16,10 @@
 //!   per round regardless of hits/misses), kept to demonstrate what that
 //!   simplification hides (E15).
 //! * [`metrics`] — the result types common to both engines.
+//! * [`error`] — typed abnormal-condition reporting ([`EngineError`]);
+//!   the engine returns `Result` instead of panicking.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): processor
+//!   stalls, fetch-latency spikes, and mid-run memory pressure.
 //!
 //! Both engines implement the paper's timing model exactly: a hit costs one
 //! time step, a miss costs `s`, and each processor fetches over its own
@@ -25,11 +29,18 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod interleaved;
 pub mod metrics;
 pub mod shared;
 
-pub use engine::{run_engine, run_engine_with, EngineOpts};
+pub use engine::{
+    run_engine, run_engine_faults, run_engine_with, run_engine_with_faults, EngineOpts,
+    DEFAULT_MAX_TIME,
+};
+pub use error::EngineError;
+pub use fault::FaultPlan;
 pub use interleaved::{run_interleaved_partition, run_interleaved_shared, InterleavedResult};
 pub use metrics::RunResult;
 pub use shared::{run_shared_lru, run_shared_lru_bandwidth};

@@ -22,6 +22,14 @@ pub struct RunResult {
     pub peak_memory: usize,
     /// Number of grants the policy issued.
     pub grants_issued: u64,
+    /// Number of injected fault events actually delivered during the run
+    /// (events scheduled after the last processor finished are never
+    /// delivered and not counted).
+    pub faults_injected: u64,
+    /// Number of grants the policy degraded (clamped, backed off, or
+    /// converted to stalls) to respect a shrunken memory budget; reported
+    /// by the policy via `BoxAllocator::degraded_grants`.
+    pub degraded_grants: u64,
     /// Per-processor allocation timelines (when recording was requested).
     pub timelines: Option<Vec<Vec<Interval>>>,
 }
@@ -29,16 +37,23 @@ pub struct RunResult {
 impl RunResult {
     /// Mean completion time — the paper's secondary objective
     /// (Corollary 3).
+    ///
+    /// Accumulates in `u128` so that long runs (completion times near
+    /// `u64::MAX`) sum exactly instead of losing low bits to incremental
+    /// `f64` rounding.
     pub fn mean_completion(&self) -> f64 {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().map(|&c| c as f64).sum::<f64>() / self.completions.len() as f64
+        let sum: u128 = self.completions.iter().map(|&c| c as u128).sum();
+        sum as f64 / self.completions.len() as f64
     }
 
-    /// Total service time summed over processors (`Σ hits + s·misses`).
-    pub fn total_work(&self, s: u64) -> u64 {
-        self.stats.service_time(s)
+    /// Total service time summed over processors (`Σ hits + s·misses`),
+    /// widened to `u128`: with `~2⁶⁰` misses and a large `s` the natural
+    /// `u64` product wraps silently.
+    pub fn total_work(&self, s: u64) -> u128 {
+        self.stats.service_time_wide(s)
     }
 
     /// Per-processor completion times as CSV (`proc,completion` rows), for
@@ -77,6 +92,8 @@ mod tests {
             memory_integral: 0,
             peak_memory: 0,
             grants_issued: 0,
+            faults_injected: 0,
+            degraded_grants: 0,
             timelines: None,
         };
         assert!((r.mean_completion() - 20.0).abs() < 1e-12);
@@ -91,11 +108,59 @@ mod tests {
             memory_integral: 10,
             peak_memory: 4,
             grants_issued: 2,
+            faults_injected: 0,
+            degraded_grants: 0,
             timelines: None,
         };
         assert_eq!(r.completions_csv(), "proc,completion\n0,5\n1,9\n");
         let s = r.summary_line();
         assert!(s.contains("makespan 9") && s.contains("peak mem 4"));
+    }
+
+    #[test]
+    fn mean_completion_survives_u64_scale_runs() {
+        // Regression: summing near-u64::MAX completions must accumulate in
+        // u128 — a u64 accumulator wraps, and the wrapped mean would be
+        // wildly wrong (here: tiny instead of ≈ u64::MAX).
+        let r = RunResult {
+            completions: vec![u64::MAX, u64::MAX, u64::MAX],
+            makespan: u64::MAX,
+            stats: CacheStats::default(),
+            memory_integral: 0,
+            peak_memory: 0,
+            grants_issued: 0,
+            faults_injected: 0,
+            degraded_grants: 0,
+            timelines: None,
+        };
+        let mean = r.mean_completion();
+        assert!(mean.is_finite());
+        let expect = u64::MAX as f64;
+        assert!((mean - expect).abs() / expect < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn total_work_is_overflow_safe() {
+        // hits + s·misses > u64::MAX: the widened accumulation must return
+        // the exact value instead of wrapping.
+        let r = RunResult {
+            completions: vec![1],
+            makespan: 1,
+            stats: CacheStats {
+                hits: 7,
+                misses: u64::MAX / 2,
+            },
+            memory_integral: 0,
+            peak_memory: 0,
+            grants_issued: 0,
+            faults_injected: 0,
+            degraded_grants: 0,
+            timelines: None,
+        };
+        let s = 1000u64;
+        let expect = 7u128 + 1000u128 * (u64::MAX / 2) as u128;
+        assert!(expect > u64::MAX as u128, "test premise: must not fit u64");
+        assert_eq!(r.total_work(s), expect);
     }
 
     #[test]
@@ -107,6 +172,8 @@ mod tests {
             memory_integral: 0,
             peak_memory: 0,
             grants_issued: 0,
+            faults_injected: 0,
+            degraded_grants: 0,
             timelines: None,
         };
         assert_eq!(r.mean_completion(), 0.0);

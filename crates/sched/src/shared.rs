@@ -54,6 +54,8 @@ pub fn run_shared_lru(seqs: &[Vec<PageId>], k: usize, s: u64) -> RunResult {
         memory_integral: k as u128 * makespan as u128,
         peak_memory: k,
         grants_issued: 0,
+        faults_injected: 0,
+        degraded_grants: 0,
         timelines: None,
     }
 }
@@ -178,6 +180,8 @@ pub fn run_shared_lru_bandwidth(
         memory_integral: k as u128 * makespan as u128,
         peak_memory: k,
         grants_issued: 0,
+        faults_injected: 0,
+        degraded_grants: 0,
         timelines: None,
     }
 }
@@ -188,7 +192,9 @@ mod bandwidth_tests {
     use parapage_cache::ProcId;
 
     fn fresh(x: u32, len: usize) -> Vec<PageId> {
-        (0..len).map(|i| PageId::namespaced(ProcId(x), i as u64)).collect()
+        (0..len)
+            .map(|i| PageId::namespaced(ProcId(x), i as u64))
+            .collect()
     }
 
     #[test]
@@ -212,7 +218,11 @@ mod bandwidth_tests {
     #[test]
     fn bandwidth_only_hurts() {
         let seqs: Vec<Vec<PageId>> = (0..4)
-            .map(|x| (0..200).map(|i| PageId::namespaced(ProcId(x), i as u64 % 12)).collect())
+            .map(|x| {
+                (0..200)
+                    .map(|i| PageId::namespaced(ProcId(x), i as u64 % 12))
+                    .collect()
+            })
             .collect();
         let m_unlimited = run_shared_lru(&seqs, 24, 10).makespan;
         let m2 = run_shared_lru_bandwidth(&seqs, 24, 10, 2).makespan;

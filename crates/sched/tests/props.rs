@@ -68,7 +68,7 @@ proptest! {
         let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
         let mut alloc = Scripted::new(script.clone(), 3);
         let opts = EngineOpts { max_time: 2_000_000, ..Default::default() };
-        let res = run_engine(&mut alloc, &seqs, &params, &opts);
+        let res = run_engine(&mut alloc, &seqs, &params, &opts).unwrap();
         prop_assert_eq!(res.stats.accesses(), total);
         for (x, seq) in seqs.iter().enumerate() {
             if seq.is_empty() {
@@ -122,10 +122,10 @@ proptest! {
         let params = ModelParams::new(2, 16, 5);
         let opts = EngineOpts { max_time: 2_000_000, ..Default::default() };
         let mut a = Scripted::new(script.clone(), 2);
-        let plain = run_engine(&mut a, &seqs, &params, &opts);
+        let plain = run_engine(&mut a, &seqs, &params, &opts).unwrap();
         let mut b = Scripted::new(script, 2);
         let comp_opts = EngineOpts { compartmentalized: true, ..opts };
-        let comp = run_engine(&mut b, &seqs, &params, &comp_opts);
+        let comp = run_engine(&mut b, &seqs, &params, &comp_opts).unwrap();
         prop_assert!(comp.stats.misses >= plain.stats.misses);
         prop_assert!(comp.makespan >= plain.makespan);
     }

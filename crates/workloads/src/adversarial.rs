@@ -52,8 +52,14 @@ impl AdversarialConfig {
     /// The paper's parameterization with scale knob `alpha`
     /// (`γ = max(2, 2·α·k)`, `suffix phases = 4·⌈log log p⌉`).
     pub fn scaled(p: usize, k: usize, s: u64, alpha: f64) -> Self {
-        assert!(p.is_power_of_two() && p >= 4, "p must be a power of two ≥ 4");
-        assert!(k.is_power_of_two() && k >= 2 * p, "k must be a power of two ≥ 2p");
+        assert!(
+            p.is_power_of_two() && p >= 4,
+            "p must be a power of two ≥ 4"
+        );
+        assert!(
+            k.is_power_of_two() && k >= 2 * p,
+            "k must be a power of two ≥ 2p"
+        );
         let ell = log2_ceil(p).max(2);
         let log_ell = log2_ceil(ell as usize).max(1);
         AdversarialConfig {
@@ -205,11 +211,7 @@ mod tests {
             }
         }
         // Phase counts strictly decrease with family index.
-        let phases: Vec<_> = inst
-            .prefixed
-            .iter()
-            .map(|m| (m.family, m.phases))
-            .collect();
+        let phases: Vec<_> = inst.prefixed.iter().map(|m| (m.family, m.phases)).collect();
         for w in phases.windows(2) {
             assert!(w[1].1 <= w[0].1);
         }

@@ -1,0 +1,215 @@
+//! Deterministic, seedable fault *scenarios* for the execution engine.
+//!
+//! Each generator returns a plain `Vec<FaultEvent>` (the engine-side
+//! `FaultPlan` lives in `parapage-sched`, which this crate does not depend
+//! on — callers wrap the vector with `FaultPlan::new`). Generators are
+//! parameterized by the model (`p`, `k`), a time `horizon` to spread events
+//! over, and a `seed`; the same arguments always produce the same events,
+//! which is what makes fault runs reproducible.
+//!
+//! The named scenarios mirror the failure classes of the fault model (see
+//! DESIGN.md): processor stalls, fetch-latency spikes, memory pressure, and
+//! a `chaos` mix of all three.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use parapage_cache::{ProcId, Time};
+use parapage_core::FaultEvent;
+
+/// Names accepted by [`fault_scenario`], in presentation order.
+pub const FAULT_SCENARIOS: &[&str] = &["clean", "stalls", "spikes", "pressure", "chaos"];
+
+/// Builds the named fault scenario over `[0, horizon)`.
+///
+/// Returns `None` for an unknown name; `"clean"` is the empty scenario.
+pub fn fault_scenario(
+    name: &str,
+    p: usize,
+    k: usize,
+    horizon: Time,
+    seed: u64,
+) -> Option<Vec<FaultEvent>> {
+    let events = match name {
+        "clean" => Vec::new(),
+        "stalls" => stall_storm(p, horizon, seed),
+        "spikes" => latency_spikes(horizon, seed),
+        "pressure" => memory_pressure(k, horizon, seed),
+        "chaos" => chaos(p, k, horizon, seed),
+        _ => return None,
+    };
+    Some(events)
+}
+
+fn rng_for(kind: &str, seed: u64) -> StdRng {
+    // Distinct streams per scenario kind so that, e.g., `chaos` stalls do
+    // not replay the `stalls` scenario verbatim.
+    let tag: u64 = kind.bytes().fold(0u64, |h, b| {
+        h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
+    });
+    StdRng::seed_from_u64(seed ^ tag)
+}
+
+/// One stall window per processor, each covering ~5–15% of the horizon at a
+/// random offset in its first half.
+pub fn stall_storm(p: usize, horizon: Time, seed: u64) -> Vec<FaultEvent> {
+    let mut rng = rng_for("stalls", seed);
+    let horizon = horizon.max(20);
+    (0..p)
+        .map(|x| {
+            let width = horizon / 20 + rng.random_range(0..horizon / 10 + 1);
+            let from = rng.random_range(0..horizon / 2 + 1);
+            FaultEvent::ProcStall {
+                proc: ProcId(x as u32),
+                from,
+                until: from.saturating_add(width.max(1)),
+            }
+        })
+        .collect()
+}
+
+/// Three latency-spike windows (factor 2–8×) spread over the horizon.
+pub fn latency_spikes(horizon: Time, seed: u64) -> Vec<FaultEvent> {
+    let mut rng = rng_for("spikes", seed);
+    let horizon = horizon.max(20);
+    (0..3)
+        .map(|_| {
+            let width = (horizon / 10).max(1) + rng.random_range(0..horizon / 10 + 1);
+            let from = rng.random_range(0..horizon);
+            FaultEvent::LatencySpike {
+                from,
+                until: from.saturating_add(width),
+                factor: 1 << rng.random_range(1..4u32),
+            }
+        })
+        .collect()
+}
+
+/// Two pressure steps: the budget drops to ~`k/2` early in the run, then to
+/// ~`k/4` past the midpoint. Limits only ever tighten (the engine enforces
+/// the running minimum).
+pub fn memory_pressure(k: usize, horizon: Time, seed: u64) -> Vec<FaultEvent> {
+    let mut rng = rng_for("pressure", seed);
+    let horizon = horizon.max(20);
+    let wobble = |rng: &mut StdRng, base: usize| {
+        let span = (base / 4).max(1);
+        (base - span / 2 + rng.random_range(0..span)).max(1)
+    };
+    let half = wobble(&mut rng, (k / 2).max(1));
+    let quarter = wobble(&mut rng, (k / 4).max(1)).min(half);
+    vec![
+        FaultEvent::MemoryPressure {
+            at: rng.random_range(0..horizon / 4 + 1),
+            new_limit: half,
+        },
+        FaultEvent::MemoryPressure {
+            at: horizon / 2 + rng.random_range(0..horizon / 4 + 1),
+            new_limit: quarter,
+        },
+    ]
+}
+
+/// All three fault classes at once: half the processors stall, one latency
+/// spike, one pressure step down to ~`k/2`.
+pub fn chaos(p: usize, k: usize, horizon: Time, seed: u64) -> Vec<FaultEvent> {
+    let mut rng = rng_for("chaos", seed);
+    let horizon = horizon.max(20);
+    let mut events: Vec<FaultEvent> = (0..p.div_ceil(2))
+        .map(|x| {
+            let from = rng.random_range(0..horizon / 2 + 1);
+            FaultEvent::ProcStall {
+                proc: ProcId(2 * x as u32),
+                from,
+                until: from.saturating_add((horizon / 12).max(1)),
+            }
+        })
+        .collect();
+    let from = rng.random_range(0..horizon / 2 + 1);
+    events.push(FaultEvent::LatencySpike {
+        from,
+        until: from.saturating_add((horizon / 8).max(1)),
+        factor: 4,
+    });
+    events.push(FaultEvent::MemoryPressure {
+        at: rng.random_range(0..horizon / 2 + 1),
+        new_limit: (k / 2).max(1),
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        for name in FAULT_SCENARIOS {
+            let a = fault_scenario(name, 8, 64, 10_000, 7).unwrap();
+            let b = fault_scenario(name, 8, 64, 10_000, 7).unwrap();
+            assert_eq!(a, b, "scenario `{name}` not reproducible");
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = fault_scenario("chaos", 8, 64, 10_000, 1).unwrap();
+        let b = fault_scenario("chaos", 8, 64, 10_000, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clean_is_empty_and_unknown_is_none() {
+        assert!(fault_scenario("clean", 4, 16, 100, 0).unwrap().is_empty());
+        assert!(fault_scenario("nope", 4, 16, 100, 0).is_none());
+    }
+
+    #[test]
+    fn stall_storm_covers_every_processor() {
+        let ev = stall_storm(5, 1000, 3);
+        let mut procs: Vec<usize> = ev
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::ProcStall { proc, from, until } => {
+                    assert!(from < until);
+                    proc.idx()
+                }
+                _ => panic!("non-stall event in stall storm"),
+            })
+            .collect();
+        procs.sort_unstable();
+        assert_eq!(procs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pressure_limits_only_tighten() {
+        for seed in 0..20 {
+            let ev = memory_pressure(64, 10_000, seed);
+            let limits: Vec<usize> = ev
+                .iter()
+                .map(|e| match *e {
+                    FaultEvent::MemoryPressure { new_limit, .. } => new_limit,
+                    _ => panic!("non-pressure event"),
+                })
+                .collect();
+            assert_eq!(limits.len(), 2);
+            assert!(limits[1] <= limits[0], "seed {seed}: {limits:?}");
+            assert!(limits.iter().all(|&l| l >= 1));
+        }
+    }
+
+    #[test]
+    fn chaos_mixes_all_three_classes() {
+        let ev = chaos(6, 32, 5000, 11);
+        let stalls = ev
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::ProcStall { .. }))
+            .count();
+        assert_eq!(stalls, 3);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, FaultEvent::LatencySpike { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, FaultEvent::MemoryPressure { .. })));
+    }
+}

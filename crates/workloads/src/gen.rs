@@ -109,12 +109,7 @@ impl SeqBuilder {
     ///
     /// # Panics
     /// If `pollute_every == 0`.
-    pub fn polluted_cycle(
-        &mut self,
-        width: usize,
-        len: usize,
-        pollute_every: usize,
-    ) -> &mut Self {
+    pub fn polluted_cycle(&mut self, width: usize, len: usize, pollute_every: usize) -> &mut Self {
         assert!(pollute_every >= 1);
         let base = self.reserve(width as u64);
         let mut cycle_idx = 0usize;

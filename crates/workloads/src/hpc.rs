@@ -53,12 +53,7 @@ impl SeqBuilder {
 
     /// Generic helper: `len` requests with local page `f(i)` drawn from a
     /// reserved range of `width` pages.
-    fn pattern(
-        &mut self,
-        width: u64,
-        len: usize,
-        f: impl Fn(usize) -> u64,
-    ) -> &mut Self {
+    fn pattern(&mut self, width: u64, len: usize, f: impl Fn(usize) -> u64) -> &mut Self {
         let base = self.reserve_range(width);
         for i in 0..len {
             let local = f(i);
@@ -170,8 +165,7 @@ mod tests {
     fn shared_workload_overlaps_exactly_on_the_hotset() {
         let seqs = shared_hotset_workload(4, 8, 4, 3, 300);
         assert_eq!(seqs.len(), 4);
-        let sets: Vec<HashSet<PageId>> =
-            seqs.iter().map(|s| s.iter().copied().collect()).collect();
+        let sets: Vec<HashSet<PageId>> = seqs.iter().map(|s| s.iter().copied().collect()).collect();
         let shared: HashSet<PageId> = sets[0].intersection(&sets[1]).copied().collect();
         assert!(!shared.is_empty(), "no sharing happened");
         assert!(shared.len() <= 4);

@@ -10,7 +10,9 @@
 //! full Theorem-4 lower-bound instances (prefix families `F_i` with rising
 //! pollution levels, plus all-fresh suffixes). [`spec`] offers a declarative
 //! way to assemble per-processor mixes, and [`trace`] a plain-text trace
-//! format for persisting workloads.
+//! format for persisting workloads. [`fault`] generates deterministic
+//! fault scenarios (processor stalls, latency spikes, memory pressure) for
+//! the engine's fault-injection layer.
 //!
 //! All sequences are *disjoint across processors* (the paper's model
 //! requirement) by construction: every generator namespaces its pages with
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod fault;
 pub mod gen;
 pub mod hpc;
 pub mod seq;
@@ -27,6 +30,7 @@ pub mod spec;
 pub mod trace;
 
 pub use adversarial::{AdversarialConfig, AdversarialInstance};
+pub use fault::{fault_scenario, FAULT_SCENARIOS};
 pub use gen::SeqBuilder;
 pub use hpc::shared_hotset_workload;
 pub use seq::Workload;

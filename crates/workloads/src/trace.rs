@@ -54,7 +54,9 @@ pub fn from_str(text: &str) -> Result<Workload, String> {
         .map_err(|e| format!("bad processor count: {e}"))?;
     let mut seqs = Vec::with_capacity(p);
     for x in 0..p {
-        let line = lines.next().ok_or_else(|| format!("missing line for processor {x}"))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("missing line for processor {x}"))?;
         let mut toks = line.split_whitespace();
         let len: usize = toks
             .next()

@@ -10,15 +10,24 @@ fn spec_strategy() -> impl Strategy<Value = SeqSpec> {
     prop_oneof![
         (1usize..20, 0usize..200).prop_map(|(width, len)| SeqSpec::Cyclic { width, len }),
         (0usize..150).prop_map(|len| SeqSpec::Fresh { len }),
-        (1usize..30, 0usize..150)
-            .prop_map(|(universe, len)| SeqSpec::Uniform { universe, len }),
+        (1usize..30, 0usize..150).prop_map(|(universe, len)| SeqSpec::Uniform { universe, len }),
         (1usize..25, 0usize..150, 0.0f64..1.5).prop_map(|(universe, len, theta)| {
-            SeqSpec::Zipf { universe, theta, len }
+            SeqSpec::Zipf {
+                universe,
+                theta,
+                len,
+            }
         }),
-        (2usize..20, 0usize..120, 2usize..9)
-            .prop_map(|(width, len, every)| SeqSpec::Polluted { width, len, every }),
-        (1usize..16, 0.0f64..0.3, 0usize..120)
-            .prop_map(|(width, drift, len)| SeqSpec::Drift { width, drift, len }),
+        (2usize..20, 0usize..120, 2usize..9).prop_map(|(width, len, every)| SeqSpec::Polluted {
+            width,
+            len,
+            every
+        }),
+        (1usize..16, 0.0f64..0.3, 0usize..120).prop_map(|(width, drift, len)| SeqSpec::Drift {
+            width,
+            drift,
+            len
+        }),
     ]
 }
 

@@ -14,7 +14,14 @@ use parapage::prelude::*;
 
 fn main() {
     let mut table = Table::new([
-        "p", "k", "OPT(Lemma8)", "DET-PAR", "RAND-PAR", "BB-GREEN", "BB/OPT", "DET/OPT",
+        "p",
+        "k",
+        "OPT(Lemma8)",
+        "DET-PAR",
+        "RAND-PAR",
+        "BB-GREEN",
+        "BB/OPT",
+        "DET/OPT",
     ]);
 
     for &(p, k) in &[(8usize, 32usize), (16, 64), (32, 128), (64, 256)] {
@@ -28,16 +35,16 @@ fn main() {
         let opt = lemma8_makespan(&inst).makespan();
 
         let mut det = DetPar::new(&params);
-        let det_ms = run_engine(&mut det, seqs, &params, &opts).makespan;
+        let det_ms = run_engine(&mut det, seqs, &params, &opts).unwrap().makespan;
 
         let mut rnd = RandPar::new(&params, 1);
-        let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts).makespan;
+        let rnd_ms = run_engine(&mut rnd, seqs, &params, &opts).unwrap().makespan;
 
         let pagers: Vec<RandGreen> = (0..p as u64)
             .map(|i| RandGreen::new(&params, 1000 + i))
             .collect();
         let mut bb = BlackboxGreenPacker::new(&params, pagers);
-        let bb_ms = run_engine(&mut bb, seqs, &params, &opts).makespan;
+        let bb_ms = run_engine(&mut bb, seqs, &params, &opts).unwrap().makespan;
 
         table.row([
             p.to_string(),

@@ -16,9 +16,15 @@ fn main() {
     let specs = vec![
         SeqSpec::Cyclic { width: 12, len },
         SeqSpec::Cyclic { width: 40, len },
-        SeqSpec::Zipf { universe: 96, theta: 0.9, len },
+        SeqSpec::Zipf {
+            universe: 96,
+            theta: 0.9,
+            len,
+        },
         SeqSpec::Cyclic { width: 28, len },
-        SeqSpec::Phased { phases: vec![(8, len / 2), (48, len / 2)] },
+        SeqSpec::Phased {
+            phases: vec![(8, len / 2), (48, len / 2)],
+        },
         SeqSpec::Uniform { universe: 24, len },
     ];
     let workload = build_workload(&specs, 11);
@@ -46,15 +52,23 @@ fn main() {
     // Sweep the cache size: what does each policy deliver?
     println!("cache-size sweep (makespan):\n");
     let mut t2 = Table::new([
-        "k", "OPT-STATIC (oracle)", "DET-PAR", "STATIC-EQUAL", "DET vs oracle",
+        "k",
+        "OPT-STATIC (oracle)",
+        "DET-PAR",
+        "STATIC-EQUAL",
+        "DET vs oracle",
     ]);
     for &k in &[64usize, 128, 256, 512] {
         let params = ModelParams::new(p, k, s);
         let oracle = static_opt_makespan(workload.seqs(), k, s).objective;
         let mut det = DetPar::new(&params);
-        let det_ms = run_engine(&mut det, workload.seqs(), &params, &EngineOpts::default()).makespan;
+        let det_ms = run_engine(&mut det, workload.seqs(), &params, &EngineOpts::default())
+            .unwrap()
+            .makespan;
         let mut st = StaticPartition::new(&params);
-        let st_ms = run_engine(&mut st, workload.seqs(), &params, &EngineOpts::default()).makespan;
+        let st_ms = run_engine(&mut st, workload.seqs(), &params, &EngineOpts::default())
+            .unwrap()
+            .makespan;
         t2.row([
             k.to_string(),
             oracle.to_string(),

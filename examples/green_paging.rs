@@ -9,7 +9,13 @@ use parapage::prelude::*;
 
 fn main() {
     let mut table = Table::new([
-        "p", "k", "OPT impact", "RAND-GREEN", "ratio", "ADAPT-GREEN", "ratio",
+        "p",
+        "k",
+        "OPT impact",
+        "RAND-GREEN",
+        "ratio",
+        "ADAPT-GREEN",
+        "ratio",
     ]);
 
     // A phase-changing sequence: tiny loop, huge loop, medium loop — the

@@ -21,10 +21,20 @@ fn main() {
         SeqSpec::Cyclic { width: 24, len },
         SeqSpec::Cyclic { width: 96, len },
         SeqSpec::Fresh { len },
-        SeqSpec::Zipf { universe: 256, theta: 0.9, len },
+        SeqSpec::Zipf {
+            universe: 256,
+            theta: 0.9,
+            len,
+        },
         SeqSpec::Uniform { universe: 64, len },
-        SeqSpec::Phased { phases: vec![(8, len / 2), (64, len / 2)] },
-        SeqSpec::Drift { width: 32, drift: 0.02, len },
+        SeqSpec::Phased {
+            phases: vec![(8, len / 2), (64, len / 2)],
+        },
+        SeqSpec::Drift {
+            width: 32,
+            drift: 0.02,
+            len,
+        },
     ];
     let workload = build_workload(&specs, 7);
     assert!(workload.is_disjoint());
@@ -48,18 +58,38 @@ fn main() {
     let opts = EngineOpts::default();
 
     let mut det = DetPar::new(&params);
-    add(&mut table, "DET-PAR", run_engine(&mut det, workload.seqs(), &params, &opts));
+    add(
+        &mut table,
+        "DET-PAR",
+        run_engine(&mut det, workload.seqs(), &params, &opts).unwrap(),
+    );
 
     let mut rnd = RandPar::new(&params, 42);
-    add(&mut table, "RAND-PAR", run_engine(&mut rnd, workload.seqs(), &params, &opts));
+    add(
+        &mut table,
+        "RAND-PAR",
+        run_engine(&mut rnd, workload.seqs(), &params, &opts).unwrap(),
+    );
 
     let mut stat = StaticPartition::new(&params);
-    add(&mut table, "STATIC-EQUAL", run_engine(&mut stat, workload.seqs(), &params, &opts));
+    add(
+        &mut table,
+        "STATIC-EQUAL",
+        run_engine(&mut stat, workload.seqs(), &params, &opts).unwrap(),
+    );
 
     let mut prop = PropMissPartition::new(&params);
-    add(&mut table, "PROP-MISS", run_engine(&mut prop, workload.seqs(), &params, &opts));
+    add(
+        &mut table,
+        "PROP-MISS",
+        run_engine(&mut prop, workload.seqs(), &params, &opts).unwrap(),
+    );
 
-    add(&mut table, "SHARED-LRU", run_shared_lru(workload.seqs(), params.k, params.s));
+    add(
+        &mut table,
+        "SHARED-LRU",
+        run_shared_lru(workload.seqs(), params.k, params.s),
+    );
 
     println!("{table}");
     println!("(\"vs LB\" is an upper bound on each policy's competitive ratio here)");

@@ -12,8 +12,14 @@ fn mixed(p: usize, len: usize, k: usize) -> Vec<SeqSpec> {
         .map(|x| match x % 4 {
             0 => SeqSpec::Cyclic { width: k / 16, len },
             1 => SeqSpec::Cyclic { width: k / 2, len },
-            2 => SeqSpec::Zipf { universe: k, theta: 0.9, len },
-            _ => SeqSpec::Phased { phases: vec![(k / 16, len / 2), (k / 2, len / 2)] },
+            2 => SeqSpec::Zipf {
+                universe: k,
+                theta: 0.9,
+                len,
+            },
+            _ => SeqSpec::Phased {
+                phases: vec![(k / 16, len / 2), (k / 2, len / 2)],
+            },
         })
         .collect()
 }
@@ -23,7 +29,10 @@ fn skewed(p: usize, len: usize, k: usize) -> Vec<SeqSpec> {
     (0..p)
         .map(|x| {
             if x == 0 {
-                SeqSpec::Cyclic { width: 3 * k / 4, len }
+                SeqSpec::Cyclic {
+                    width: 3 * k / 4,
+                    len,
+                }
             } else {
                 SeqSpec::Cyclic { width: 4, len }
             }
@@ -33,7 +42,10 @@ fn skewed(p: usize, len: usize, k: usize) -> Vec<SeqSpec> {
 
 fn uniform_small(p: usize, len: usize, k: usize) -> Vec<SeqSpec> {
     (0..p)
-        .map(|_| SeqSpec::Uniform { universe: 2 * k / p, len })
+        .map(|_| SeqSpec::Uniform {
+            universe: 2 * k / p,
+            len,
+        })
         .collect()
 }
 
@@ -59,13 +71,25 @@ fn main() {
 
         let mut results: Vec<(&str, RunResult)> = Vec::new();
         let mut det = DetPar::new(&params);
-        results.push(("DET-PAR", run_engine(&mut det, workload.seqs(), &params, &opts)));
+        results.push((
+            "DET-PAR",
+            run_engine(&mut det, workload.seqs(), &params, &opts).unwrap(),
+        ));
         let mut rnd = RandPar::new(&params, 5);
-        results.push(("RAND-PAR", run_engine(&mut rnd, workload.seqs(), &params, &opts)));
+        results.push((
+            "RAND-PAR",
+            run_engine(&mut rnd, workload.seqs(), &params, &opts).unwrap(),
+        ));
         let mut st = StaticPartition::new(&params);
-        results.push(("STATIC-EQUAL", run_engine(&mut st, workload.seqs(), &params, &opts)));
+        results.push((
+            "STATIC-EQUAL",
+            run_engine(&mut st, workload.seqs(), &params, &opts).unwrap(),
+        ));
         let mut pm = PropMissPartition::new(&params);
-        results.push(("PROP-MISS", run_engine(&mut pm, workload.seqs(), &params, &opts)));
+        results.push((
+            "PROP-MISS",
+            run_engine(&mut pm, workload.seqs(), &params, &opts).unwrap(),
+        ));
         results.push(("SHARED-LRU", run_shared_lru(workload.seqs(), k, s)));
 
         for (pname, r) in results {

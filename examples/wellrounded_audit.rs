@@ -25,10 +25,14 @@ fn main() {
         memory_limit: Some(parapage::core::DetPar::MEMORY_FACTOR * k),
         ..Default::default()
     };
-    let res = run_engine(&mut det, w.seqs(), &params, &opts);
+    let res = run_engine(&mut det, w.seqs(), &params, &opts).unwrap();
 
-    println!("makespan {}   peak memory {} (= {:.2}k)\n", res.makespan, res.peak_memory,
-             res.peak_memory as f64 / k as f64);
+    println!(
+        "makespan {}   peak memory {} (= {:.2}k)\n",
+        res.makespan,
+        res.peak_memory,
+        res.peak_memory as f64 / k as f64
+    );
 
     println!("phases:");
     let mut table = Table::new(["#", "start", "base height", "roster"]);
@@ -69,8 +73,10 @@ fn main() {
                 .unwrap_or(0.0)
         })
         .collect();
-    println!("\nP0 allocated height over its lifetime (min {} .. max {}):",
-             samples.iter().cloned().fold(f64::INFINITY, f64::min) as u64,
-             samples.iter().cloned().fold(0.0f64, f64::max) as u64);
+    println!(
+        "\nP0 allocated height over its lifetime (min {} .. max {}):",
+        samples.iter().cloned().fold(f64::INFINITY, f64::min) as u64,
+        samples.iter().cloned().fold(0.0f64, f64::max) as u64
+    );
     println!("{}", sparkline(&samples));
 }

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! entry points it uses — `par_iter()` and `into_par_iter()` from
+//! `rayon::prelude` — are vendored here as thin shims that hand back the
+//! ordinary *sequential* standard-library iterators. Every downstream
+//! combinator (`map`, `flat_map`, `collect`, …) is then just
+//! [`std::iter::Iterator`], so the experiment binaries compile and produce
+//! identical results, merely without the parallel speedup.
+
+/// Types convertible into a (here: sequential) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Converts `self` into an iterator; sequential in this stand-in.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+
+    fn into_par_iter(self) -> T::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Types whose references iterate "in parallel" (sequentially here).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: 'a;
+
+    /// Iterates over `&self`; sequential in this stand-in.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Item = <&'a C as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_flat_map() {
+        let pairs: Vec<(u64, u64)> = (0..3u64)
+            .into_par_iter()
+            .flat_map(|a| (0..2u64).into_par_iter().map(move |b| (a, b)))
+            .collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (0, 0));
+        assert_eq!(pairs[5], (2, 1));
+    }
+}

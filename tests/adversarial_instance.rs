@@ -6,7 +6,9 @@ use parapage::prelude::*;
 
 fn run_policy(alloc: &mut dyn BoxAllocator, inst: &AdversarialInstance) -> u64 {
     let params = inst.config.params();
-    run_engine(alloc, inst.workload.seqs(), &params, &EngineOpts::default()).makespan
+    run_engine(alloc, inst.workload.seqs(), &params, &EngineOpts::default())
+        .unwrap()
+        .makespan
 }
 
 /// Lemma 8's schedule is feasible and therefore dominates the certified
@@ -24,7 +26,10 @@ fn lemma8_sits_between_lower_bound_and_online_policies() {
 
     let mut det = DetPar::new(&params);
     let det_ms = run_policy(&mut det, &inst);
-    assert!(det_ms >= opt, "online DET-PAR {det_ms} beat offline OPT {opt}");
+    assert!(
+        det_ms >= opt,
+        "online DET-PAR {det_ms} beat offline OPT {opt}"
+    );
 
     let pagers: Vec<RandGreen> = (0..16).map(|i| RandGreen::new(&params, i)).collect();
     let mut bb = BlackboxGreenPacker::new(&params, pagers);
@@ -46,10 +51,7 @@ fn online_over_opt_ratio_grows_with_p() {
         let ms = run_policy(&mut det, &inst);
         ratios.push(ms as f64 / opt as f64);
     }
-    assert!(
-        ratios[1] > ratios[0],
-        "ratio did not grow: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "ratio did not grow: {ratios:?}");
     assert!(ratios[0] >= 1.0);
 }
 

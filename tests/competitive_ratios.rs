@@ -66,7 +66,9 @@ fn parallel_pagers_stay_within_log_p_of_lower_bound() {
         let budget = 8.0 * log_p + 8.0;
 
         let mut det = DetPar::new(&params);
-        let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).makespan;
+        let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default())
+            .unwrap()
+            .makespan;
         assert!(
             (det_ms as f64) <= budget * lb as f64,
             "p={p}: DET-PAR ratio {:.2} over budget {budget:.2}",
@@ -74,7 +76,9 @@ fn parallel_pagers_stay_within_log_p_of_lower_bound() {
         );
 
         let mut rnd = RandPar::new(&params, 3);
-        let rnd_ms = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default()).makespan;
+        let rnd_ms = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default())
+            .unwrap()
+            .makespan;
         assert!(
             (rnd_ms as f64) <= budget * lb as f64,
             "p={p}: RAND-PAR ratio {:.2} over budget {budget:.2}",
@@ -100,7 +104,7 @@ fn det_par_mean_completion_is_competitive() {
         .collect();
     let w = build_workload(&specs, 13);
     let mut det = DetPar::new(&params);
-    let res = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default());
+    let res = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).unwrap();
     let mean_floor: f64 = w
         .seqs()
         .iter()
@@ -126,7 +130,10 @@ fn det_par_beats_static_partition_on_skew() {
     let specs: Vec<SeqSpec> = (0..p)
         .map(|x| {
             if x == 0 {
-                SeqSpec::Cyclic { width: 3 * k / 4, len }
+                SeqSpec::Cyclic {
+                    width: 3 * k / 4,
+                    len,
+                }
             } else {
                 SeqSpec::Cyclic { width: 4, len }
             }
@@ -134,9 +141,13 @@ fn det_par_beats_static_partition_on_skew() {
         .collect();
     let w = build_workload(&specs, 21);
     let mut det = DetPar::new(&params);
-    let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).makespan;
+    let det_ms = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default())
+        .unwrap()
+        .makespan;
     let mut st = StaticPartition::new(&params);
-    let st_ms = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default()).makespan;
+    let st_ms = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default())
+        .unwrap()
+        .makespan;
     assert!(
         st_ms as f64 > 2.0 * det_ms as f64,
         "static {st_ms} vs det {det_ms}: expected a clear win"
@@ -155,9 +166,13 @@ fn rand_par_chunk_balance() {
         .collect();
     let w = build_workload(&specs, 31);
     let mut rnd = RandPar::new(&params, 17);
-    let _ = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default());
+    let _ = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default()).unwrap();
     let chunks = rnd.chunks();
-    assert!(chunks.len() >= 5, "need several chunks, got {}", chunks.len());
+    assert!(
+        chunks.len() >= 5,
+        "need several chunks, got {}",
+        chunks.len()
+    );
     let l1: u128 = chunks.iter().map(|c| c.primary_len as u128).sum();
     let l2: u128 = chunks.iter().map(|c| c.secondary_len as u128).sum();
     let ratio = l2 as f64 / l1 as f64;

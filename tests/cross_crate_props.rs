@@ -12,9 +12,8 @@ fn spec_strategy(max_len: usize) -> impl Strategy<Value = SeqSpec> {
         (1usize..max_len).prop_map(|len| SeqSpec::Fresh { len }),
         (2usize..32, 1usize..max_len)
             .prop_map(|(universe, len)| SeqSpec::Uniform { universe, len }),
-        (2usize..24, 2usize..max_len, 2usize..8).prop_map(|(width, len, every)| {
-            SeqSpec::Polluted { width, len, every }
-        }),
+        (2usize..24, 2usize..max_len, 2usize..8)
+            .prop_map(|(width, len, every)| { SeqSpec::Polluted { width, len, every } }),
     ]
 }
 
@@ -36,7 +35,7 @@ proptest! {
     fn det_par_engine_invariants(w in workload_strategy(4, 400)) {
         let params = ModelParams::new(4, 32, 8);
         let mut det = DetPar::new(&params);
-        let res = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default());
+        let res = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).unwrap();
         prop_assert_eq!(res.stats.accesses(), w.total_requests());
         prop_assert_eq!(
             res.makespan,
@@ -56,7 +55,7 @@ proptest! {
     fn rand_par_engine_invariants(w in workload_strategy(4, 300), seed in any::<u64>()) {
         let params = ModelParams::new(4, 32, 8);
         let mut rp = RandPar::new(&params, seed);
-        let res = run_engine(&mut rp, w.seqs(), &params, &EngineOpts::default());
+        let res = run_engine(&mut rp, w.seqs(), &params, &EngineOpts::default()).unwrap();
         prop_assert_eq!(res.stats.accesses(), w.total_requests());
         prop_assert!(res.peak_memory <= 2 * params.k);
     }
@@ -72,7 +71,7 @@ proptest! {
                 1 => Box::new(StaticPartition::new(&params)),
                 _ => Box::new(PropMissPartition::new(&params)),
             };
-            let res = run_engine(alloc.as_mut(), w.seqs(), &params, &EngineOpts::default());
+            let res = run_engine(alloc.as_mut(), w.seqs(), &params, &EngineOpts::default()).unwrap();
             prop_assert!(res.makespan >= lb, "policy {mk}: {} < {lb}", res.makespan);
         }
         // Shared LRU too.
@@ -119,7 +118,7 @@ proptest! {
         let share = params.k / params.p;
         let grant_len = params.s * share as u64;
         let mut st = StaticPartition::new(&params);
-        let res = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default());
+        let res = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default()).unwrap();
         for (x, seq) in w.seqs().iter().enumerate() {
             if seq.is_empty() { continue; }
             let expected = miss_curve(seq, share).service_time(share, params.s);

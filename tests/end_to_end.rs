@@ -49,7 +49,7 @@ fn all_policies_complete_all_requests() {
         ),
     ];
     for (alloc, name) in policies.iter_mut() {
-        let res = run_engine(alloc.as_mut(), w.seqs(), &p, &opts);
+        let res = run_engine(alloc.as_mut(), w.seqs(), &p, &opts).unwrap();
         assert_eq!(res.stats.accesses(), total, "policy {name}");
         assert!(res.makespan >= lb, "policy {name} beat the lower bound?!");
         assert_eq!(res.completions.len(), 8, "policy {name}");
@@ -67,7 +67,7 @@ fn completions_respect_per_processor_floors() {
     let p = params();
     let w = mixed_workload(1000);
     let mut det = DetPar::new(&p);
-    let res = run_engine(&mut det, w.seqs(), &p, &EngineOpts::default());
+    let res = run_engine(&mut det, w.seqs(), &p, &EngineOpts::default()).unwrap();
     for (x, seq) in w.seqs().iter().enumerate() {
         let floor = seq.len() as u64 + (p.s - 1) * min_misses(seq, p.k);
         assert!(
@@ -89,7 +89,7 @@ fn det_par_is_well_rounded_in_practice() {
         record_timelines: true,
         ..Default::default()
     };
-    let res = run_engine(&mut det, w.seqs(), &p, &opts);
+    let res = run_engine(&mut det, w.seqs(), &p, &opts).unwrap();
     assert!(res.peak_memory <= DetPar::MEMORY_FACTOR * p.k);
     let report = check_well_rounded(
         res.timelines.as_ref().unwrap(),
@@ -112,7 +112,9 @@ fn rand_par_seeding() {
     let w = mixed_workload(800);
     let run = |seed: u64| {
         let mut rp = RandPar::new(&p, seed);
-        run_engine(&mut rp, w.seqs(), &p, &EngineOpts::default()).makespan
+        run_engine(&mut rp, w.seqs(), &p, &EngineOpts::default())
+            .unwrap()
+            .makespan
     };
     assert_eq!(run(5), run(5));
     let different = (0..8).map(run).collect::<std::collections::HashSet<_>>();
@@ -127,7 +129,7 @@ fn compartmentalization_only_hurts() {
     let w = mixed_workload(800);
     for seed in [1u64, 2] {
         let mut a = RandPar::new(&p, seed);
-        let plain = run_engine(&mut a, w.seqs(), &p, &EngineOpts::default());
+        let plain = run_engine(&mut a, w.seqs(), &p, &EngineOpts::default()).unwrap();
         let mut b = RandPar::new(&p, seed);
         let comp = run_engine(
             &mut b,
@@ -137,7 +139,8 @@ fn compartmentalization_only_hurts() {
                 compartmentalized: true,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(comp.makespan >= plain.makespan);
     }
 }
@@ -154,7 +157,13 @@ fn engines_agree_on_single_processor_full_cache() {
     };
     let shared = run_shared_lru(std::slice::from_ref(&seq), p.k, p.s);
     let mut det = DetPar::new(&p);
-    let engine = run_engine(&mut det, std::slice::from_ref(&seq), &p, &EngineOpts::default());
+    let engine = run_engine(
+        &mut det,
+        std::slice::from_ref(&seq),
+        &p,
+        &EngineOpts::default(),
+    )
+    .unwrap();
     // DET-PAR gives the single processor the whole cache; identical timing.
     assert_eq!(shared.makespan, engine.makespan);
     assert_eq!(shared.stats.misses, engine.stats.misses);
@@ -168,9 +177,9 @@ fn trace_round_trip_preserves_results() {
     let text = parapage::workloads::trace::to_string(&w);
     let w2 = parapage::workloads::trace::from_str(&text).unwrap();
     let mut a = DetPar::new(&p);
-    let r1 = run_engine(&mut a, w.seqs(), &p, &EngineOpts::default());
+    let r1 = run_engine(&mut a, w.seqs(), &p, &EngineOpts::default()).unwrap();
     let mut b = DetPar::new(&p);
-    let r2 = run_engine(&mut b, w2.seqs(), &p, &EngineOpts::default());
+    let r2 = run_engine(&mut b, w2.seqs(), &p, &EngineOpts::default()).unwrap();
     assert_eq!(r1.makespan, r2.makespan);
     assert_eq!(r1.completions, r2.completions);
 }

@@ -28,9 +28,13 @@ fn ucp_learns_the_skew_and_beats_static_equal() {
     let p = params();
     let w = skewed(4000);
     let mut ucp = UcpPartition::new(&p);
-    let ucp_ms = run_engine(&mut ucp, w.seqs(), &p, &EngineOpts::default()).makespan;
+    let ucp_ms = run_engine(&mut ucp, w.seqs(), &p, &EngineOpts::default())
+        .unwrap()
+        .makespan;
     let mut st = StaticPartition::new(&p);
-    let st_ms = run_engine(&mut st, w.seqs(), &p, &EngineOpts::default()).makespan;
+    let st_ms = run_engine(&mut st, w.seqs(), &p, &EngineOpts::default())
+        .unwrap()
+        .makespan;
     assert!(
         (ucp_ms as f64) < 0.6 * st_ms as f64,
         "UCP {ucp_ms} vs static {st_ms}"
@@ -45,13 +49,15 @@ fn static_opt_is_a_floor_for_static_policies_and_matches_engine() {
     assert!(opt.allocation.iter().sum::<usize>() <= p.k);
     // The static-equal engine run can never beat the static optimum.
     let mut st = StaticPartition::new(&p);
-    let st_ms = run_engine(&mut st, w.seqs(), &p, &EngineOpts::default()).makespan;
+    let st_ms = run_engine(&mut st, w.seqs(), &p, &EngineOpts::default())
+        .unwrap()
+        .makespan;
     assert!(st_ms >= opt.objective, "{st_ms} < {}", opt.objective);
     // Total-time optimum lower-bounds the sum of completions of the static
     // run as well.
     let tot = static_opt_total_time(w.seqs(), p.k, p.s);
     let mut st2 = StaticPartition::new(&p);
-    let res = run_engine(&mut st2, w.seqs(), &p, &EngineOpts::default());
+    let res = run_engine(&mut st2, w.seqs(), &p, &EngineOpts::default()).unwrap();
     let total: u64 = res.completions.iter().sum();
     assert!(total >= tot.objective);
 }
@@ -69,7 +75,7 @@ fn rebooting_green_tracks_survivors_inside_the_packer() {
     let w = build_workload(&specs, 2);
     let pagers: Vec<RebootingGreen> = (0..8).map(|i| RebootingGreen::new(&p, i)).collect();
     let mut bb = BlackboxGreenPacker::new(&p, pagers);
-    let res = run_engine(&mut bb, w.seqs(), &p, &EngineOpts::default());
+    let res = run_engine(&mut bb, w.seqs(), &p, &EngineOpts::default()).unwrap();
     assert_eq!(res.stats.accesses(), w.total_requests());
 }
 
@@ -79,7 +85,7 @@ fn fair_packer_completes_and_stays_within_memory() {
     let w = skewed(1500);
     let pagers: Vec<RandGreen> = (0..8).map(|i| RandGreen::new(&p, i)).collect();
     let mut bb = BlackboxGreenPacker::new(&p, pagers).with_fairness(2.0);
-    let res = run_engine(&mut bb, w.seqs(), &p, &EngineOpts::default());
+    let res = run_engine(&mut bb, w.seqs(), &p, &EngineOpts::default()).unwrap();
     assert_eq!(res.stats.accesses(), w.total_requests());
     // Policy budget k + filler budget k.
     assert!(res.peak_memory <= 2 * p.k, "peak {}", res.peak_memory);
@@ -105,15 +111,27 @@ fn lru_wlog_spread_is_bounded_on_cyclic_workloads() {
     let mut mk = Vec::new();
     {
         let mut det = DetPar::new(&p);
-        mk.push(run_engine_with(&mut det, w.seqs(), &p, &opts, |_| LruCache::new(0)).makespan);
+        mk.push(
+            run_engine_with(&mut det, w.seqs(), &p, &opts, |_| LruCache::new(0))
+                .unwrap()
+                .makespan,
+        );
     }
     {
         let mut det = DetPar::new(&p);
-        mk.push(run_engine_with(&mut det, w.seqs(), &p, &opts, |_| FifoCache::new(0)).makespan);
+        mk.push(
+            run_engine_with(&mut det, w.seqs(), &p, &opts, |_| FifoCache::new(0))
+                .unwrap()
+                .makespan,
+        );
     }
     {
         let mut det = DetPar::new(&p);
-        mk.push(run_engine_with(&mut det, w.seqs(), &p, &opts, |_| ClockCache::new(0)).makespan);
+        mk.push(
+            run_engine_with(&mut det, w.seqs(), &p, &opts, |_| ClockCache::new(0))
+                .unwrap()
+                .makespan,
+        );
     }
     let lo = *mk.iter().min().unwrap() as f64;
     let hi = *mk.iter().max().unwrap() as f64;
@@ -150,7 +168,7 @@ fn hpc_patterns_flow_through_the_full_pipeline() {
     let w = Workload::new(seqs);
     assert!(w.is_disjoint());
     let mut det = DetPar::new(&p);
-    let res = run_engine(&mut det, w.seqs(), &p, &EngineOpts::default());
+    let res = run_engine(&mut det, w.seqs(), &p, &EngineOpts::default()).unwrap();
     assert_eq!(res.stats.accesses(), w.total_requests());
     let lb = per_proc_bound(w.seqs(), p.k, p.s);
     assert!(res.makespan >= lb);
@@ -163,20 +181,23 @@ fn non_power_of_two_processor_counts_work() {
     for p_count in [3usize, 5, 6] {
         let params = ModelParams::new(p_count, 64, 10);
         let specs: Vec<SeqSpec> = (0..p_count)
-            .map(|x| SeqSpec::Cyclic { width: 4 + x, len: 500 })
+            .map(|x| SeqSpec::Cyclic {
+                width: 4 + x,
+                len: 500,
+            })
             .collect();
         let w = build_workload(&specs, 1);
         let mut det = DetPar::new(&params);
-        let r1 = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default());
+        let r1 = run_engine(&mut det, w.seqs(), &params, &EngineOpts::default()).unwrap();
         assert_eq!(r1.stats.accesses(), w.total_requests(), "det p={p_count}");
         let mut rnd = RandPar::new(&params, 7);
-        let r2 = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default());
+        let r2 = run_engine(&mut rnd, w.seqs(), &params, &EngineOpts::default()).unwrap();
         assert_eq!(r2.stats.accesses(), w.total_requests(), "rand p={p_count}");
         let pagers: Vec<RandGreen> = (0..p_count as u64)
             .map(|i| RandGreen::new(&params, i))
             .collect();
         let mut bb = BlackboxGreenPacker::new(&params, pagers);
-        let r3 = run_engine(&mut bb, w.seqs(), &params, &EngineOpts::default());
+        let r3 = run_engine(&mut bb, w.seqs(), &params, &EngineOpts::default()).unwrap();
         assert_eq!(r3.stats.accesses(), w.total_requests(), "bb p={p_count}");
     }
 }
@@ -191,9 +212,9 @@ fn srpt_minimizes_mean_completion_on_uneven_jobs() {
         .collect();
     let w = build_workload(&specs, 5);
     let mut srpt = SrptPartition::new(&params, &lengths);
-    let srpt_res = run_engine(&mut srpt, w.seqs(), &params, &EngineOpts::default());
+    let srpt_res = run_engine(&mut srpt, w.seqs(), &params, &EngineOpts::default()).unwrap();
     let mut st = StaticPartition::new(&params);
-    let st_res = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default());
+    let st_res = run_engine(&mut st, w.seqs(), &params, &EngineOpts::default()).unwrap();
     assert!(
         srpt_res.mean_completion() < st_res.mean_completion(),
         "SRPT {:.0} should beat static {:.0} on mean completion",
