@@ -22,6 +22,34 @@ fn count_misses<C: Cache>(cache: &mut C, seq: &[PageId]) -> u64 {
     seq.iter().filter(|&&p| !cache.access(p).is_hit()).count() as u64
 }
 
+/// Serves `seq` to completion through fixed-budget windows (the same path
+/// the box engine uses) and returns `(misses, served)`, or a description of
+/// the first invariant breach (capacity overrun or a stalled window).
+fn drive_windows<C: Cache>(
+    cache: &mut C,
+    seq: &[PageId],
+    budget: u64,
+    s: u64,
+    cap: usize,
+) -> Result<(u64, u64), String> {
+    let mut pos = 0usize;
+    let mut misses = 0u64;
+    let mut served = 0u64;
+    while pos < seq.len() {
+        let out = run_window(seq, pos, cache, budget, s);
+        if cache.len() > cap {
+            return Err(format!("holds {} residents, capacity {cap}", cache.len()));
+        }
+        if out.end_index == pos && !out.finished {
+            return Err(format!("window made no progress at index {pos}"));
+        }
+        misses += out.stats.misses;
+        served += out.stats.accesses();
+        pos = out.end_index;
+    }
+    Ok((misses, served))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -127,6 +155,45 @@ proptest! {
         let split_time = first.time_used + second.time_used;
         prop_assert!(split_time <= combined.time_used);
         prop_assert!(combined.time_used - split_time < 2 * s);
+    }
+
+    /// Cross-policy differential: every replacement policy, driven through
+    /// the same windowed serve path the engine uses (`run_window` over
+    /// random window budgets), keeps at most `cap` residents at every
+    /// step, serves every request exactly once, and never undercuts
+    /// Belady's clairvoyant miss count on the prefix it served.
+    #[test]
+    fn cross_policy_window_differential(
+        seq in seq_strategy(250, 14),
+        cap in 1usize..10,
+        budget in 5u64..120,
+        s in 2u64..12,
+    ) {
+        // A window that cannot fit even one miss would stall forever, so the
+        // budget is at least one miss cost.
+        let budget = budget.max(s);
+        type DriveOutcome = Result<(u64, u64), String>;
+        let outcomes: Vec<(&str, DriveOutcome)> = vec![
+            ("lru", drive_windows(&mut LruCache::new(cap), &seq, budget, s, cap)),
+            ("fifo", drive_windows(&mut FifoCache::new(cap), &seq, budget, s, cap)),
+            ("clock", drive_windows(&mut ClockCache::new(cap), &seq, budget, s, cap)),
+            ("lfu", drive_windows(&mut LfuCache::new(cap), &seq, budget, s, cap)),
+            ("2q", drive_windows(&mut TwoQueueCache::new(cap), &seq, budget, s, cap)),
+            ("lirs", drive_windows(&mut LirsCache::new(cap), &seq, budget, s, cap)),
+            ("arc", drive_windows(&mut ArcCache::new(cap), &seq, budget, s, cap)),
+        ];
+        let opt = min_misses(&seq, cap);
+        for (name, outcome) in outcomes {
+            let (misses, served) = match outcome {
+                Ok(pair) => pair,
+                Err(e) => return Err(TestCaseError::fail(format!("{name}: {e}"))),
+            };
+            prop_assert_eq!(served, seq.len() as u64, "{} lost requests", name);
+            prop_assert!(
+                misses >= opt,
+                "{} beat Belady: {} < {}", name, misses, opt
+            );
+        }
     }
 
     /// LRU resize down to c then simulating equals... at minimum, the cache

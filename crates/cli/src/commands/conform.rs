@@ -1,0 +1,143 @@
+//! `parapage conform`: the conformance oracle as a pre-PR gate.
+//!
+//! Three sections, each with its own table:
+//!
+//! 1. **Invariant matrix** — every engine policy under every named fault
+//!    scenario, checked for replay determinism, agreement with the naive
+//!    reference simulator, stream/result consistency, memory envelopes,
+//!    box geometry, and (DET-PAR, clean) the paper's phase/strip structure.
+//! 2. **Differential sweep** — the optimized engine vs the reference
+//!    simulator, event-for-event, on generated workloads.
+//! 3. **Competitive envelope** — measured makespan ratios on Theorem-4
+//!    adversarial instances must stay inside a `c·log p` envelope.
+//!
+//! Exits non-zero on any violation, divergence, or envelope excursion.
+
+use parapage::prelude::*;
+
+use crate::args::Args;
+use crate::common::run_named_policy_faults;
+
+/// Executes the subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let p: usize = args.get("p", 8)?;
+    let k: usize = args.get("k", 8 * p)?;
+    let s: u64 = args.get("s", 10)?;
+    if !k.is_power_of_two() || k < p {
+        // The §2 normal form (and the black-box packer's capacity
+        // assertion) want a power-of-two budget; insisting here keeps the
+        // geometry checker meaningful.
+        return Err(format!("--k {k} must be a power of two >= --p {p}"));
+    }
+    let seed: u64 = args.get("seed", 42)?;
+    let len: usize = args.get("len", if quick { 600 } else { 2000 })?;
+    let diff: usize = args.get("diff", if quick { 150 } else { 1000 })?;
+    let params = ModelParams::new(p, k, s);
+
+    // The matrix workload mirrors the `mixed` family: heterogeneous
+    // working-set widths so phases, strips, and partitions all get
+    // exercised.
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| match x % 3 {
+            0 => SeqSpec::Cyclic {
+                width: (k / 8).max(2),
+                len,
+            },
+            1 => SeqSpec::Cyclic { width: k / 2, len },
+            _ => SeqSpec::Zipf {
+                universe: (k / 2).max(4),
+                theta: 0.9,
+                len,
+            },
+        })
+        .collect();
+    let w = build_workload(&specs, seed);
+
+    let clean = run_named_policy_faults(
+        "det-par",
+        &w,
+        &params,
+        &EngineOpts::default(),
+        seed,
+        &FaultPlan::none(),
+        false,
+    )?
+    .map_err(|e| format!("clean det-par run failed: {e}"))?;
+    let horizon = clean.makespan.max(1);
+
+    println!(
+        "conformance oracle: {} ({} requests, fault horizon {})\n",
+        params,
+        w.total_requests(),
+        horizon
+    );
+
+    let mut failures = 0usize;
+
+    // 1. Invariant matrix.
+    println!("invariant matrix (engine policies x fault scenarios):");
+    let reports = conform_matrix(w.seqs(), &params, seed, horizon)?;
+    let mut t = Table::new(["policy", "scenario", "mode", "outcome", "events", "verdict"]);
+    let mut details: Vec<String> = Vec::new();
+    for r in &reports {
+        let verdict = if r.passed() {
+            "pass".to_string()
+        } else {
+            format!("FAIL ({})", r.violations.len())
+        };
+        if !r.passed() {
+            failures += r.violations.len();
+            for v in &r.violations {
+                details.push(format!("{}/{}: {v}", r.policy, r.scenario));
+            }
+        }
+        t.row([
+            r.policy.clone(),
+            r.scenario.clone(),
+            if r.hardened { "hardened" } else { "raw" }.to_string(),
+            r.outcome.clone(),
+            r.events.to_string(),
+            verdict,
+        ]);
+    }
+    println!("{t}");
+    for d in &details {
+        println!("  violation: {d}");
+    }
+
+    // 2. Differential sweep.
+    let sweep = differential_sweep(diff, seed);
+    println!(
+        "differential sweep: {} generated workloads, {} divergences",
+        sweep.runs,
+        sweep.divergences.len()
+    );
+    for d in sweep.divergences.iter().take(10) {
+        println!("  divergence: {} — {}", d.recipe, d.detail);
+    }
+    failures += sweep.divergences.len();
+
+    // 3. Competitive envelope.
+    let env = competitive_envelope(quick, seed)?;
+    println!("\ncompetitive envelope (measured ratio vs c*log p bound):");
+    let mut t = Table::new(["policy", "instance", "p", "ratio", "bound", "verdict"]);
+    for e in &env.entries {
+        t.row([
+            e.policy.to_string(),
+            e.instance.clone(),
+            e.p.to_string(),
+            format!("{:.2}", e.ratio),
+            format!("{:.2}", e.bound),
+            if e.ok() { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+    failures += env.violations().len();
+
+    if failures > 0 {
+        return Err(format!("conformance FAILED: {failures} violation(s)"));
+    }
+    println!("conformance: all checks passed");
+    Ok(())
+}

@@ -4,6 +4,7 @@ pub mod adversarial;
 pub mod analyze;
 pub mod audit;
 pub mod compare;
+pub mod conform;
 pub mod faults;
 pub mod gen;
 pub mod green;
@@ -33,6 +34,11 @@ COMMANDS:
                  under each fault scenario (stalls, latency spikes, memory
                  pressure, chaos) and report makespan degradation vs the
                  clean run (same flags as run)
+  conform      conformance oracle: paper-invariant checkers over the engine
+                 trace for every policy x fault scenario, a differential
+                 engine-vs-reference sweep, and competitive-ratio
+                 guardrails: [--quick] [--p N --k N --s N --len N]
+                 [--diff N] [--seed N] (exits non-zero on any violation)
   profile      visualize green box profiles (OPT vs RAND-GREEN):
                  --p N --k N [--seed N] [--width N]
   analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]

@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare::exec(&parsed),
         "adversarial" => commands::adversarial::exec(&parsed),
         "audit" => commands::audit::exec(&parsed),
+        "conform" => commands::conform::exec(&parsed),
         "faults" => commands::faults::exec(&parsed),
         "green" => commands::green::exec(&parsed),
         "profile" => commands::profile::exec(&parsed),

@@ -1,0 +1,441 @@
+//! Streaming checkers: the paper's structural invariants, replayed over an
+//! engine trace stream.
+//!
+//! Every checker consumes a recorded [`TraceEvent`] stream (plus, for the
+//! DET-PAR checkers, the policy's phase log merged in as
+//! [`TraceEvent::Phase`] markers) and returns human-readable violation
+//! strings — empty means the invariant held at every event. The checkers
+//! recompute each bound from the model parameters with their own
+//! arithmetic; they share no code with the policies they audit.
+//!
+//! | checker | invariant |
+//! |---|---|
+//! | [`check_stream_order`] | stream well-formedness: monotone time, one `Window` per `Grant` |
+//! | [`check_memory`] | instantaneous allocated height ≤ enforced budget at every grant, including mid-run shrink from `MemoryPressure` |
+//! | [`check_box_geometry`] | box heights are powers of two in `[k/p̂, k]` (the paper's WLOG normal form) |
+//! | [`check_phase_structure`] | DET-PAR phases: roster halving, base `b = k/p_Q` |
+//! | [`check_det_par_stream`] | base-box possession (contiguous coverage ≥ `b`) and `k/log p` strip widths |
+//! | [`check_replay`] | byte-identical replay determinism of two streams |
+//! | [`check_run_consistency`] | stream aggregates equal the engine's reported `RunResult` |
+
+use parapage_cache::Time;
+use parapage_core::{log2_ceil, DetPar, FaultEvent, ModelParams, PhaseRecord};
+use parapage_sched::{RunResult, TraceEvent};
+
+/// Stream well-formedness: timestamps never decrease, and every `Grant` is
+/// immediately followed by its `Window` (same processor, same time).
+pub fn check_stream_order(events: &[TraceEvent]) -> Vec<String> {
+    let mut v = Vec::new();
+    for (i, pair) in events.windows(2).enumerate() {
+        if pair[0].at() > pair[1].at() {
+            v.push(format!(
+                "event {} at t={} precedes event {} at t={} (time went backwards)",
+                i,
+                pair[0].at(),
+                i + 1,
+                pair[1].at()
+            ));
+        }
+    }
+    let mut i = 0;
+    while i < events.len() {
+        if let TraceEvent::Grant { proc, at, .. } = events[i] {
+            match events.get(i + 1) {
+                Some(TraceEvent::Window {
+                    proc: wp, at: wat, ..
+                }) if *wp == proc && *wat == at => i += 2,
+                _ => {
+                    v.push(format!(
+                        "grant for proc {} at t={at} not followed by its window",
+                        proc.idx()
+                    ));
+                    i += 1;
+                }
+            }
+        } else {
+            if matches!(events[i], TraceEvent::Window { .. }) {
+                v.push(format!("orphan window at event index {i}"));
+            }
+            i += 1;
+        }
+    }
+    v
+}
+
+/// Instantaneous memory ≤ budget at every grant on the stream.
+///
+/// Mirrors the engine's enforcement discipline independently: pages release
+/// at each grant's `release_at`; a [`FaultEvent::MemoryPressure`] marker
+/// tightens the budget to the running minimum from its delivery on. Checked
+/// at every non-stall grant — i.e. also mid-shrink, where in-flight grants
+/// issued against the old budget plus the new grant must still fit the
+/// tightened limit (the engine errors otherwise, so a successful run must
+/// satisfy this everywhere).
+pub fn check_memory(events: &[TraceEvent], initial_budget: usize) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut limit = initial_budget;
+    let mut outstanding: Vec<(Time, usize)> = Vec::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Fault {
+                event: FaultEvent::MemoryPressure { new_limit, .. },
+                ..
+            } => limit = limit.min(new_limit),
+            TraceEvent::Grant {
+                proc,
+                at,
+                height,
+                release_at,
+                ..
+            } if height > 0 => {
+                outstanding.retain(|&(t, _)| t > at);
+                outstanding.push((release_at, height));
+                let live: usize = outstanding.iter().map(|&(_, h)| h).sum();
+                if live > limit {
+                    v.push(format!(
+                        "memory over budget at t={at}: {live} pages live after grant \
+                         of {height} to proc {} (budget {limit})",
+                        proc.idx()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    v
+}
+
+/// Box geometry (paper §2 WLOG): every non-stall grant's height is a power
+/// of two in `[k/p̂, k]`, where `p̂` rounds `p` up to a power of two.
+///
+/// Applies to the paper's pagers (DET-PAR, RAND-PAR) on runs without
+/// memory pressure — a shrunken budget legitimately rescales heights.
+pub fn check_box_geometry(events: &[TraceEvent], params: &ModelParams) -> Vec<String> {
+    let norm = params.normalized_k();
+    let k = norm.k;
+    let min_h = (k / norm.p.next_power_of_two()).max(1);
+    let mut v = Vec::new();
+    for ev in events {
+        if let TraceEvent::Grant {
+            proc, at, height, ..
+        } = *ev
+        {
+            if height == 0 {
+                continue;
+            }
+            if height < min_h || height > k || !height.is_power_of_two() {
+                v.push(format!(
+                    "grant to proc {} at t={at}: height {height} is not a power of \
+                     two in [{min_h}, {k}]",
+                    proc.idx()
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// DET-PAR phase structure, from the policy's own phase log: the roster
+/// halves at each transition and every base height is the `b = k/p_Q`
+/// (with `p_Q` half the roster rounded to a power of two) the paper
+/// prescribes. For clean runs only — a budget shrink legally opens a phase
+/// without halving.
+pub fn check_phase_structure(phases: &[PhaseRecord], params: &ModelParams) -> Vec<String> {
+    let mut v = Vec::new();
+    let k = params.normalized_k().k;
+    if phases.is_empty() {
+        v.push("no phases recorded".into());
+        return v;
+    }
+    if phases[0].start != 0 {
+        v.push(format!(
+            "first phase starts at t={}, not 0",
+            phases[0].start
+        ));
+    }
+    for (i, ph) in phases.iter().enumerate() {
+        let p_q = (ph.roster_len.next_power_of_two() / 2).max(1);
+        let expect = (k / p_q).max(1).min(k);
+        if ph.base_height != expect {
+            v.push(format!(
+                "phase {i} (roster {}): base height {} != k/p_Q = {expect}",
+                ph.roster_len, ph.base_height
+            ));
+        }
+    }
+    for (i, w) in phases.windows(2).enumerate() {
+        if w[1].start <= w[0].start {
+            v.push(format!(
+                "phase {} starts at t={} <= previous start t={}",
+                i + 1,
+                w[1].start,
+                w[0].start
+            ));
+        }
+        if w[1].roster_len > w[0].roster_len / 2 {
+            v.push(format!(
+                "phase {} roster {} did not halve from {}",
+                i + 1,
+                w[1].roster_len,
+                w[0].roster_len
+            ));
+        }
+    }
+    v
+}
+
+/// DET-PAR's two well-roundedness properties, checked on the merged stream
+/// (grants plus [`TraceEvent::Phase`] markers). Clean runs only: injected
+/// stalls legitimately break possession, and pressure rescales `k`.
+///
+/// * **Base-box possession** — until its completion, every processor's
+///   grants tile time contiguously from 0 and each has height at least the
+///   base of the phase it was issued in.
+/// * **Strip widths** — within each phase, for every height class
+///   `z = b·2^i`, the number of concurrently held grants of height ≥ `z`
+///   never exceeds the class slot budget `Σ_{z' ≥ z} slots(z')`, where
+///   `slots(z') = k/(z'·log p)` for short classes (`z' ≤ k/log p`) and 1
+///   for tall ones — the `k/log p`-strip discipline of §3.3. Grants
+///   straddling a phase boundary are audited against the phase that issued
+///   them.
+pub fn check_det_par_stream(events: &[TraceEvent], params: &ModelParams) -> Vec<String> {
+    let norm = params.normalized_k();
+    let k = norm.k;
+    let log_p = log2_ceil(norm.p).max(1) as usize;
+    let mut v = Vec::new();
+
+    // Split the stream into phases on the synthesized markers; remember
+    // each processor's next expected grant start and completion time.
+    let mut base = 0usize;
+    let mut expected_start: Vec<Option<Time>> = vec![Some(0); norm.p];
+    let mut done: Vec<bool> = vec![false; norm.p];
+    // Per-phase grant intervals for the sweep: the phase's base height
+    // plus every (start, release, height) grant attributed to it.
+    type PhaseGrants = (usize, Vec<(Time, Time, usize)>);
+    let mut phase_grants: Vec<PhaseGrants> = Vec::new();
+
+    for ev in events {
+        match *ev {
+            TraceEvent::Phase { base_height, .. } => {
+                base = base_height;
+                phase_grants.push((base_height, Vec::new()));
+            }
+            TraceEvent::Grant {
+                proc,
+                at,
+                height,
+                duration,
+                release_at,
+            } => {
+                let x = proc.idx();
+                if base == 0 {
+                    v.push(format!("grant at t={at} before any phase marker"));
+                    continue;
+                }
+                if height < base && !done[x] {
+                    v.push(format!(
+                        "proc {x} at t={at}: height {height} below phase base {base} \
+                         (base-box possession violated)"
+                    ));
+                }
+                match expected_start[x] {
+                    Some(exp) if exp != at => v.push(format!(
+                        "proc {x}: grant at t={at} but previous grant ended at t={exp} \
+                         (coverage gap)"
+                    )),
+                    _ => {}
+                }
+                expected_start[x] = Some(at + duration);
+                if let Some((_, grants)) = phase_grants.last_mut() {
+                    grants.push((at, release_at, height));
+                }
+            }
+            TraceEvent::Completion { proc, .. } => {
+                done[proc.idx()] = true;
+                expected_start[proc.idx()] = None;
+            }
+            _ => {}
+        }
+    }
+
+    // Strip-width sweep, per phase and height class.
+    for (pi, (b, grants)) in phase_grants.iter().enumerate() {
+        let tall_threshold = (k / log_p).max(1);
+        let mut z = *b * 2;
+        while z <= k {
+            let budget: usize = {
+                let mut sum = 0usize;
+                let mut z2 = z;
+                while z2 <= k {
+                    sum += if z2 > tall_threshold {
+                        1
+                    } else {
+                        (k / (z2 * log_p)).max(1)
+                    };
+                    z2 *= 2;
+                }
+                sum
+            };
+            // Interval sweep: at equal times a release (-1) precedes an
+            // acquisition (+1), matching back-to-back grants.
+            let mut marks: Vec<(Time, i64)> = Vec::new();
+            for &(start, release, h) in grants {
+                if h >= z {
+                    marks.push((start, 1));
+                    marks.push((release, -1));
+                }
+            }
+            marks.sort_unstable_by_key(|&(t, d)| (t, d));
+            let mut cur = 0i64;
+            for &(t, d) in &marks {
+                cur += d;
+                if cur > budget as i64 {
+                    v.push(format!(
+                        "phase {pi}: {cur} concurrent grants of height >= {z} at \
+                         t={t}, slot budget {budget} (strip width violated)"
+                    ));
+                    break;
+                }
+            }
+            z *= 2;
+        }
+    }
+    let _ = DetPar::MEMORY_FACTOR; // the memory envelope itself is checked by `check_memory`
+    v
+}
+
+/// Byte-identical replay determinism: two streams of the same
+/// `(workload, policy, seed, FaultPlan)` must be equal event-for-event.
+pub fn check_replay(a: &[TraceEvent], b: &[TraceEvent]) -> Vec<String> {
+    if a == b {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    if a.len() != b.len() {
+        v.push(format!(
+            "replay produced {} events, original {}",
+            b.len(),
+            a.len()
+        ));
+    }
+    for (i, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        if ea != eb {
+            v.push(format!(
+                "first replay divergence at event {i}: {ea:?} vs {eb:?}"
+            ));
+            break;
+        }
+    }
+    v
+}
+
+/// Cross-checks the stream's aggregates against the engine's reported
+/// [`RunResult`]: grant/fault/completion counts, hit/fetch totals, the
+/// memory integral, and the makespan must all agree.
+pub fn check_run_consistency(events: &[TraceEvent], result: &RunResult) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut grants = 0u64;
+    let mut faults = 0u64;
+    let mut hits = 0u64;
+    let mut fetches = 0u64;
+    let mut served = 0u64;
+    let mut integral = 0u128;
+    let mut completions: Vec<(usize, Time)> = Vec::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Grant {
+                height, duration, ..
+            } => {
+                grants += 1;
+                integral += height as u128 * duration as u128;
+            }
+            TraceEvent::Window {
+                hits: h,
+                fetches: f,
+                served: sv,
+                ..
+            } => {
+                hits += h;
+                fetches += f;
+                served += sv;
+            }
+            TraceEvent::Fault { .. } => faults += 1,
+            TraceEvent::Completion { proc, at } => completions.push((proc.idx(), at)),
+            _ => {}
+        }
+    }
+    if grants != result.grants_issued {
+        v.push(format!(
+            "stream has {grants} grants, result reports {}",
+            result.grants_issued
+        ));
+    }
+    if faults != result.faults_injected {
+        v.push(format!(
+            "stream has {faults} fault deliveries, result reports {}",
+            result.faults_injected
+        ));
+    }
+    if hits != result.stats.hits || fetches != result.stats.misses {
+        v.push(format!(
+            "stream totals {hits} hits / {fetches} fetches, result {} / {}",
+            result.stats.hits, result.stats.misses
+        ));
+    }
+    if served != result.stats.accesses() {
+        v.push(format!(
+            "stream served {served} requests, result {}",
+            result.stats.accesses()
+        ));
+    }
+    if integral != result.memory_integral {
+        v.push(format!(
+            "stream memory integral {integral}, result {}",
+            result.memory_integral
+        ));
+    }
+    for &(x, at) in &completions {
+        if result.completions.get(x).copied() != Some(at) {
+            v.push(format!(
+                "completion of proc {x} at t={at} disagrees with result {:?}",
+                result.completions.get(x)
+            ));
+        }
+    }
+    if let Some(&(_, last)) = completions.iter().max_by_key(|&&(_, at)| at) {
+        if last != result.makespan {
+            v.push(format!(
+                "last completion t={last} != reported makespan {}",
+                result.makespan
+            ));
+        }
+    }
+    v
+}
+
+/// Merges a DET-PAR phase log into a trace stream as
+/// [`TraceEvent::Phase`] markers, each placed before any other event at its
+/// start time (the base is in force from the first grant of the phase on).
+pub fn merge_phases(events: &[TraceEvent], phases: &[PhaseRecord]) -> Vec<TraceEvent> {
+    let mut out = Vec::with_capacity(events.len() + phases.len());
+    let mut pi = 0;
+    for ev in events {
+        while pi < phases.len() && phases[pi].start <= ev.at() {
+            out.push(TraceEvent::Phase {
+                at: phases[pi].start,
+                base_height: phases[pi].base_height,
+                roster_len: phases[pi].roster_len,
+            });
+            pi += 1;
+        }
+        out.push(*ev);
+    }
+    for ph in &phases[pi..] {
+        out.push(TraceEvent::Phase {
+            at: ph.start,
+            base_height: ph.base_height,
+            roster_len: ph.roster_len,
+        });
+    }
+    out
+}

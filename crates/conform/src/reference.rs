@@ -1,0 +1,311 @@
+//! The deliberately naive reference simulator for differential testing.
+//!
+//! [`run_reference`] re-implements the engine's semantics with the simplest
+//! possible data structures: instead of the optimized engine's binary event
+//! heap, release min-heap, and incremental usage counter, it keeps one
+//! pending event per processor and *scans* all `p` of them to find the next
+//! one (`O(n·p)` overall), recomputes live memory usage by summing the
+//! outstanding-grant list from scratch at every grant, and serves requests
+//! with an inline loop rather than `run_window`. The two implementations
+//! share no scheduling code, so any divergence between their trace streams
+//! or results pinpoints a bug in one of them.
+//!
+//! The semantics mirrored exactly (see `parapage-sched`'s engine docs):
+//!
+//! * events are processed in `(time, kind, proc)` order with completion
+//!   notifications (kind 0) before grant requests (kind 1);
+//! * matured fault events are delivered before any decision at their time;
+//! * a processor inside a stall window has its grant request deferred to
+//!   the window end; the time cap is checked on grant events only;
+//! * a latency spike multiplies the miss penalty for grants *starting*
+//!   inside the spike window;
+//! * memory pressure tightens the enforced limit to the running minimum,
+//!   checked when a non-stall grant is added to the outstanding set;
+//! * a grant's pages release at its end, or at the completion instant when
+//!   the processor finishes mid-grant.
+
+use parapage_cache::{Cache, CacheStats, LruCache, PageId, Time};
+use parapage_core::{BoxAllocator, FaultEvent, Interval, ModelParams};
+use parapage_sched::{EngineError, EngineOpts, FaultPlan, RunResult, TraceEvent, TraceSink};
+
+const EV_COMPLETION: u8 = 0;
+const EV_GRANT: u8 = 1;
+
+/// Runs `alloc` on the workload with the naive reference scheduler,
+/// emitting the same [`TraceEvent`] stream the optimized engine would.
+///
+/// # Errors
+/// The same typed [`EngineError`]s, at the same simulated instants, as the
+/// optimized engine.
+pub fn run_reference(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    faults: &FaultPlan,
+    sink: &mut impl TraceSink,
+) -> Result<RunResult, EngineError> {
+    assert_eq!(seqs.len(), params.p, "one sequence per processor");
+    let p = params.p;
+    let s = params.s;
+
+    let mut pos = vec![0usize; p];
+    let mut caches: Vec<LruCache> = (0..p).map(|_| LruCache::new(0)).collect();
+    let mut completions = vec![0u64; p];
+    let mut finished = vec![false; p];
+    let mut stats = CacheStats::default();
+    let mut memory_integral = 0u128;
+    let mut grants_issued = 0u64;
+    let mut timelines: Vec<Vec<Interval>> = vec![Vec::new(); p];
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    // Outstanding non-stall grants as (release time, height); usage is
+    // recomputed by summation — no incremental counter to get wrong.
+    let mut outstanding: Vec<(Time, usize)> = Vec::new();
+    let mut current_limit = opts.memory_limit;
+    let mut next_fault = 0usize;
+    let mut faults_injected = 0u64;
+
+    // One pending event per processor: (time, kind). A processor is either
+    // waiting for its grant to expire, waiting to complete, or done.
+    let mut pending: Vec<Option<(Time, u8)>> = vec![None; p];
+    for x in 0..p {
+        if seqs[x].is_empty() {
+            finished[x] = true;
+            alloc.on_proc_finished(parapage_cache::ProcId(x as u32), 0);
+        } else {
+            pending[x] = Some((0, EV_GRANT));
+        }
+    }
+
+    loop {
+        // Naive next-event selection: scan every processor, keep the
+        // smallest (time, kind, proc) — ascending proc order breaks ties
+        // exactly like the engine's heap key.
+        let mut best: Option<(Time, u8, usize)> = None;
+        for (x, ev) in pending.iter().enumerate() {
+            if let Some((t, kind)) = *ev {
+                if best.is_none_or(|(bt, bk, _)| (t, kind) < (bt, bk)) {
+                    best = Some((t, kind, x));
+                }
+            }
+        }
+        let Some((now, kind, x)) = best else { break };
+        pending[x] = None;
+
+        while next_fault < faults.events().len() && faults.events()[next_fault].at() <= now {
+            let ev = faults.events()[next_fault];
+            next_fault += 1;
+            if let FaultEvent::MemoryPressure { new_limit, .. } = ev {
+                current_limit = Some(current_limit.map_or(new_limit, |l| l.min(new_limit)));
+            }
+            alloc.on_fault(&ev);
+            sink.emit(&TraceEvent::Fault { at: now, event: ev });
+            faults_injected += 1;
+        }
+        if kind == EV_COMPLETION {
+            alloc.on_proc_finished(parapage_cache::ProcId(x as u32), now);
+            sink.emit(&TraceEvent::Completion {
+                proc: parapage_cache::ProcId(x as u32),
+                at: now,
+            });
+            continue;
+        }
+        if now > opts.max_time {
+            return Err(EngineError::TimeCapExceeded {
+                at: now,
+                cap: opts.max_time,
+            });
+        }
+        // Stall windows: linear scan over the whole plan, max covering end.
+        let stalled_until = faults
+            .events()
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::ProcStall { proc, from, until }
+                    if proc.idx() == x && from <= now && now < until =>
+                {
+                    Some(until)
+                }
+                _ => None,
+            })
+            .max();
+        if let Some(until) = stalled_until {
+            if opts.record_timelines {
+                timelines[x].push(Interval {
+                    start: now,
+                    end: until,
+                    height: 0,
+                });
+            }
+            sink.emit(&TraceEvent::StallDeferred {
+                proc: parapage_cache::ProcId(x as u32),
+                at: now,
+                until,
+            });
+            pending[x] = Some((until, EV_GRANT));
+            continue;
+        }
+        let grant = alloc.grant(parapage_cache::ProcId(x as u32), now);
+        if grant.duration == 0 {
+            return Err(EngineError::ZeroDurationGrant {
+                policy: alloc.name(),
+                at: now,
+            });
+        }
+        grants_issued += 1;
+        let end = now
+            .checked_add(grant.duration)
+            .ok_or(EngineError::TimeOverflow { at: now })?;
+        let spike = faults
+            .events()
+            .iter()
+            .filter_map(|ev| match *ev {
+                FaultEvent::LatencySpike {
+                    from,
+                    until,
+                    factor,
+                } if from <= now && now < until => Some(factor.max(1)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1);
+        let eff_s = s
+            .checked_mul(spike)
+            .ok_or(EngineError::TimeOverflow { at: now })?;
+
+        let cache = &mut caches[x];
+        let resident_before = cache.len();
+        if opts.compartmentalized {
+            cache.clear();
+        }
+        cache.resize(grant.height);
+        let boundary_evictions = (resident_before - cache.len()) as u64;
+        let resident_at_start = cache.len();
+
+        // Inline serve loop (the reference's stand-in for `run_window`): a
+        // request runs only when its full cost fits the remaining budget.
+        let served_from = pos[x];
+        let mut idx = pos[x];
+        let mut remaining = grant.duration;
+        let mut wstats = CacheStats::default();
+        if grant.height > 0 {
+            while idx < seqs[x].len() {
+                let page = seqs[x][idx];
+                let cost = if cache.contains(page) { 1 } else { eff_s };
+                if cost > remaining {
+                    break;
+                }
+                let acc = cache.access(page);
+                wstats.record(acc.is_hit());
+                remaining -= cost;
+                idx += 1;
+            }
+        } else {
+            remaining = 0; // a stall consumes no time serving
+        }
+        let time_used = if grant.height > 0 {
+            grant.duration - remaining
+        } else {
+            0
+        };
+        let win_finished = idx >= seqs[x].len();
+        pos[x] = idx;
+        stats += wstats;
+        memory_integral += grant.height as u128 * grant.duration as u128;
+        let release_at = if grant.height == 0 {
+            now
+        } else if win_finished {
+            (now + time_used).max(now + 1)
+        } else {
+            end
+        };
+        sink.emit(&TraceEvent::Grant {
+            proc: parapage_cache::ProcId(x as u32),
+            at: now,
+            height: grant.height,
+            duration: grant.duration,
+            release_at,
+        });
+        let window_evictions = if grant.height == 0 {
+            0
+        } else {
+            wstats.misses - (cache.len() - resident_at_start) as u64
+        };
+        sink.emit(&TraceEvent::Window {
+            proc: parapage_cache::ProcId(x as u32),
+            at: now,
+            served: wstats.accesses(),
+            hits: wstats.hits,
+            fetches: wstats.misses,
+            evictions: boundary_evictions + window_evictions,
+            time_used,
+            finished: win_finished,
+        });
+        if grant.height > 0 {
+            deltas.push((now, grant.height as i64));
+            deltas.push((release_at, -(grant.height as i64)));
+            outstanding.retain(|&(t, _)| t > now);
+            outstanding.push((release_at, grant.height));
+            let live: usize = outstanding.iter().map(|&(_, h)| h).sum();
+            if let Some(limit) = current_limit {
+                if live > limit {
+                    return Err(EngineError::MemoryLimitExceeded {
+                        at: now,
+                        allocated: live,
+                        limit,
+                    });
+                }
+            }
+        }
+        if opts.record_timelines {
+            timelines[x].push(Interval {
+                start: now,
+                end,
+                height: grant.height,
+            });
+        }
+        let outcome = parapage_cache::WindowOutcome {
+            end_index: idx,
+            stats: wstats,
+            time_used,
+            finished: win_finished,
+        };
+        alloc.observe(parapage_cache::ProcId(x as u32), &outcome);
+        if idx > served_from {
+            alloc.observe_accesses(parapage_cache::ProcId(x as u32), &seqs[x][served_from..idx]);
+        }
+
+        if win_finished && !finished[x] {
+            finished[x] = true;
+            completions[x] = now + time_used;
+            pending[x] = Some((completions[x], EV_COMPLETION));
+        } else if !win_finished {
+            pending[x] = Some((end, EV_GRANT));
+        }
+    }
+
+    deltas.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for &(_, d) in &deltas {
+        cur += d;
+        peak = peak.max(cur);
+    }
+
+    let makespan = completions.iter().copied().max().unwrap_or(0);
+    Ok(RunResult {
+        completions,
+        makespan,
+        stats,
+        memory_integral,
+        peak_memory: peak as usize,
+        grants_issued,
+        faults_injected,
+        degraded_grants: alloc.degraded_grants(),
+        timelines: if opts.record_timelines {
+            Some(timelines)
+        } else {
+            None
+        },
+    })
+}

@@ -20,7 +20,10 @@
 //! * [`sched`] (`parapage-sched`) — the box-driven execution engine and the
 //!   shared-LRU baseline simulator;
 //! * [`analysis`] (`parapage-analysis`) — `T_OPT` lower bounds, the
-//!   Lemma-8 OPT schedule, statistics, regression, reporting.
+//!   Lemma-8 OPT schedule, statistics, regression, reporting;
+//! * [`conform`] (`parapage-conform`) — the conformance oracle: streaming
+//!   paper-invariant checkers over the engine trace, a naive differential
+//!   reference simulator, and competitive-ratio guardrails.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 
 pub use parapage_analysis as analysis;
 pub use parapage_cache as cache;
+pub use parapage_conform as conform;
 pub use parapage_core as core;
 pub use parapage_sched as sched;
 pub use parapage_workloads as workloads;
@@ -68,6 +72,10 @@ pub mod prelude {
         min_misses, miss_curve, run_box, run_window, sampled_miss_curve, Access, ArcCache, Cache,
         ClockCache, FifoCache, LfuCache, LirsCache, LruCache, PageId, ProcId, Time, TwoQueueCache,
     };
+    pub use parapage_conform::{
+        competitive_envelope, conform_matrix, conform_run, differential_sweep, ConformReport,
+        DiffReport, EnvelopeReport, CONFORM_POLICIES,
+    };
     pub use parapage_core::{
         audit_greedy, check_well_rounded, green_opt, green_opt_fast, green_opt_fast_normalized,
         green_opt_normalized, run_green, run_profile, AdaptiveGreen, BlackboxGreenPacker,
@@ -76,8 +84,9 @@ pub mod prelude {
         RebootingGreen, SrptPartition, StaticPartition, UcpPartition, UniversalGreen,
     };
     pub use parapage_sched::{
-        run_engine, run_engine_faults, run_engine_with, run_engine_with_faults, run_shared_lru,
-        EngineError, EngineOpts, FaultPlan, RunResult, DEFAULT_MAX_TIME,
+        run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
+        run_shared_lru, EngineError, EngineOpts, FaultPlan, NullSink, RunResult, TraceEvent,
+        TraceRecorder, TraceSink, DEFAULT_MAX_TIME,
     };
     pub use parapage_workloads::{
         build_workload, fault_scenario, shared_hotset_workload, AdversarialConfig,

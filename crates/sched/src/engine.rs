@@ -48,6 +48,7 @@ use parapage_core::{BoxAllocator, FaultEvent, Interval, ModelParams};
 use crate::error::EngineError;
 use crate::fault::{FaultCursor, FaultPlan};
 use crate::metrics::RunResult;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// Default hard cap on simulated time.
 ///
@@ -136,7 +137,6 @@ pub fn run_engine_with<C: Cache>(
 }
 
 /// The full engine: caller-chosen replacement policy *and* fault injection.
-/// All other entry points delegate here.
 pub fn run_engine_with_faults<C: Cache>(
     alloc: &mut dyn BoxAllocator,
     seqs: &[Vec<PageId>],
@@ -144,6 +144,51 @@ pub fn run_engine_with_faults<C: Cache>(
     opts: &EngineOpts,
     faults: &FaultPlan,
     cache_factory: impl FnMut(usize) -> C,
+) -> Result<RunResult, EngineError> {
+    run_engine_with_faults_traced(
+        alloc,
+        seqs,
+        params,
+        opts,
+        faults,
+        cache_factory,
+        &mut NullSink,
+    )
+}
+
+/// Like [`run_engine_faults`], but additionally emitting every engine step
+/// to `sink` as a [`TraceEvent`] stream (see [`crate::trace`]). This is the
+/// entry point of the conformance oracle.
+pub fn run_engine_traced(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    faults: &FaultPlan,
+    sink: &mut impl TraceSink,
+) -> Result<RunResult, EngineError> {
+    run_engine_with_faults_traced(
+        alloc,
+        seqs,
+        params,
+        opts,
+        faults,
+        |_| LruCache::new(0),
+        sink,
+    )
+}
+
+/// The fully general engine: caller-chosen replacement policy, fault
+/// injection, *and* trace emission. All other entry points delegate here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_with_faults_traced<C: Cache>(
+    alloc: &mut dyn BoxAllocator,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    opts: &EngineOpts,
+    faults: &FaultPlan,
+    cache_factory: impl FnMut(usize) -> C,
+    sink: &mut impl TraceSink,
 ) -> Result<RunResult, EngineError> {
     let mut factory = cache_factory;
     assert_eq!(seqs.len(), params.p, "one sequence per processor");
@@ -198,11 +243,16 @@ pub fn run_engine_with_faults<C: Cache>(
                 current_limit = Some(current_limit.map_or(new_limit, |l| l.min(new_limit)));
             }
             alloc.on_fault(&ev);
+            sink.emit(&TraceEvent::Fault { at: now, event: ev });
             faults_injected += 1;
         }
         if kind == EV_COMPLETION {
             remaining -= 1;
             alloc.on_proc_finished(ProcId(xi), now);
+            sink.emit(&TraceEvent::Completion {
+                proc: ProcId(xi),
+                at: now,
+            });
             continue;
         }
         if now > opts.max_time {
@@ -222,6 +272,11 @@ pub fn run_engine_with_faults<C: Cache>(
                     height: 0,
                 });
             }
+            sink.emit(&TraceEvent::StallDeferred {
+                proc: ProcId(xi),
+                at: now,
+                until,
+            });
             heap.push(Reverse((until, EV_GRANT, xi)));
             continue;
         }
@@ -242,10 +297,15 @@ pub fn run_engine_with_faults<C: Cache>(
             .ok_or(EngineError::TimeOverflow { at: now })?;
 
         let cache = &mut caches[x];
+        let resident_before = cache.len();
         if opts.compartmentalized {
             cache.clear();
         }
         cache.resize(grant.height);
+        // Pages forced out at the box boundary itself (shrink truncation,
+        // or the full flush under compartmentalized semantics).
+        let boundary_evictions = (resident_before - cache.len()) as u64;
+        let resident_at_start = cache.len();
 
         let out = if grant.height == 0 {
             // Stall: no progress; the cache (already truncated to zero)
@@ -263,18 +323,44 @@ pub fn run_engine_with_faults<C: Cache>(
         pos[x] = out.end_index;
         stats += out.stats;
         memory_integral += grant.height as u128 * grant.duration as u128;
+        // Peak accounting releases the allocation at completion if the
+        // processor finishes mid-grant (a real allocator reclaims on
+        // completion); the memory *integral* above still charges the
+        // committed grant in full, matching the paper's impact accounting.
+        // (`now + out.time_used` cannot overflow: `time_used ≤ duration`
+        // and `now + duration` was checked.)
+        let release_at = if grant.height == 0 {
+            now
+        } else if out.finished {
+            (now + out.time_used).max(now + 1)
+        } else {
+            end
+        };
+        sink.emit(&TraceEvent::Grant {
+            proc: ProcId(xi),
+            at: now,
+            height: grant.height,
+            duration: grant.duration,
+            release_at,
+        });
+        // Every fetch inserts one page (when the box has capacity), so
+        // insertions minus cache growth is the eviction count.
+        let window_evictions = if grant.height == 0 {
+            0
+        } else {
+            out.stats.misses - (cache.len() - resident_at_start) as u64
+        };
+        sink.emit(&TraceEvent::Window {
+            proc: ProcId(xi),
+            at: now,
+            served: out.stats.accesses(),
+            hits: out.stats.hits,
+            fetches: out.stats.misses,
+            evictions: boundary_evictions + window_evictions,
+            time_used: out.time_used,
+            finished: out.finished,
+        });
         if grant.height > 0 {
-            // Peak accounting releases the allocation at completion if the
-            // processor finishes mid-grant (a real allocator reclaims on
-            // completion); the memory *integral* above still charges the
-            // committed grant in full, matching the paper's impact
-            // accounting. (`now + out.time_used` cannot overflow:
-            // `time_used ≤ duration` and `now + duration` was checked.)
-            let release_at = if out.finished {
-                (now + out.time_used).max(now + 1)
-            } else {
-                end
-            };
             deltas.push((now, grant.height as i64));
             deltas.push((release_at, -(grant.height as i64)));
             while let Some(&Reverse((t, h))) = releases.peek() {
@@ -650,6 +736,141 @@ mod generic_engine_tests {
 }
 
 #[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+    use parapage_core::StaticPartition;
+
+    fn seqs(p: usize, len: usize, width: u64) -> Vec<Vec<PageId>> {
+        (0..p)
+            .map(|x| {
+                (0..len)
+                    .map(|i| PageId::namespaced(ProcId(x as u32), i as u64 % width))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_streams_every_step() {
+        let params = ModelParams::new(4, 32, 10);
+        let w = seqs(4, 120, 8);
+        let mut a1 = StaticPartition::new(&params);
+        let plain = run_engine(&mut a1, &w, &params, &EngineOpts::default()).unwrap();
+        let mut a2 = StaticPartition::new(&params);
+        let mut rec = TraceRecorder::new();
+        let traced = run_engine_traced(
+            &mut a2,
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &FaultPlan::none(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.stats, traced.stats);
+        let grants = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Grant { .. }))
+            .count() as u64;
+        assert_eq!(grants, traced.grants_issued);
+        let windows = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Window { .. }))
+            .count() as u64;
+        assert_eq!(windows, grants, "one window per grant");
+        let completions = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Completion { .. }))
+            .count();
+        assert_eq!(completions, 4);
+        // Timestamps are non-decreasing along the stream.
+        for pair in rec.events().windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+        // Total fetched pages on the stream match the run stats.
+        let fetches: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Window { fetches, .. } => Some(*fetches),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(fetches, traced.stats.misses);
+    }
+
+    #[test]
+    fn trace_records_fault_delivery_and_stall_deferral() {
+        let params = ModelParams::new(2, 8, 10);
+        let w = seqs(2, 40, 4);
+        let plan = FaultPlan::new(vec![FaultEvent::ProcStall {
+            proc: ProcId(0),
+            from: 0,
+            until: 100,
+        }]);
+        let mut alloc = StaticPartition::new(&params);
+        let mut rec = TraceRecorder::new();
+        run_engine_traced(
+            &mut alloc,
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &plan,
+            &mut rec,
+        )
+        .unwrap();
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Fault { .. })));
+        assert!(rec.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::StallDeferred {
+                proc: ProcId(0),
+                until: 100,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn eviction_counts_match_compulsory_arithmetic() {
+        // One processor cycling 8 pages through a 4-page box: every access
+        // past the first 4 insertions evicts exactly one page.
+        let params = ModelParams::new(1, 4, 10);
+        let w = seqs(1, 32, 8);
+        let mut alloc = StaticPartition::new(&params);
+        let mut rec = TraceRecorder::new();
+        let res = run_engine_traced(
+            &mut alloc,
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &FaultPlan::none(),
+            &mut rec,
+        )
+        .unwrap();
+        let evictions: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Window { evictions, .. } => Some(*evictions),
+                _ => None,
+            })
+            .sum();
+        // All 32 accesses miss (cycle width 8 > capacity 4); the cache ends
+        // holding 4 pages, so evictions = misses - 4.
+        assert_eq!(res.stats.misses, 32);
+        assert_eq!(evictions, 32 - 4);
+    }
+}
+
+#[cfg(test)]
 mod fault_injection_tests {
     use super::*;
     use parapage_core::StaticPartition;
@@ -766,6 +987,60 @@ mod fault_injection_tests {
             err,
             EngineError::MemoryLimitExceeded { limit: 4, .. }
         ));
+    }
+
+    #[test]
+    fn pressure_at_a_grant_tick_clamps_hardened_and_kills_raw() {
+        use parapage_core::HardenedAllocator;
+        // StaticPartition on p=2, k=16, s=10 grants height 8 for 80 ticks,
+        // so grant requests land at exactly t = 0, 80, 160, … Deliver
+        // MemoryPressure at t=80 — the same tick as the second grant. The
+        // engine delivers faults before any decision at `now`, so:
+        //  * the raw partition (oblivious by design) must be refused at
+        //    exactly t=80 with the tightened limit;
+        //  * the hardened wrapper must hear the fault first, clamp the
+        //    very grant issued at t=80, and finish the run degraded.
+        let params = ModelParams::new(2, 16, 10);
+        let w = seqs(2, 400, 12);
+        let plan = FaultPlan::new(vec![FaultEvent::MemoryPressure {
+            at: 80,
+            new_limit: 6,
+        }]);
+
+        let raw_err = run_engine_faults(
+            &mut StaticPartition::new(&params),
+            &w,
+            &params,
+            &EngineOpts::default(),
+            &plan,
+        )
+        .unwrap_err();
+        assert_eq!(
+            raw_err,
+            EngineError::MemoryLimitExceeded {
+                at: 80,
+                allocated: 8,
+                limit: 6
+            }
+        );
+
+        let mut hardened = HardenedAllocator::new(StaticPartition::new(&params), params.k);
+        let res =
+            run_engine_faults(&mut hardened, &w, &params, &EngineOpts::default(), &plan).unwrap();
+        assert_eq!(
+            res.stats.accesses(),
+            2 * 400,
+            "hardened run serves everything"
+        );
+        assert!(
+            res.degraded_grants > 0,
+            "the t=80 grant (and later ones) must be clamped"
+        );
+        assert_eq!(res.faults_injected, 1);
+        // Peak before the fault is the full 2x8; an Ok result proves no
+        // post-fault grant crossed the tightened limit (the engine itself
+        // enforces it from t=80 on).
+        assert_eq!(res.peak_memory, 16);
     }
 
     #[test]

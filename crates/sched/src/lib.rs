@@ -20,6 +20,10 @@
 //!   the engine returns `Result` instead of panicking.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]): processor
 //!   stalls, fetch-latency spikes, and mid-run memory pressure.
+//! * [`trace`] — the conformance trace stream: [`run_engine_traced`] emits
+//!   every grant, served window, fault delivery, and completion as a
+//!   [`TraceEvent`] through a caller-supplied [`TraceSink`] (zero-cost when
+//!   disabled), the substrate of the `parapage-conform` oracle.
 //!
 //! Both engines implement the paper's timing model exactly: a hit costs one
 //! time step, a miss costs `s`, and each processor fetches over its own
@@ -34,13 +38,15 @@ pub mod fault;
 pub mod interleaved;
 pub mod metrics;
 pub mod shared;
+pub mod trace;
 
 pub use engine::{
-    run_engine, run_engine_faults, run_engine_with, run_engine_with_faults, EngineOpts,
-    DEFAULT_MAX_TIME,
+    run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
+    run_engine_with_faults_traced, EngineOpts, DEFAULT_MAX_TIME,
 };
 pub use error::EngineError;
 pub use fault::FaultPlan;
 pub use interleaved::{run_interleaved_partition, run_interleaved_shared, InterleavedResult};
 pub use metrics::RunResult;
 pub use shared::{run_shared_lru, run_shared_lru_bandwidth};
+pub use trace::{NullSink, TraceEvent, TraceRecorder, TraceSink};

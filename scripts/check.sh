@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Pre-PR gate: formatting, lints, and the full test suite.
-# Run from anywhere; works on the repo this script lives in.
+# Pre-PR gate: formatting, lints, the full test suite, and the
+# conformance oracle. Run from anywhere; works on the repo this script
+# lives in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> parapage conform --quick"
+cargo run -q -p parapage-cli --release -- conform --quick
 
 echo "All checks passed."
