@@ -9,6 +9,7 @@
 
 use parapage::prelude::*;
 use parapage_bench::{emit, parse_cli, recipes};
+use rayon::prelude::*;
 
 fn run_with(w: &Workload, params: &ModelParams, name: &str) -> u64 {
     let opts = EngineOpts::default();
@@ -51,7 +52,12 @@ fn main() {
         ("uniform", recipes::uniform_specs(p, k, len)),
     ] {
         let w = build_workload(&specs, cli.seed);
-        let makespans: Vec<u64> = policies.iter().map(|n| run_with(&w, &params, n)).collect();
+        // One engine run per replacement policy; the pool returns them in
+        // column order regardless of thread count.
+        let makespans: Vec<u64> = policies
+            .par_iter()
+            .map(|n| run_with(&w, &params, n))
+            .collect();
         let lo = *makespans.iter().min().unwrap() as f64;
         let hi = *makespans.iter().max().unwrap() as f64;
         let mut row = vec![fam.to_string()];

@@ -1,8 +1,9 @@
 //! # parapage-bench
 //!
 //! The benchmark/experiment harness: one binary per experiment in
-//! DESIGN.md's index (E1–E10, `src/bin/exp_*.rs`) plus Criterion
-//! microbenches for the substrate hot paths (`benches/`).
+//! DESIGN.md's index (E1–E16, `src/bin/exp_*.rs`), Criterion microbenches
+//! for the substrate hot paths (`benches/`), and the [`suite`] behind
+//! `parapage bench`.
 //!
 //! Every experiment binary accepts:
 //!
@@ -11,12 +12,19 @@
 //! * `--seed <n>` — override the base seed.
 //!
 //! Sweeps across `(p, seed)` grids are embarrassingly parallel and run on
-//! rayon.
+//! the workspace's vendored thread pool (`stubs/rayon`: scoped worker
+//! threads behind the familiar `par_iter()` API — **not** the crates.io
+//! rayon). Results are deterministic and order-stable for every worker
+//! count because each grid cell writes into its pre-assigned slot; set
+//! `PARAPAGE_THREADS=1` (or call `rayon::pool::threads(1)`) to force
+//! sequential execution when debugging, and `PARAPAGE_THREADS=<n>` to pin
+//! any other width.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod recipes;
+pub mod suite;
 
 use parapage::prelude::Table;
 

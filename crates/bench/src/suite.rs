@@ -1,0 +1,374 @@
+//! The perf-trajectory benchmark suite behind `parapage bench`.
+//!
+//! A fixed recipe of engine and sweep hot paths, each executed twice —
+//! once pinned to one pool worker (`threads(1)`) and once at the
+//! requested width — timed, digested, and compared:
+//!
+//! * the **digest** of every entry must be byte-identical across the two
+//!   legs (the pool's determinism contract, checked end-to-end on real
+//!   workloads rather than toy closures);
+//! * the **wall-clock ratio** over the sweep entries is the measured
+//!   multi-thread speedup, recorded in `BENCH_<n>.json` so future PRs
+//!   have a trajectory to be gated against.
+//!
+//! Entry set (names are stable identifiers — downstream tooling compares
+//! them across `BENCH_*.json` generations):
+//!
+//! | name                  | what it exercises                          |
+//! |-----------------------|--------------------------------------------|
+//! | `engine/det-par`      | single-threaded engine hot path (no pool)  |
+//! | `sweep/policy-grid`   | policy × seed grid, one engine run per cell|
+//! | `sweep/differential`  | conform's engine-vs-reference sweep        |
+//! | `sweep/conform-matrix`| conform's policy × scenario invariant grid |
+//! | `sweep/envelope`      | Theorem-4 competitive-ratio guardrails     |
+
+use std::time::Instant;
+
+use parapage::prelude::*;
+use rayon::pool;
+
+/// FNV-1a 64-bit running digest over result summaries; collision
+/// resistance is irrelevant here — any single-bit divergence between two
+/// legs must flip it, and FNV over the full formatted summary does that.
+pub struct Digest(u64);
+
+impl Digest {
+    /// Fresh digest with the standard FNV offset basis.
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds a summary line into the digest.
+    pub fn write(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One timed suite entry.
+pub struct EntryResult {
+    /// Stable entry identifier (see the module table).
+    pub name: &'static str,
+    /// Whether the entry's inner loop runs on the pool (only these count
+    /// toward the speedup aggregate).
+    pub parallel: bool,
+    /// Work units executed per leg (engine runs / sweep cells).
+    pub runs: usize,
+    /// Wall seconds under `threads(1)`.
+    pub secs_base: f64,
+    /// Wall seconds under the parallel width.
+    pub secs_par: f64,
+    /// Result digest of the `threads(1)` leg.
+    pub digest_base: u64,
+    /// Result digest of the parallel leg.
+    pub digest_par: u64,
+}
+
+impl EntryResult {
+    /// Parallel-leg speedup over the sequential leg.
+    pub fn speedup(&self) -> f64 {
+        self.secs_base / self.secs_par.max(1e-9)
+    }
+
+    /// `true` when both legs produced byte-identical results.
+    pub fn deterministic(&self) -> bool {
+        self.digest_base == self.digest_par
+    }
+}
+
+/// The full suite outcome, ready for reporting and `BENCH_<n>.json`.
+pub struct SuiteReport {
+    /// Per-entry measurements, in recipe order.
+    pub entries: Vec<EntryResult>,
+    /// Worker width of the parallel leg.
+    pub threads_par: usize,
+    /// Hardware parallelism of the host.
+    pub host_cores: usize,
+    /// Whether the shrunk (`--quick`) recipe ran.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// The speedup bar future PRs are gated against (aggregate over sweep
+/// entries, full recipe, on a multi-core host).
+pub const SPEEDUP_GATE: f64 = 1.5;
+
+impl SuiteReport {
+    /// Aggregate speedup: total sequential wall time of the pool-driven
+    /// entries divided by their total parallel wall time.
+    pub fn aggregate_speedup(&self) -> f64 {
+        let base: f64 = self
+            .entries
+            .iter()
+            .filter(|e| e.parallel)
+            .map(|e| e.secs_base)
+            .sum();
+        let par: f64 = self
+            .entries
+            .iter()
+            .filter(|e| e.parallel)
+            .map(|e| e.secs_par)
+            .sum();
+        base / par.max(1e-9)
+    }
+
+    /// `true` when every entry was byte-identical across both legs.
+    pub fn deterministic(&self) -> bool {
+        self.entries.iter().all(EntryResult::deterministic)
+    }
+
+    /// Whether the speedup gate applies: a sequential host cannot speed
+    /// up no matter how good the pool is, and the `--quick` recipe is too
+    /// small to time reliably — both only *record* the trajectory.
+    pub fn gate_enforced(&self) -> bool {
+        self.host_cores >= 2 && self.threads_par >= 2 && !self.quick
+    }
+
+    /// Gate verdict (vacuously true when not enforced).
+    pub fn gate_passed(&self) -> bool {
+        !self.gate_enforced() || self.aggregate_speedup() >= SPEEDUP_GATE
+    }
+
+    /// Serializes the report as the `BENCH_<n>.json` document.
+    pub fn to_json(&self, bench_id: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench_id\": \"{bench_id}\",\n"));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!(
+            "  \"threads\": {{ \"baseline\": 1, \"parallel\": {} }},\n",
+            self.threads_par
+        ));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"parallel\": {}, \"runs\": {}, \
+                 \"secs_threads1\": {:.6}, \"secs_parallel\": {:.6}, \
+                 \"runs_per_sec_threads1\": {:.3}, \"runs_per_sec_parallel\": {:.3}, \
+                 \"speedup\": {:.3}, \"deterministic\": {},                  \"digest\": \"{:016x}\" }}{}\n",
+                e.name,
+                e.parallel,
+                e.runs,
+                e.secs_base,
+                e.secs_par,
+                e.runs as f64 / e.secs_base.max(1e-9),
+                e.runs as f64 / e.secs_par.max(1e-9),
+                e.speedup(),
+                e.deterministic(),
+                e.digest_base,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"aggregate_speedup\": {:.3},\n",
+            self.aggregate_speedup()
+        ));
+        s.push_str(&format!("  \"deterministic\": {},\n", self.deterministic()));
+        s.push_str(&format!(
+            "  \"gate\": {{ \"min_speedup\": {SPEEDUP_GATE}, \"enforced\": {}, \"passed\": {} }}\n",
+            self.gate_enforced(),
+            self.gate_passed()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Folds the scalar outcome of one engine run into a digest.
+fn digest_run(d: &mut Digest, r: &RunResult) {
+    d.write(&format!(
+        "makespan={} completions={:?} misses={} hits={} peak={} integral={} grants={} \
+         faults={} degraded={}",
+        r.makespan,
+        r.completions,
+        r.stats.misses,
+        r.stats.hits,
+        r.peak_memory,
+        r.memory_integral,
+        r.grants_issued,
+        r.faults_injected,
+        r.degraded_grants
+    ));
+}
+
+/// Runs one named box policy on the workload (suite-local dispatch).
+fn run_policy(name: &str, w: &Workload, params: &ModelParams, seed: u64) -> RunResult {
+    let opts = EngineOpts::default();
+    let run = |a: &mut dyn BoxAllocator| run_engine(a, w.seqs(), params, &opts).expect("bench run");
+    match name {
+        "det-par" => run(&mut DetPar::new(params)),
+        "rand-par" => run(&mut RandPar::new(params, seed)),
+        "static" => run(&mut StaticPartition::new(params)),
+        "prop-miss" => run(&mut PropMissPartition::new(params)),
+        "ucp" => run(&mut UcpPartition::new(params)),
+        "bb-green" => {
+            let pagers: Vec<RandGreen> = (0..params.p as u64)
+                .map(|i| RandGreen::new(params, seed ^ i))
+                .collect();
+            run(&mut BlackboxGreenPacker::new(params, pagers))
+        }
+        other => unreachable!("suite policy {other}"),
+    }
+}
+
+/// The standard heterogeneous bench workload (mirrors the CLI's `mixed`).
+fn bench_workload(p: usize, k: usize, len: usize, seed: u64) -> Workload {
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| match x % 3 {
+            0 => SeqSpec::Cyclic {
+                width: (k / 8).max(2),
+                len,
+            },
+            1 => SeqSpec::Cyclic { width: k / 2, len },
+            _ => SeqSpec::Zipf {
+                universe: (k / 2).max(4),
+                theta: 0.9,
+                len,
+            },
+        })
+        .collect();
+    build_workload(&specs, seed)
+}
+
+/// Entry 1: the single-threaded engine hot path — no pool involvement, so
+/// its speedup is expected to be ≈1; it anchors the trajectory with an
+/// absolute engine-throughput number.
+fn entry_engine(quick: bool, seed: u64) -> (usize, u64) {
+    let repeats = if quick { 2 } else { 6 };
+    let params = ModelParams::new(8, 128, 16);
+    let w = bench_workload(8, 128, if quick { 2000 } else { 5000 }, seed);
+    let mut d = Digest::new();
+    for r in 0..repeats {
+        let res = run_policy("det-par", &w, &params, seed ^ r as u64);
+        digest_run(&mut d, &res);
+    }
+    (repeats, d.finish())
+}
+
+/// Entry 2: the policy × seed grid — the shape every E-binary sweep has.
+fn entry_policy_grid(quick: bool, seed: u64) -> (usize, u64) {
+    use rayon::prelude::*;
+    let seeds: u64 = if quick { 2 } else { 4 };
+    let params = ModelParams::new(8, 128, 16);
+    let w = bench_workload(8, 128, if quick { 1200 } else { 3000 }, seed);
+    let cells: Vec<(&str, u64)> = CONFORM_POLICIES
+        .iter()
+        .flat_map(|&pol| (0..seeds).map(move |s| (pol, s)))
+        .collect();
+    let results: Vec<RunResult> = cells
+        .par_iter()
+        .map(|&(pol, s)| run_policy(pol, &w, &params, seed ^ s))
+        .collect();
+    let mut d = Digest::new();
+    for ((pol, s), res) in cells.iter().zip(&results) {
+        d.write(&format!("{pol}/{s}:"));
+        digest_run(&mut d, res);
+    }
+    (cells.len(), d.finish())
+}
+
+/// Entry 3: conform's engine-vs-reference differential sweep.
+fn entry_differential(quick: bool, seed: u64) -> (usize, u64) {
+    let count = if quick { 60 } else { 250 };
+    let report = differential_sweep(count, seed);
+    let mut d = Digest::new();
+    d.write(&format!("runs={}", report.runs));
+    for div in &report.divergences {
+        d.write(&format!("{} — {}", div.recipe, div.detail));
+    }
+    (count, d.finish())
+}
+
+/// Entry 4: conform's policy × scenario invariant matrix.
+fn entry_conform_matrix(quick: bool, seed: u64) -> (usize, u64) {
+    let params = ModelParams::new(4, 32, 10);
+    let w = bench_workload(4, 32, if quick { 300 } else { 800 }, seed);
+    let reports = conform_matrix(w.seqs(), &params, seed, 4000).expect("conform matrix");
+    let mut d = Digest::new();
+    for r in &reports {
+        d.write(&format!(
+            "{}/{} hardened={} outcome={} events={} violations={:?}",
+            r.policy, r.scenario, r.hardened, r.outcome, r.events, r.violations
+        ));
+    }
+    (reports.len(), d.finish())
+}
+
+/// Entry 5: the Theorem-4 competitive-ratio guardrails.
+fn entry_envelope(quick: bool, seed: u64) -> (usize, u64) {
+    let report = competitive_envelope(quick, seed).expect("envelope");
+    let mut d = Digest::new();
+    for e in &report.entries {
+        d.write(&format!(
+            "{} {} p={} ratio={:.6} bound={:.6}",
+            e.policy, e.instance, e.p, e.ratio, e.bound
+        ));
+    }
+    (report.entries.len(), d.finish())
+}
+
+/// Runs the full recipe: every entry once under `threads(1)` and once
+/// under `threads(threads_par)`, with wall time and result digest per leg.
+pub fn run_suite(quick: bool, seed: u64, threads_par: usize) -> SuiteReport {
+    type EntryFn = fn(bool, u64) -> (usize, u64);
+    let recipe: &[(&'static str, bool, EntryFn)] = &[
+        ("engine/det-par", false, entry_engine),
+        ("sweep/policy-grid", true, entry_policy_grid),
+        ("sweep/differential", true, entry_differential),
+        ("sweep/conform-matrix", true, entry_conform_matrix),
+        ("sweep/envelope", true, entry_envelope),
+    ];
+    let entries = recipe
+        .iter()
+        .map(|&(name, parallel, f)| {
+            let (runs, secs_base, digest_base) = {
+                let _g = pool::threads(1);
+                let t = Instant::now();
+                let (runs, digest) = f(quick, seed);
+                (runs, t.elapsed().as_secs_f64(), digest)
+            };
+            let (runs_par, secs_par, digest_par) = {
+                let _g = pool::threads(threads_par);
+                let t = Instant::now();
+                let (runs, digest) = f(quick, seed);
+                (runs, t.elapsed().as_secs_f64(), digest)
+            };
+            debug_assert_eq!(runs, runs_par);
+            EntryResult {
+                name,
+                parallel,
+                runs,
+                secs_base,
+                secs_par,
+                digest_base,
+                digest_par,
+            }
+        })
+        .collect();
+    SuiteReport {
+        entries,
+        threads_par,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick,
+        seed,
+    }
+}

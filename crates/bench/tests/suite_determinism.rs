@@ -1,0 +1,54 @@
+//! The benchmark suite's own determinism contract: every entry's digest
+//! must match between its single-threaded and multi-threaded legs, and
+//! the whole report must be identical across pool widths.
+
+use std::sync::Mutex;
+
+use parapage_bench::suite::{run_suite, Digest};
+
+/// Serializes tests that set the global pool width.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn quick_suite_is_deterministic_across_legs() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = run_suite(true, 42, 8);
+    for entry in &report.entries {
+        assert!(
+            entry.deterministic(),
+            "entry `{}` digests diverge: {:#018x} (1 thread) vs {:#018x} ({} threads)",
+            entry.name,
+            entry.digest_base,
+            entry.digest_par,
+            report.threads_par
+        );
+    }
+    assert!(report.deterministic());
+}
+
+#[test]
+fn suite_report_is_stable_across_pool_widths() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Two full quick suites at different widths: wall times differ, but
+    // every digest (the actual computation results) must match.
+    let narrow = run_suite(true, 7, 2);
+    let wide = run_suite(true, 7, 8);
+    let digests = |r: &parapage_bench::suite::SuiteReport| -> Vec<(&'static str, u64, u64)> {
+        r.entries
+            .iter()
+            .map(|e| (e.name, e.digest_base, e.digest_par))
+            .collect()
+    };
+    assert_eq!(digests(&narrow), digests(&wide));
+}
+
+#[test]
+fn digest_is_order_sensitive() {
+    let mut a = Digest::new();
+    a.write("1");
+    a.write("2");
+    let mut b = Digest::new();
+    b.write("2");
+    b.write("1");
+    assert_ne!(a.finish(), b.finish(), "digest must detect reordering");
+}

@@ -1,0 +1,109 @@
+//! `parapage bench`: the perf-trajectory benchmark gate.
+//!
+//! Runs the fixed recipe in [`parapage_bench::suite`] — engine and sweep
+//! hot paths, each once under `threads(1)` and once at the requested
+//! width — and emits `BENCH_3.json` (wall time, runs/sec, speedup vs the
+//! sequential leg, per-entry determinism verdicts).
+//!
+//! Exit is non-zero when any entry's two legs diverge (the pool's
+//! determinism contract is broken) or when the speedup gate is enforced
+//! (multi-core host, full recipe) and the aggregate speedup falls below
+//! the bar.
+
+use parapage_bench::suite::{run_suite, SPEEDUP_GATE};
+use rayon::pool;
+
+use crate::args::Args;
+
+/// Stable identifier of this benchmark generation: bump the suffix when
+/// the recipe changes shape so trajectories stay comparable.
+const BENCH_ID: &str = "BENCH_3";
+
+/// Executes the subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let seed: u64 = args.get("seed", 42)?;
+    let threads: usize = args.get("threads", pool::current_threads())?;
+    let out = args
+        .opt("out")
+        .unwrap_or_else(|| format!("{BENCH_ID}.json"));
+    if threads < 1 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    println!(
+        "benchmark suite ({}, seed {seed}): threads(1) vs threads({threads}) on {} core(s)\n",
+        if quick { "quick recipe" } else { "full recipe" },
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+
+    let report = run_suite(quick, seed, threads);
+
+    let mut t = parapage::prelude::Table::new([
+        "entry",
+        "runs",
+        "secs @1",
+        "secs @N",
+        "runs/s @1",
+        "runs/s @N",
+        "speedup",
+        "deterministic",
+    ]);
+    for e in &report.entries {
+        t.row([
+            e.name.to_string(),
+            e.runs.to_string(),
+            format!("{:.3}", e.secs_base),
+            format!("{:.3}", e.secs_par),
+            format!("{:.1}", e.runs as f64 / e.secs_base.max(1e-9)),
+            format!("{:.1}", e.runs as f64 / e.secs_par.max(1e-9)),
+            format!("{:.2}x", e.speedup()),
+            if e.deterministic() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let json = report.to_json(BENCH_ID);
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "aggregate speedup (sweep entries): {:.2}x — wrote {out}",
+        report.aggregate_speedup()
+    );
+
+    if !report.deterministic() {
+        return Err(
+            "determinism violation: a suite entry produced different results under \
+             threads(1) and the parallel leg"
+                .into(),
+        );
+    }
+    if report.gate_enforced() {
+        if report.gate_passed() {
+            println!(
+                "speedup gate: {:.2}x >= {SPEEDUP_GATE}x — pass",
+                report.aggregate_speedup()
+            );
+        } else {
+            return Err(format!(
+                "speedup gate FAILED: aggregate {:.2}x < {SPEEDUP_GATE}x on a \
+                 {}-core host",
+                report.aggregate_speedup(),
+                report.host_cores
+            ));
+        }
+    } else {
+        println!(
+            "speedup gate: recorded only ({})",
+            if report.host_cores < 2 {
+                "single-core host"
+            } else if threads < 2 {
+                "parallel width < 2"
+            } else {
+                "--quick recipe"
+            }
+        );
+    }
+    Ok(())
+}

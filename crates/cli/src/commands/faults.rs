@@ -5,8 +5,13 @@
 //! and tabulates makespan degradation versus the clean run. Engine errors
 //! (typically `MemoryLimitExceeded` for an unhardened policy under
 //! pressure) are reported as rows, not fatal.
+//!
+//! The scenario × mode cells are independent runs, so the matrix fans out
+//! across the pool; each cell fills its pre-assigned table row, keeping
+//! the output identical for every `PARAPAGE_THREADS` value.
 
 use parapage::prelude::*;
+use rayon::prelude::*;
 
 use crate::args::Args;
 use crate::common::{model_from, run_named_policy_faults, workload_from};
@@ -33,16 +38,21 @@ pub fn exec(args: &Args) -> Result<(), String> {
     let mut t = Table::new([
         "scenario", "mode", "outcome", "makespan", "x clean", "faults", "degraded", "peak mem",
     ]);
-    for &scenario in FAULT_SCENARIOS {
-        let events = fault_scenario(scenario, params.p, params.k, horizon, seed)
-            .expect("FAULT_SCENARIOS names are exhaustive");
-        let plan = FaultPlan::new(events);
-        for hardened in [false, true] {
+    let cells: Vec<(&str, bool)> = FAULT_SCENARIOS
+        .iter()
+        .flat_map(|&scenario| [false, true].map(|hardened| (scenario, hardened)))
+        .collect();
+    let rows: Vec<Result<[String; 8], String>> = cells
+        .par_iter()
+        .map(|&(scenario, hardened)| {
+            let events = fault_scenario(scenario, params.p, params.k, horizon, seed)
+                .expect("FAULT_SCENARIOS names are exhaustive");
+            let plan = FaultPlan::new(events);
             let mode = if hardened { "hardened" } else { "raw" };
             let outcome =
                 run_named_policy_faults(&policy, &w, &params, &opts, seed, &plan, hardened)?;
-            match outcome {
-                Ok(res) => t.row([
+            Ok(match outcome {
+                Ok(res) => [
                     scenario.to_string(),
                     mode.to_string(),
                     "ok".to_string(),
@@ -51,8 +61,8 @@ pub fn exec(args: &Args) -> Result<(), String> {
                     res.faults_injected.to_string(),
                     res.degraded_grants.to_string(),
                     res.peak_memory.to_string(),
-                ]),
-                Err(e) => t.row([
+                ],
+                Err(e) => [
                     scenario.to_string(),
                     mode.to_string(),
                     error_label(&e).to_string(),
@@ -61,9 +71,12 @@ pub fn exec(args: &Args) -> Result<(), String> {
                     "-".to_string(),
                     "-".to_string(),
                     "-".to_string(),
-                ]),
-            };
-        }
+                ],
+            })
+        })
+        .collect();
+    for row in rows {
+        t.row(row?);
     }
     println!("{t}");
     println!(

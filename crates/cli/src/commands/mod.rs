@@ -3,6 +3,7 @@
 pub mod adversarial;
 pub mod analyze;
 pub mod audit;
+pub mod bench;
 pub mod compare;
 pub mod conform;
 pub mod faults;
@@ -30,6 +31,12 @@ COMMANDS:
                  offline OPT: --p N --k N [--seeds N]
   audit        run DET-PAR and audit Lemma-6 well-roundedness:
                  --p N --k N [--slack F] (exits non-zero on violation)
+  bench        perf-trajectory benchmark gate: run the fixed suite of
+                 engine/sweep hot paths under threads(1) and threads(N),
+                 check byte-identical results, and write BENCH_3.json:
+                 [--quick] [--threads N] [--seed N] [--out FILE]
+                 (exits non-zero on a determinism violation, or on a
+                 multi-core full run whose speedup misses the 1.5x gate)
   faults       fault-injection matrix: run one policy raw and hardened
                  under each fault scenario (stalls, latency spikes, memory
                  pressure, chaos) and report makespan degradation vs the

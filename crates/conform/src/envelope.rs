@@ -17,7 +17,10 @@
 use parapage_analysis::{lemma8_makespan, per_proc_bound};
 use parapage_core::{BoxAllocator, DetPar, ModelParams, RandPar};
 use parapage_sched::{run_engine, EngineOpts};
-use parapage_workloads::{build_workload, AdversarialConfig, AdversarialInstance, SeqSpec};
+use parapage_workloads::{
+    build_workload, AdversarialConfig, AdversarialInstance, SeqSpec, Workload,
+};
+use rayon::prelude::*;
 
 /// One measured guardrail point.
 pub struct EnvelopeEntry {
@@ -87,92 +90,134 @@ fn measure(
     })
 }
 
+/// Prepared measurement inputs for one `(p, k)` guardrail size.
+struct SizeInput {
+    params: ModelParams,
+    inst: AdversarialInstance,
+    opt: u64,
+    name: String,
+    bound: f64,
+    wparams: ModelParams,
+    w: Workload,
+    lb: u64,
+    wname: String,
+    wbound: f64,
+}
+
 /// Runs the guardrails: DET-PAR and RAND-PAR on Theorem-4 adversarial
 /// instances (ratio vs the Lemma-8 schedule) and on a mixed workload
 /// (ratio vs the certified per-processor lower bound). `quick` audits the
 /// smallest instance only.
+///
+/// The instances and reference bounds are prepared sequentially (cheap
+/// relative to the engine runs); the `sizes × {adversarial, mixed} ×
+/// {DET-PAR, RAND-PAR}` measurement grid then fans out across the pool,
+/// each cell filling its pre-assigned slot so the entry order is
+/// identical for every thread count.
 pub fn competitive_envelope(quick: bool, seed: u64) -> Result<EnvelopeReport, String> {
     let sizes: &[(usize, usize)] = if quick {
         &[(8, 32)]
     } else {
         &[(8, 32), (16, 64)]
     };
-    let mut entries = Vec::new();
-    for &(p, k) in sizes {
-        let cfg = AdversarialConfig::scaled(p, k, k as u64, 0.05);
-        let inst = AdversarialInstance::build(cfg);
-        let params = cfg.params();
-        let log_p = params.log_p() as f64;
-        let opt = lemma8_makespan(&inst).makespan();
-        let name = format!("adversarial(p={p},k={k})");
-        // The adversarial construction is built to force Ω(log p / log log p)
-        // against *any* online pager; 6·log p + 8 gives ~3× headroom over
-        // the measured ratios while still scaling with the theorem.
-        let bound = 6.0 * log_p + 8.0;
-        let mut det = DetPar::new(&params);
-        entries.push(measure(
-            "det-par",
-            &mut det,
-            inst.workload.seqs(),
-            &params,
-            opt,
-            name.clone(),
-            bound,
-        )?);
-        let mut rp = RandPar::new(&params, seed);
-        entries.push(measure(
-            "rand-par",
-            &mut rp,
-            inst.workload.seqs(),
-            &params,
-            opt,
-            name,
-            bound,
-        )?);
+    let inputs: Vec<SizeInput> = sizes
+        .iter()
+        .map(|&(p, k)| {
+            let cfg = AdversarialConfig::scaled(p, k, k as u64, 0.05);
+            let inst = AdversarialInstance::build(cfg);
+            let params = cfg.params();
+            let log_p = params.log_p() as f64;
+            let opt = lemma8_makespan(&inst).makespan();
+            // The adversarial construction is built to force
+            // Ω(log p / log log p) against *any* online pager; 6·log p + 8
+            // gives ~3× headroom over the measured ratios while still
+            // scaling with the theorem.
+            let bound = 6.0 * log_p + 8.0;
 
-        // Mixed (non-adversarial) workload against the certified lower
-        // bound: ratios here must be far smaller than on the adversarial
-        // family.
-        let len = 2000usize;
-        let specs: Vec<SeqSpec> = (0..p)
-            .map(|x| match x % 3 {
-                0 => SeqSpec::Cyclic {
-                    width: (k / 8).max(2),
-                    len,
-                },
-                1 => SeqSpec::Cyclic { width: k / 2, len },
-                _ => SeqSpec::Zipf {
-                    universe: (k / 2).max(4),
-                    theta: 0.9,
-                    len,
-                },
-            })
-            .collect();
-        let w = build_workload(&specs, seed);
-        let wparams = ModelParams::new(p, k, 16);
-        let lb = per_proc_bound(w.seqs(), wparams.k, wparams.s);
-        let wname = format!("mixed(p={p},k={k})");
-        let wbound = 4.0 * wparams.log_p() as f64 + 6.0;
-        let mut det = DetPar::new(&wparams);
-        entries.push(measure(
-            "det-par",
-            &mut det,
-            w.seqs(),
-            &wparams,
-            lb,
-            wname.clone(),
-            wbound,
-        )?);
-        let mut rp = RandPar::new(&wparams, seed);
-        entries.push(measure(
-            "rand-par",
-            &mut rp,
-            w.seqs(),
-            &wparams,
-            lb,
-            wname,
-            wbound,
-        )?);
-    }
+            // Mixed (non-adversarial) workload against the certified lower
+            // bound: ratios here must be far smaller than on the
+            // adversarial family.
+            let len = 2000usize;
+            let specs: Vec<SeqSpec> = (0..p)
+                .map(|x| match x % 3 {
+                    0 => SeqSpec::Cyclic {
+                        width: (k / 8).max(2),
+                        len,
+                    },
+                    1 => SeqSpec::Cyclic { width: k / 2, len },
+                    _ => SeqSpec::Zipf {
+                        universe: (k / 2).max(4),
+                        theta: 0.9,
+                        len,
+                    },
+                })
+                .collect();
+            let w = build_workload(&specs, seed);
+            let wparams = ModelParams::new(p, k, 16);
+            let lb = per_proc_bound(w.seqs(), wparams.k, wparams.s);
+            SizeInput {
+                params,
+                inst,
+                opt,
+                name: format!("adversarial(p={p},k={k})"),
+                bound,
+                wparams,
+                w,
+                lb,
+                wname: format!("mixed(p={p},k={k})"),
+                wbound: 4.0 * wparams.log_p() as f64 + 6.0,
+            }
+        })
+        .collect();
+
+    let cells: Vec<(usize, usize)> = (0..inputs.len())
+        .flat_map(|i| (0..4usize).map(move |j| (i, j)))
+        .collect();
+    let entries: Vec<EnvelopeEntry> = cells
+        .par_iter()
+        .map(|&(i, j)| {
+            let inp = &inputs[i];
+            match j {
+                0 => measure(
+                    "det-par",
+                    &mut DetPar::new(&inp.params),
+                    inp.inst.workload.seqs(),
+                    &inp.params,
+                    inp.opt,
+                    inp.name.clone(),
+                    inp.bound,
+                ),
+                1 => measure(
+                    "rand-par",
+                    &mut RandPar::new(&inp.params, seed),
+                    inp.inst.workload.seqs(),
+                    &inp.params,
+                    inp.opt,
+                    inp.name.clone(),
+                    inp.bound,
+                ),
+                2 => measure(
+                    "det-par",
+                    &mut DetPar::new(&inp.wparams),
+                    inp.w.seqs(),
+                    &inp.wparams,
+                    inp.lb,
+                    inp.wname.clone(),
+                    inp.wbound,
+                ),
+                _ => measure(
+                    "rand-par",
+                    &mut RandPar::new(&inp.wparams, seed),
+                    inp.w.seqs(),
+                    &inp.wparams,
+                    inp.lb,
+                    inp.wname.clone(),
+                    inp.wbound,
+                ),
+            }
+        })
+        .collect::<Vec<Result<EnvelopeEntry, String>>>()
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(EnvelopeReport { entries })
 }

@@ -20,6 +20,7 @@ use parapage_sched::{
 use parapage_workloads::{build_workload, fault_scenario, SeqSpec, FAULT_SCENARIOS};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 
 use crate::checkers;
 use crate::reference::run_reference;
@@ -358,22 +359,36 @@ pub fn conform_run(
 
 /// Runs the full invariant matrix: every policy in [`CONFORM_POLICIES`]
 /// under every named fault scenario, on the given workload.
+///
+/// The (policy, scenario) cells are independent, so they run on the
+/// pool; each cell writes its report into its pre-assigned grid slot, so
+/// the returned order (policy-major, scenario-minor) is identical for
+/// every thread count.
 pub fn conform_matrix(
     seqs: &[Vec<PageId>],
     params: &ModelParams,
     seed: u64,
     horizon: u64,
 ) -> Result<Vec<ConformReport>, String> {
-    let mut reports = Vec::new();
-    for &policy in CONFORM_POLICIES {
-        for &scenario in FAULT_SCENARIOS {
+    let cells: Vec<(&str, &str)> = CONFORM_POLICIES
+        .iter()
+        .flat_map(|&policy| {
+            FAULT_SCENARIOS
+                .iter()
+                .map(move |&scenario| (policy, scenario))
+        })
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(policy, scenario)| {
             let events = fault_scenario(scenario, params.p, params.k, horizon, seed)
                 .ok_or_else(|| format!("unknown scenario `{scenario}`"))?;
             let plan = FaultPlan::new(events);
-            reports.push(conform_run(policy, seqs, params, seed, scenario, &plan)?);
-        }
-    }
-    Ok(reports)
+            conform_run(policy, seqs, params, seed, scenario, &plan)
+        })
+        .collect::<Vec<Result<ConformReport, String>>>()
+        .into_iter()
+        .collect()
 }
 
 /// One divergence found by the differential sweep.
@@ -395,9 +410,30 @@ pub struct DiffReport {
 /// Cross-checks the optimized engine against the naive reference simulator
 /// on `count` generated workloads, cycling policies, fault scenarios, and
 /// workload shapes deterministically from `seed`.
+///
+/// The runs are independent (each derives its own RNG stream from
+/// `(seed, i)`), so they fan out across the pool; divergences are
+/// assembled in run order, making the report identical for every thread
+/// count.
 pub fn differential_sweep(count: usize, seed: u64) -> DiffReport {
+    let divergences: Vec<Divergence> = (0..count)
+        .into_par_iter()
+        .map(|i| differential_run(i, seed))
+        .collect::<Vec<Vec<Divergence>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    DiffReport {
+        runs: count,
+        divergences,
+    }
+}
+
+/// One cell of the differential sweep: generates workload `i` and returns
+/// any engine-vs-reference divergences it produced.
+fn differential_run(i: usize, seed: u64) -> Vec<Divergence> {
     let mut divergences = Vec::new();
-    for i in 0..count {
+    {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
         let p = rng.random_range(1..6usize);
         // k a power of two ≥ p̂: every policy accepts it un-normalized
@@ -466,8 +502,5 @@ pub fn differential_sweep(count: usize, seed: u64) -> DiffReport {
             }),
         }
     }
-    DiffReport {
-        runs: count,
-        divergences,
-    }
+    divergences
 }

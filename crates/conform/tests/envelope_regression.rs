@@ -1,0 +1,117 @@
+//! Regression pin for the stall-desync memory finding (PR 2).
+//!
+//! The chunked policies (RAND-PAR, BB-GREEN) emit fixed-duration box
+//! queues; a `ProcStall` defers issuance and slides the stalled
+//! processor's queue past its chunk, so boxes from adjacent chunk
+//! generations overlap and the synchronous `2k` peak argument no longer
+//! covers the run. The audited envelope is `4k` (headroom), the observed
+//! worst case is exactly `3k`.
+//!
+//! This file pins both edges of that finding:
+//!
+//! * the **ceiling**: no stall run may exceed the `4k` envelope — if one
+//!   does, the guardrail in [`memory_envelope`] is wrong and the bug is
+//!   real;
+//! * the **floor**: the `3k` worst case must still reproduce — if every
+//!   run now stays at `2k`, the envelope has silently tightened and both
+//!   `memory_envelope` and its doc comment should be updated to claim the
+//!   stronger bound, not left stale.
+
+use parapage_conform::{memory_envelope, run_traced};
+use parapage_core::{DetPar, ModelParams};
+use parapage_sched::{run_engine, EngineOpts, FaultPlan};
+use parapage_workloads::{build_workload, fault_scenario, SeqSpec};
+
+/// The documented envelope constants themselves — a change here must be
+/// deliberate, with the doc comment on `memory_envelope` updated to match.
+#[test]
+fn envelope_constants_are_pinned() {
+    let k = 64;
+    // Stall-desynced chunked policies: 4k guardrail.
+    assert_eq!(memory_envelope("rand-par", k, false, true), 4 * k);
+    assert_eq!(memory_envelope("bb-green", k, false, true), 4 * k);
+    // Synchronous chunked policies: the 2k argument holds.
+    assert_eq!(memory_envelope("rand-par", k, false, false), 2 * k);
+    assert_eq!(memory_envelope("bb-green", k, false, false), 2 * k);
+    // DET-PAR grants are clipped to period ends, so stalls do not widen it.
+    assert_eq!(
+        memory_envelope("det-par", k, false, true),
+        DetPar::MEMORY_FACTOR * k
+    );
+    assert_eq!(
+        memory_envelope("det-par", k, false, false),
+        DetPar::MEMORY_FACTOR * k
+    );
+    // Partition baselines split exactly k; hardened runs are capped at k.
+    assert_eq!(memory_envelope("static", k, false, true), k);
+    assert_eq!(memory_envelope("rand-par", k, true, true), k);
+}
+
+/// Empirical reproduction: rand-par and bb-green under the `stalls`
+/// scenario, on the workload family where PR 2 first observed the `3k`
+/// peak (p=8, k=64, mixed cyclic/zipf, seed grid including 42).
+#[test]
+fn stall_desync_peak_stays_inside_documented_band() {
+    let (p, k, len) = (8usize, 64usize, 2000usize);
+    let params = ModelParams::new(p, k, 10);
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| match x % 3 {
+            0 => SeqSpec::Cyclic {
+                width: (k / 8).max(2),
+                len,
+            },
+            1 => SeqSpec::Cyclic { width: k / 2, len },
+            _ => SeqSpec::Zipf {
+                universe: (k / 2).max(4),
+                theta: 0.9,
+                len,
+            },
+        })
+        .collect();
+    let w = build_workload(&specs, 42);
+    let opts = EngineOpts::default();
+    let horizon = run_engine(&mut DetPar::new(&params), w.seqs(), &params, &opts)
+        .expect("clean det-par run")
+        .makespan
+        .max(1);
+
+    let mut max_peak = 0usize;
+    for policy in ["rand-par", "bb-green"] {
+        for seed in [42u64, 7, 11, 101] {
+            let plan = FaultPlan::new(
+                fault_scenario("stalls", p, k, horizon, seed).expect("stalls scenario"),
+            );
+            let run = run_traced(policy, w.seqs(), &params, &opts, seed, &plan, false)
+                .expect("traced run");
+            let res = run.outcome.unwrap_or_else(|e| {
+                panic!(
+                    "{policy} under stalls (seed {seed}) errored: {e} — the stalls \
+                        scenario injects no memory faults, so this is a regression"
+                )
+            });
+            let envelope = memory_envelope(policy, k, false, true);
+            assert!(
+                res.peak_memory <= envelope,
+                "{policy} seed {seed}: peak {} exceeds the documented {}k stall \
+                 envelope ({}); widen `memory_envelope` only if the paper argument \
+                 is re-derived",
+                res.peak_memory,
+                envelope / k,
+                envelope
+            );
+            max_peak = max_peak.max(res.peak_memory);
+        }
+    }
+
+    // The desync worst case must still reproduce. If this fires because
+    // every run now peaks at 2k, the engine got *better* — tighten the
+    // stall envelope in `memory_envelope` and update its doc comment
+    // rather than loosening this assertion.
+    assert!(
+        max_peak >= 3 * k,
+        "stall-desync peak across the grid is {max_peak} (< 3k = {}); the documented \
+         `observed worst case 3k` no longer reproduces — update memory_envelope's \
+         doc (and consider tightening the 4k guardrail) instead of ignoring this",
+        3 * k
+    );
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Perf-trajectory benchmark: builds the release CLI and runs the fixed
+# `parapage bench` recipe, writing BENCH_3.json at the repo root.
+#
+# Usage: scripts/bench.sh [--quick] [--threads N] [--seed N] [--out FILE]
+# (flags pass through to `parapage bench`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p parapage-cli
+exec cargo run --release -q -p parapage-cli -- bench "$@"

@@ -14,7 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> pool tests (vendored rayon shim)"
+cargo test -q -p rayon
+
 echo "==> parapage conform --quick"
 cargo run -q -p parapage-cli --release -- conform --quick
+
+echo "==> parapage bench --quick (smoke + determinism gate)"
+cargo run -q -p parapage-cli --release -- bench --quick --out /tmp/parapage-bench-smoke.json
 
 echo "All checks passed."

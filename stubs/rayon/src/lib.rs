@@ -1,64 +1,274 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now backed by a **real**
+//! thread pool.
 //!
 //! This workspace builds in environments with no crates.io access, so the
-//! entry points it uses — `par_iter()` and `into_par_iter()` from
-//! `rayon::prelude` — are vendored here as thin shims that hand back the
-//! ordinary *sequential* standard-library iterators. Every downstream
-//! combinator (`map`, `flat_map`, `collect`, …) is then just
-//! [`std::iter::Iterator`], so the experiment binaries compile and produce
-//! identical results, merely without the parallel speedup.
+//! entry points it uses — `par_iter()` / `into_par_iter()` from
+//! `rayon::prelude`, the `map` / `flat_map` / `collect` combinators, and
+//! [`join`] — are vendored here. Earlier revisions handed back plain
+//! sequential iterators; this one executes on scoped worker threads (see
+//! [`pool`]) while keeping the call sites unchanged.
+//!
+//! The adapters are lazy: `par_iter().map(f)` builds a [`Map`] description,
+//! and only a sink (`collect`) compiles the chain into slot-indexed work
+//! units and hands them to [`pool::execute`]. Each unit is pinned to its
+//! output slot before execution, so **results are identical for every
+//! thread count** — see the determinism contract in [`pool`].
+//!
+//! Deliberate differences from upstream rayon:
+//!
+//! * `flat_map` parallelizes at the granularity of its *input* items: the
+//!   closure and the expansion it returns run inside one worker unit.
+//!   Downstream `map`s compose into that unit, so put the expensive stage
+//!   before or at the `flat_map` input level when granularity matters (or
+//!   use `map` + flatten-on-collect).
+//! * No adaptive splitting: the unit list is fixed up front and workers
+//!   claim chunks of slots from an atomic cursor.
+//! * Worker count comes from [`pool::threads`] / [`pool::set_threads`],
+//!   the `PARAPAGE_THREADS` environment variable, or the machine, in that
+//!   order; `threads(1)` is the sequential escape hatch for debugging.
 
-/// Types convertible into a (here: sequential) "parallel" iterator.
+pub mod pool;
+
+use std::sync::Arc;
+
+pub use pool::join;
+
+use pool::{Tasks, Unit};
+
+/// A lazy parallel computation over items of type `Item`.
+///
+/// The lifetime `'a` bounds everything the chain borrows (slices being
+/// iterated, closure captures); [`pool::execute`] runs the compiled units
+/// under a `std::thread::scope`, which is what makes non-`'static`
+/// borrows sound.
+pub trait ParallelIterator<'a>: Sized {
+    /// The element type produced by this stage.
+    type Item: Send + 'a;
+
+    /// Compiles the chain into slot-indexed work units.
+    fn into_tasks(self) -> Tasks<'a, Self::Item>;
+
+    /// Applies `f` to every item, in parallel at evaluation time.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send + 'a,
+        F: Fn(Self::Item) -> R + Send + Sync + 'a,
+    {
+        Map { base: self, f }
+    }
+
+    /// Expands every item through `f` and flattens, preserving item order.
+    fn flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send + 'a,
+        F: Fn(Self::Item) -> U + Send + Sync + 'a,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Executes the chain on the pool and collects the results **in input
+    /// order**, regardless of thread count.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        pool::execute(self.into_tasks()).into_iter().collect()
+    }
+}
+
+/// Root of a parallel chain: one work unit per item of the base iterator.
+pub struct ParIter<I> {
+    base: I,
+}
+
+impl<'a, I> ParallelIterator<'a> for ParIter<I>
+where
+    I: Iterator + 'a,
+    I::Item: Send + 'a,
+{
+    type Item = I::Item;
+
+    fn into_tasks(self) -> Tasks<'a, I::Item> {
+        Tasks {
+            units: self
+                .base
+                .map(|item| Box::new(move || vec![item]) as Unit<'a, I::Item>)
+                .collect(),
+        }
+    }
+}
+
+/// Lazy `map` stage (see [`ParallelIterator::map`]).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, B, F, R> ParallelIterator<'a> for Map<B, F>
+where
+    B: ParallelIterator<'a>,
+    F: Fn(B::Item) -> R + Send + Sync + 'a,
+    R: Send + 'a,
+{
+    type Item = R;
+
+    fn into_tasks(self) -> Tasks<'a, R> {
+        let f = Arc::new(self.f);
+        Tasks {
+            units: self
+                .base
+                .into_tasks()
+                .units
+                .into_iter()
+                .map(|unit| {
+                    let f = Arc::clone(&f);
+                    Box::new(move || unit().into_iter().map(|x| f(x)).collect()) as Unit<'a, R>
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Lazy `flat_map` stage (see [`ParallelIterator::flat_map`]).
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, B, F, U> ParallelIterator<'a> for FlatMap<B, F>
+where
+    B: ParallelIterator<'a>,
+    U: IntoIterator,
+    U::Item: Send + 'a,
+    F: Fn(B::Item) -> U + Send + Sync + 'a,
+{
+    type Item = U::Item;
+
+    fn into_tasks(self) -> Tasks<'a, U::Item> {
+        let f = Arc::new(self.f);
+        Tasks {
+            units: self
+                .base
+                .into_tasks()
+                .units
+                .into_iter()
+                .map(|unit| {
+                    let f = Arc::clone(&f);
+                    Box::new(move || unit().into_iter().flat_map(|x| f(x).into_iter()).collect())
+                        as Unit<'a, U::Item>
+                })
+                .collect(),
+        }
+    }
+}
+
+// Sequential views: a chain is also an ordinary `IntoIterator`, which is
+// what lets one parallel chain nest inside another's `flat_map` closure
+// (the inner chain then evaluates inside the outer worker's unit).
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.base
+    }
+}
+
+impl<B, F, R> IntoIterator for Map<B, F>
+where
+    B: IntoIterator,
+    F: Fn(B::Item) -> R,
+{
+    type Item = R;
+    type IntoIter = std::iter::Map<B::IntoIter, F>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().map(self.f)
+    }
+}
+
+impl<B, F, U> IntoIterator for FlatMap<B, F>
+where
+    B: IntoIterator,
+    U: IntoIterator,
+    F: Fn(B::Item) -> U,
+{
+    type Item = U::Item;
+    type IntoIter = std::iter::FlatMap<B::IntoIter, U, F>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.into_iter().flat_map(self.f)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
 pub trait IntoParallelIterator {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
+    /// The chain root produced.
+    type Iter;
     /// The element type.
     type Item;
 
-    /// Converts `self` into an iterator; sequential in this stand-in.
+    /// Converts `self` into a parallel chain root.
     fn into_par_iter(self) -> Self::Iter;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
+    type Iter = ParIter<T::IntoIter>;
     type Item = T::Item;
 
-    fn into_par_iter(self) -> T::IntoIter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter {
+            base: self.into_iter(),
+        }
     }
 }
 
-/// Types whose references iterate "in parallel" (sequentially here).
-pub trait IntoParallelRefIterator<'a> {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
+/// Types whose references iterate in parallel.
+pub trait IntoParallelRefIterator<'data> {
+    /// The chain root produced.
+    type Iter;
     /// The element type (a reference).
-    type Item: 'a;
+    type Item: 'data;
 
-    /// Iterates over `&self`; sequential in this stand-in.
-    fn par_iter(&'a self) -> Self::Iter;
+    /// Iterates over `&self` in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
 where
-    &'a C: IntoIterator,
+    &'data C: IntoIterator,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = ParIter<<&'data C as IntoIterator>::IntoIter>;
+    type Item = <&'data C as IntoIterator>::Item;
 
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter {
+            base: self.into_iter(),
+        }
     }
 }
 
 pub mod prelude {
     //! The glob-import surface, mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use crate::pool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global thread override or the
+    /// `PARAPAGE_THREADS` environment variable.
+    static GLOBAL_CONFIG: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_CONFIG.lock().unwrap_or_else(|p| p.into_inner())
+    }
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -76,5 +286,171 @@ mod tests {
         assert_eq!(pairs.len(), 6);
         assert_eq!(pairs[0], (0, 0));
         assert_eq!(pairs[5], (2, 1));
+    }
+
+    #[test]
+    fn order_is_stable_across_thread_counts() {
+        let _g = lock();
+        let input: Vec<usize> = (0..257).collect();
+        let mut baseline = None;
+        for n in [1usize, 2, 8, 32] {
+            let _t = pool::threads(n);
+            let out: Vec<usize> = input.par_iter().map(|&x| x * x + 1).collect();
+            let base = baseline.get_or_insert_with(|| out.clone());
+            assert_eq!(&out, base, "thread count {n} changed the output");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let _g = lock();
+        let _t = pool::threads(8);
+        let out: Vec<u32> = Vec::<u32>::new().par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let _g = lock();
+        let _t = pool::threads(8);
+        let out: Vec<u32> = [7u32].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let _g = lock();
+        let _t = pool::threads(64);
+        let out: Vec<usize> = (0..3usize).into_par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // A little spinning so workers overlap instead of one
+                // thread draining every chunk before the others start.
+                std::hint::black_box((0..20_000u64).sum::<u64>());
+                x
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected more than one worker thread to participate"
+        );
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let _out: Vec<usize> = (0..16usize)
+                .into_par_iter()
+                .map(|x| {
+                    if x == 11 {
+                        panic!("unit 11 exploded");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_join() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let ((a, b), (c, d)) = crate::join(|| crate::join(|| 1, || 2), || crate::join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let result = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || panic!("right side exploded"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn threads_one_escape_hatch_is_sequential() {
+        let _g = lock();
+        let _t = pool::threads(1);
+        // Under threads(1) units run inline on the caller, in slot order:
+        // a strictly increasing observation sequence proves it.
+        let order = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..32usize)
+            .into_par_iter()
+            .map(|x| {
+                let turn = order.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(turn, x, "threads(1) must execute slots in order");
+                x
+            })
+            .collect();
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn env_var_fallback_controls_width() {
+        let _g = lock();
+        // Clear any programmatic override so the env var is consulted.
+        pool::set_threads(0);
+        std::env::set_var(pool::ENV_THREADS, "1");
+        assert_eq!(pool::current_threads(), 1);
+        let out: Vec<usize> = (0..8usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+        std::env::set_var(pool::ENV_THREADS, "5");
+        assert_eq!(pool::current_threads(), 5);
+        std::env::set_var(pool::ENV_THREADS, "not-a-number");
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(pool::current_threads(), hw);
+        std::env::remove_var(pool::ENV_THREADS);
+        // The programmatic override wins over the environment.
+        std::env::set_var(pool::ENV_THREADS, "3");
+        pool::set_threads(7);
+        assert_eq!(pool::current_threads(), 7);
+        pool::set_threads(0);
+        std::env::remove_var(pool::ENV_THREADS);
+    }
+
+    #[test]
+    fn nested_sweeps_stay_deterministic() {
+        let _g = lock();
+        let _t = pool::threads(4);
+        let run = || -> Vec<u64> {
+            (0..6u64)
+                .into_par_iter()
+                .map(|a| {
+                    let inner: Vec<u64> = (0..5u64).into_par_iter().map(|b| a * 100 + b).collect();
+                    inner.iter().sum()
+                })
+                .collect()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        assert_eq!(first[1], 5 * 100 + 10);
     }
 }

@@ -1,0 +1,217 @@
+//! The execution pool behind the parallel iterators: scoped worker
+//! threads, chunked work claiming, and slot-indexed result assembly.
+//!
+//! # Determinism contract
+//!
+//! [`execute`] returns **byte-identical results for every thread count**,
+//! including the sequential `threads = 1` fallback. Two mechanisms
+//! guarantee this:
+//!
+//! 1. every work unit is pinned to its index *before* execution starts, and
+//! 2. every worker reports `(index, output)` pairs into a private channel;
+//!    the caller reassembles outputs into their pre-assigned slots after
+//!    all workers have finished, so arrival order is irrelevant.
+//!
+//! No unit ever touches a shared accumulator. Downstream consumers (the
+//! conformance oracle's byte-identical-replay checker, the bench digests)
+//! rely on this: thread count may only change wall-clock time, never
+//! output.
+//!
+//! # Sizing
+//!
+//! Worker count resolves, in priority order, from the [`threads`] /
+//! [`set_threads`] programmatic override, the `PARAPAGE_THREADS`
+//! environment variable, and [`std::thread::available_parallelism`]. A
+//! global budget caps the *extra* threads alive at once across nested
+//! [`execute`]/[`join`] calls; when the budget is exhausted a call simply
+//! runs inline on its caller — same results, no oversubscription.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Environment variable overriding the worker count (`>= 1`).
+pub const ENV_THREADS: &str = "PARAPAGE_THREADS";
+
+/// One pre-assigned work unit: produces the output items for its slot.
+pub type Unit<'a, T> = Box<dyn FnOnce() -> Vec<T> + Send + 'a>;
+
+/// A batch of slot-indexed work units, ready for [`execute`].
+pub struct Tasks<'a, T> {
+    /// The units, in slot order; unit `i` fills output slot `i`.
+    pub units: Vec<Unit<'a, T>>,
+}
+
+/// Programmatic thread-count override; `0` means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra (non-caller) worker threads currently alive, across all nested
+/// `execute`/`join` calls in the process.
+static EXTRA_IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker count in effect: programmatic override, else
+/// `PARAPAGE_THREADS`, else available hardware parallelism.
+pub fn current_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var(ENV_THREADS) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the programmatic worker-count override (`0` clears it). Prefer the
+/// scoped [`threads`] guard in tests; this unconditional form suits
+/// long-lived harnesses like `parapage bench`.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Restores the previous thread override when dropped.
+pub struct ThreadsGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// Scoped worker-count override: `let _g = pool::threads(1);` forces
+/// sequential execution until the guard drops — the debugging escape
+/// hatch, and the lever the bench harness uses to measure speedup.
+pub fn threads(n: usize) -> ThreadsGuard {
+    ThreadsGuard {
+        prev: OVERRIDE.swap(n, Ordering::SeqCst),
+    }
+}
+
+/// Tries to reserve up to `want` extra worker threads from the global
+/// budget; returns how many were granted (possibly zero).
+fn budget_acquire(want: usize) -> usize {
+    // Twice the configured width: leaves headroom for nested sweeps
+    // (an outer grid whose cells run inner grids) without unbounded
+    // thread explosion.
+    let cap = current_threads().saturating_mul(2);
+    let mut granted = 0;
+    let _ = EXTRA_IN_FLIGHT.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+        granted = want.min(cap.saturating_sub(cur));
+        Some(cur + granted)
+    });
+    granted
+}
+
+/// Releases `n` previously acquired budget slots on drop, so a panicking
+/// worker cannot leak budget.
+struct BudgetGuard(usize);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        EXTRA_IN_FLIGHT.fetch_sub(self.0, Ordering::SeqCst);
+    }
+}
+
+/// Runs every unit and returns the concatenated outputs **in slot order**,
+/// regardless of thread count or scheduling.
+///
+/// Workers claim contiguous chunks of slot indices from a shared atomic
+/// cursor (self-balancing: a worker stuck on a heavy unit simply claims
+/// fewer chunks), execute each unit, and send `(slot, output)` down a
+/// channel; assembly happens on the caller after the scope joins. A panic
+/// in any unit propagates to the caller once the remaining workers have
+/// drained their claimed chunks.
+pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
+    let units = tasks.units;
+    let n = units.len();
+    if n <= 1 || current_threads() <= 1 {
+        return units.into_iter().flat_map(|u| u()).collect();
+    }
+    let extra = budget_acquire(current_threads().min(n) - 1);
+    if extra == 0 {
+        return units.into_iter().flat_map(|u| u()).collect();
+    }
+    let _budget = BudgetGuard(extra);
+
+    // Slot-claiming state: unit i can only ever run once (`take()`), and
+    // its output can only ever land in slot i.
+    let slots: Vec<Mutex<Option<Unit<'_, T>>>> =
+        units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+    let cursor = AtomicUsize::new(0);
+    // Chunked claiming amortizes the cursor traffic when units are tiny
+    // while still rebalancing heavy tails (chunks are far smaller than a
+    // static 1/threads split).
+    let chunk = (n / ((extra + 1) * 8)).max(1);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+
+    let worker = |tx: mpsc::Sender<(usize, Vec<T>)>| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+            let unit = slot
+                .lock()
+                .expect("pool slot lock poisoned")
+                .take()
+                .expect("pool unit claimed twice");
+            // The receiver outlives the scope, so send only fails if
+            // the caller is already unwinding; dropping the output is
+            // fine then.
+            let _ = tx.send((i, unit()));
+        }
+    };
+    std::thread::scope(|s| {
+        let worker = &worker;
+        for _ in 0..extra {
+            let tx = tx.clone();
+            s.spawn(move || worker(tx));
+        }
+        // The caller participates as the final worker.
+        worker(tx.clone());
+    });
+    drop(tx);
+
+    let mut out: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx.try_iter() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .flat_map(|v| v.expect("pool slot never filled"))
+        .collect()
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `oper_b` runs on a scoped worker when the thread budget allows,
+/// `oper_a` on the caller; with `threads <= 1` (or an exhausted budget)
+/// both run inline, in order. Panics from either closure propagate to the
+/// caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 || budget_acquire(1) == 0 {
+        return (oper_a(), oper_b());
+    }
+    let _budget = BudgetGuard(1);
+    std::thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
