@@ -1,0 +1,438 @@
+//! Checkpoint/restore substrate: a compact hand-rolled byte codec and the
+//! [`Checkpoint`] trait every cache (and, one crate up, every policy)
+//! implements so an engine run can be frozen and resumed byte-for-byte.
+//!
+//! The workspace builds offline with no serde; the codec here is the whole
+//! wire format. A framed blob is
+//!
+//! ```text
+//! MAGIC(4) | version u16 | payload … | fnv1a64(payload) u64
+//! ```
+//!
+//! with every multi-byte integer little-endian. Decoding validates the
+//! magic, the version, and the FNV-1a integrity digest before handing a
+//! single payload byte to the caller, so a corrupted or truncated snapshot
+//! is rejected with a typed [`CodecError`] — never a panic.
+//!
+//! Determinism contract: `save` must write a canonical byte sequence (sort
+//! hash-map contents by key before writing) so that two states that compare
+//! equal encode identically. The engine's resume-equivalence checker relies
+//! on this.
+
+use std::collections::HashSet;
+
+use crate::types::PageId;
+
+/// Leading magic of a framed snapshot blob (`b"ppsn"`).
+pub const SNAP_MAGIC: [u8; 4] = *b"ppsn";
+
+/// Current wire-format version of framed snapshot blobs.
+pub const SNAP_VERSION: u16 = 1;
+
+/// Why a blob could not be decoded. Every variant is a *typed* rejection:
+/// corrupted input surfaces as an `Err`, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bytes mid-field.
+    UnexpectedEof,
+    /// The blob does not start with [`SNAP_MAGIC`].
+    BadMagic,
+    /// The blob's version tag is not [`SNAP_VERSION`].
+    BadVersion(u16),
+    /// The FNV-1a digest over the payload does not match the trailer:
+    /// the blob was corrupted in storage or transit.
+    DigestMismatch {
+        /// Digest recomputed over the received payload.
+        computed: u64,
+        /// Digest stored in the blob's trailer.
+        stored: u64,
+    },
+    /// A decoded value is structurally impossible (e.g. a length that
+    /// exceeds the remaining bytes, or an inconsistent list).
+    Invalid(&'static str),
+    /// The component (policy) does not support checkpointing.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "snapshot truncated: unexpected end of input"),
+            CodecError::BadMagic => write!(f, "not a snapshot blob (bad magic)"),
+            CodecError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {SNAP_VERSION})")
+            }
+            CodecError::DigestMismatch { computed, stored } => write!(
+                f,
+                "snapshot integrity digest mismatch (computed {computed:#018x}, stored {stored:#018x})"
+            ),
+            CodecError::Invalid(what) => write!(f, "snapshot field invalid: {what}"),
+            CodecError::Unsupported(who) => {
+                write!(f, "policy `{who}` does not support checkpointing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash over `bytes` — the snapshot integrity digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only payload writer with typed little-endian primitives.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// The payload written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, yielding the raw payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Consumes the writer, yielding a framed blob: magic, version tag,
+    /// payload, FNV-1a trailer. The shape [`decode_framed`] accepts.
+    pub fn into_framed(self) -> Vec<u8> {
+        let payload = self.buf;
+        let mut out = Vec::with_capacity(payload.len() + 14);
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` widened to `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a collection length (alias of [`SnapWriter::put_usize`],
+    /// named for intent at call sites).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_usize(v);
+    }
+
+    /// Writes a [`PageId`].
+    pub fn put_page(&mut self, v: PageId) {
+        self.put_u64(v.0);
+    }
+
+    /// Writes raw bytes, length-prefixed.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-based payload reader matching [`SnapWriter`] field for field.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Reads a raw (unframed) payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is invalid.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte not 0/1")),
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` previously written as `u64`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid("usize does not fit this platform"))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a collection length; bounded by the remaining bytes so a
+    /// corrupted length cannot trigger a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        // Every element of every encoded collection occupies ≥ 1 byte, so
+        // a length beyond the remaining payload is always corruption.
+        if n > self.remaining() {
+            return Err(CodecError::Invalid("collection length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a [`PageId`].
+    pub fn get_page(&mut self) -> Result<PageId, CodecError> {
+        Ok(PageId(self.get_u64()?))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+}
+
+/// Validates a framed blob (magic, version, FNV-1a digest) and returns the
+/// payload on success.
+pub fn decode_framed(blob: &[u8]) -> Result<&[u8], CodecError> {
+    if blob.len() < 14 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    if blob[..4] != SNAP_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(blob[4..6].try_into().unwrap());
+    if version != SNAP_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let payload = &blob[6..blob.len() - 8];
+    let stored = u64::from_le_bytes(blob[blob.len() - 8..].try_into().unwrap());
+    let computed = fnv1a64(payload);
+    if computed != stored {
+        return Err(CodecError::DigestMismatch { computed, stored });
+    }
+    Ok(payload)
+}
+
+/// A component whose live state can be frozen into a [`SnapWriter`] and
+/// rebuilt from a [`SnapReader`].
+///
+/// `load` replaces the receiver's state in place; the receiver's
+/// construction-time configuration (capacities baked into the constructor)
+/// is expected to match what was saved — implementations write enough of it
+/// to validate. After `load`, the component must behave byte-identically to
+/// the saved one under the same subsequent inputs.
+pub trait Checkpoint {
+    /// Serializes the full dynamic state into `w`, canonically (equal
+    /// states write equal bytes).
+    fn save(&self, w: &mut SnapWriter);
+
+    /// Replaces `self`'s state with the one `r` holds.
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError>;
+}
+
+/// Rebuilds a `HashSet<PageId>` from a list of pages, rejecting duplicates
+/// (a duplicated member means the blob is corrupt or non-canonical).
+pub(crate) fn set_from_pages(pages: &[PageId]) -> Result<HashSet<PageId>, CodecError> {
+    let mut set = HashSet::with_capacity(pages.len());
+    for &p in pages {
+        if !set.insert(p) {
+            return Err(CodecError::Invalid("duplicate page in checkpointed list"));
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_i64(-12);
+        w.put_u128(u128::MAX - 5);
+        w.put_usize(9999);
+        w.put_f64(0.25);
+        w.put_page(PageId(42));
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_i64().unwrap(), -12);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX - 5);
+        assert_eq!(r.get_usize().unwrap(), 9999);
+        assert_eq!(r.get_f64().unwrap(), 0.25);
+        assert_eq!(r.get_page().unwrap(), PageId(42));
+        assert_eq!(r.get_bytes().unwrap(), b"abc");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_eof() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        assert_eq!(r.get_u64(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_corruption() {
+        let mut w = SnapWriter::new();
+        w.put_u64(0xdead_beef);
+        w.put_bytes(b"payload");
+        let blob = w.into_framed();
+        let payload = decode_framed(&blob).unwrap();
+        let mut r = SnapReader::new(payload);
+        assert_eq!(r.get_u64().unwrap(), 0xdead_beef);
+
+        // Flip one payload byte: the digest must catch it.
+        let mut bad = blob.clone();
+        bad[8] ^= 0x40;
+        assert!(matches!(
+            decode_framed(&bad),
+            Err(CodecError::DigestMismatch { .. })
+        ));
+
+        // Wrong magic and wrong version are distinct typed errors.
+        let mut nomagic = blob.clone();
+        nomagic[0] = b'x';
+        assert_eq!(decode_framed(&nomagic), Err(CodecError::BadMagic));
+        let mut newver = blob.clone();
+        newver[4] = 0xff;
+        assert!(matches!(
+            decode_framed(&newver),
+            Err(CodecError::BadVersion(_))
+        ));
+
+        // Truncating the trailer is EOF, not a panic.
+        assert_eq!(decode_framed(&blob[..10]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn lengths_beyond_payload_are_invalid() {
+        let mut w = SnapWriter::new();
+        w.put_len(1000);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            r.get_len(),
+            Err(CodecError::Invalid("collection length exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

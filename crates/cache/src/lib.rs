@@ -35,6 +35,7 @@
 
 pub mod arc;
 pub mod belady;
+pub mod checkpoint;
 pub mod clock;
 pub mod fenwick;
 pub mod fifo;
@@ -51,6 +52,10 @@ pub mod window;
 
 pub use arc::ArcCache;
 pub use belady::{min_misses, BeladyCache};
+pub use checkpoint::{
+    decode_framed, fnv1a64, Checkpoint, CodecError, SnapReader, SnapWriter, SNAP_MAGIC,
+    SNAP_VERSION,
+};
 pub use clock::ClockCache;
 pub use fenwick::Fenwick;
 pub use fifo::FifoCache;

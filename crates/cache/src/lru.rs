@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::checkpoint::{Checkpoint, CodecError, SnapReader, SnapWriter};
 use crate::policy::{Access, Cache};
 use crate::types::PageId;
 
@@ -187,12 +188,65 @@ impl Cache for LruCache {
     }
 }
 
+impl Checkpoint for LruCache {
+    fn save(&self, w: &mut SnapWriter) {
+        // The arena layout is an implementation detail; the logical state
+        // is exactly (capacity, recency order).
+        w.put_usize(self.capacity);
+        let pages = self.pages_mru_first();
+        w.put_len(pages.len());
+        for p in pages {
+            w.put_page(p);
+        }
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let capacity = r.get_usize()?;
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(CodecError::Invalid("LRU resident count exceeds capacity"));
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(r.get_page()?);
+        }
+        self.clear();
+        self.capacity = capacity;
+        // Re-access LRU → MRU rebuilds the exact recency order.
+        for &p in pages.iter().rev() {
+            if self.access(p) == Access::Hit {
+                return Err(CodecError::Invalid("duplicate page in LRU checkpoint"));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(v: u64) -> PageId {
         PageId(v)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_recency_order() {
+        let mut c = LruCache::new(4);
+        for v in [1, 2, 3, 2, 1, 4] {
+            c.access(p(v));
+        }
+        let mut w = SnapWriter::new();
+        c.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = LruCache::new(0);
+        restored.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored.capacity(), 4);
+        assert_eq!(restored.pages_mru_first(), c.pages_mru_first());
+        // Same next eviction on both.
+        assert_eq!(restored.access(p(9)), Access::Miss);
+        assert_eq!(c.access(p(9)), Access::Miss);
+        assert_eq!(restored.pages_mru_first(), c.pages_mru_first());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! `parapage chaos`: the crash-recovery matrix as a pre-PR gate.
+//!
+//! Drives the conformance resume-equivalence oracle over the full grid:
+//! every engine policy × every named fault scenario × a set of
+//! deterministic crashpoints (fractions of each cell's baseline tick
+//! count). Each cell runs the workload once uninterrupted and once under
+//! the supervisor with all the cell's crashes injected, and demands a
+//! byte-identical [`RunResult`] and trace stream. A corrupted-snapshot
+//! section additionally verifies that bit-flipped and truncated snapshots
+//! are rejected with typed errors for every policy.
+//!
+//! Exits non-zero on any divergence, failed recovery, or accepted
+//! corruption.
+
+use parapage::prelude::*;
+
+use crate::args::Args;
+
+/// Crashpoints as fractions of each cell's baseline run: early, two
+/// mid-run points straddling typical phase transitions, and late.
+const CRASH_FRACS: &[f64] = &[0.1, 0.35, 0.6, 0.85];
+
+/// Executes the subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let quick = args.flag("quick");
+    let p: usize = args.get("p", if quick { 4 } else { 8 })?;
+    let k: usize = args.get("k", 8 * p)?;
+    let s: u64 = args.get("s", 10)?;
+    if !k.is_power_of_two() || k < p {
+        return Err(format!("--k {k} must be a power of two >= --p {p}"));
+    }
+    let seed: u64 = args.get("seed", 42)?;
+    let len: usize = args.get("len", if quick { 300 } else { 1200 })?;
+    let params = ModelParams::new(p, k, s);
+
+    // Same mixed workload family the conform matrix audits.
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| match x % 3 {
+            0 => SeqSpec::Cyclic {
+                width: (k / 8).max(2),
+                len,
+            },
+            1 => SeqSpec::Cyclic { width: k / 2, len },
+            _ => SeqSpec::Zipf {
+                universe: (k / 2).max(4),
+                theta: 0.9,
+                len,
+            },
+        })
+        .collect();
+    let w = build_workload(&specs, seed);
+
+    let horizon = {
+        let mut alloc = DetPar::new(&params);
+        run_engine(&mut alloc, w.seqs(), &params, &EngineOpts::default())
+            .map_err(|e| format!("clean det-par run failed: {e}"))?
+            .makespan
+            .max(1)
+    };
+
+    println!(
+        "chaos matrix: {} ({} requests, crashpoints at {:?} of each baseline)\n",
+        params,
+        w.total_requests(),
+        CRASH_FRACS
+    );
+
+    let mut failures = 0usize;
+
+    // 1. Resume-equivalence grid.
+    let cells = resume_matrix(w.seqs(), &params, seed, horizon, CRASH_FRACS)?;
+    let mut t = Table::new(["policy", "scenario", "ticks", "crashes", "verdict"]);
+    let mut details: Vec<String> = Vec::new();
+    for c in &cells {
+        let verdict = if c.passed() {
+            "pass".to_string()
+        } else {
+            format!("FAIL ({})", c.violations.len())
+        };
+        if !c.passed() {
+            failures += c.violations.len();
+            for v in &c.violations {
+                details.push(format!("{}/{}: {v}", c.policy, c.scenario));
+            }
+        }
+        t.row([
+            c.policy.clone(),
+            c.scenario.clone(),
+            c.baseline_ticks.to_string(),
+            c.crashes.to_string(),
+            verdict,
+        ]);
+    }
+    println!("{t}");
+    for d in &details {
+        println!("  violation: {d}");
+    }
+
+    // 2. Corrupted snapshots must be rejected, typed, for every policy.
+    println!("\ncorruption rejection (bit flips + truncation, typed errors):");
+    for &policy in CONFORM_POLICIES {
+        match check_corruption_rejection(policy, w.seqs(), &params, seed) {
+            Ok(()) => println!("  {policy}: pass"),
+            Err(e) => {
+                println!("  {policy}: FAIL — {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        return Err(format!("chaos matrix FAILED: {failures} violation(s)"));
+    }
+    println!(
+        "\nchaos matrix passed: {} cells recovered byte-identically, {} policies reject corruption",
+        cells.len(),
+        CONFORM_POLICIES.len()
+    );
+    Ok(())
+}

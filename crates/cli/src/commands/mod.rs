@@ -4,6 +4,7 @@ pub mod adversarial;
 pub mod analyze;
 pub mod audit;
 pub mod bench;
+pub mod chaos;
 pub mod compare;
 pub mod conform;
 pub mod faults;
@@ -46,6 +47,12 @@ COMMANDS:
                  engine-vs-reference sweep, and competitive-ratio
                  guardrails: [--quick] [--p N --k N --s N --len N]
                  [--diff N] [--seed N] (exits non-zero on any violation)
+  chaos        crash-recovery matrix: every policy x fault scenario x
+                 deterministic crashpoint, run under the checkpointing
+                 supervisor; recovered runs must be byte-identical to
+                 uninterrupted ones, corrupted snapshots must be rejected:
+                 [--quick] [--p N --k N --s N --len N] [--seed N]
+                 (exits non-zero on any divergence or failed recovery)
   profile      visualize green box profiles (OPT vs RAND-GREEN):
                  --p N --k N [--seed N] [--width N]
   analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "adversarial" => commands::adversarial::exec(&parsed),
         "audit" => commands::audit::exec(&parsed),
         "bench" => commands::bench::exec(&parsed),
+        "chaos" => commands::chaos::exec(&parsed),
         "conform" => commands::conform::exec(&parsed),
         "faults" => commands::faults::exec(&parsed),
         "green" => commands::green::exec(&parsed),

@@ -26,6 +26,10 @@
 //! * [`envelope`] — competitive-ratio guardrails on the Theorem-4
 //!   adversarial instances: measured makespan / Lemma-8 OPT must stay
 //!   inside a `c·log p` envelope.
+//! * [`resume`] — resume equivalence: a run that crashes and recovers
+//!   from snapshots (the `parapage-sched` supervisor) must reproduce the
+//!   uninterrupted run's result and trace byte-for-byte; drives the
+//!   `parapage chaos` matrix.
 //!
 //! The `parapage conform` CLI subcommand drives all of this; it is also
 //! wired into `scripts/check.sh` as a pre-PR gate.
@@ -37,6 +41,7 @@ pub mod checkers;
 pub mod envelope;
 pub mod oracle;
 pub mod reference;
+pub mod resume;
 
 pub use checkers::{
     check_box_geometry, check_det_par_stream, check_memory, check_phase_structure, check_replay,
@@ -49,6 +54,9 @@ pub use oracle::{
     CONFORM_POLICIES,
 };
 pub use reference::run_reference;
+pub use resume::{
+    boxed_policy, check_corruption_rejection, check_resume, resume_matrix, ResumeCell,
+};
 
 #[cfg(test)]
 mod tests {

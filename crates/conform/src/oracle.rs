@@ -170,13 +170,19 @@ pub fn run_reference_named(
 /// documented resource-augmentation envelope.
 ///
 /// `stall_desynced` widens the envelope for the chunked policies when the
-/// fault plan contains [`FaultEvent::ProcStall`] events: RAND-PAR and the
-/// black-box packer emit fixed-duration box *queues*, so a stall defers
-/// issuance and slides the processor's queue past its chunk — boxes from
-/// adjacent chunk generations then overlap, which the synchronous `2k`
-/// argument does not cover (observed worst case `3k`; `4k` leaves
-/// guardrail headroom). DET-PAR is unaffected: its grants are clipped to
-/// the current period's end, so deferred processors stay phase-aligned.
+/// fault plan contains [`FaultEvent::ProcStall`] events. Historically
+/// (PR 2) RAND-PAR emitted fixed-duration box *queues*, so a stall
+/// deferred issuance and slid the processor's queue past its chunk — boxes
+/// from adjacent chunk generations overlapped, the synchronous `2k`
+/// argument no longer covered the run, and `3k` peaks were observed (the
+/// guardrail was `4k`). RAND-PAR's chunk schedules are now time-anchored:
+/// a stalled processor re-joins its chunk mid-schedule, the generations no
+/// longer overlap, and the observed worst case on the PR-2 grid is back
+/// under `2k`. The stall guardrail is kept at `3k` (not collapsed to `2k`)
+/// because BB-GREEN still issues unanchored per-processor queues; the
+/// `envelope_regression` test pins both edges. DET-PAR is unaffected
+/// either way: its grants are clipped to the current period's end, so
+/// deferred processors stay phase-aligned.
 pub fn memory_envelope(name: &str, k: usize, hardened: bool, stall_desynced: bool) -> usize {
     if hardened {
         return k;
@@ -187,7 +193,7 @@ pub fn memory_envelope(name: &str, k: usize, hardened: bool, stall_desynced: boo
         // stay within 2k concurrently (engine audits observe less).
         "rand-par" | "bb-green" => {
             if stall_desynced {
-                4 * k
+                3 * k
             } else {
                 2 * k
             }
@@ -407,6 +413,11 @@ pub struct DiffReport {
     pub divergences: Vec<Divergence>,
 }
 
+/// Wall-clock budget for one differential-sweep cell. A cell that blows it
+/// is reported as a divergence (with its reproduction recipe) instead of
+/// hanging the sweep — a hung CI run pointed at no workload is useless.
+const DIFF_CELL_WATCHDOG: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// Cross-checks the optimized engine against the naive reference simulator
 /// on `count` generated workloads, cycling policies, fault scenarios, and
 /// workload shapes deterministically from `seed`.
@@ -414,11 +425,13 @@ pub struct DiffReport {
 /// The runs are independent (each derives its own RNG stream from
 /// `(seed, i)`), so they fan out across the pool; divergences are
 /// assembled in run order, making the report identical for every thread
-/// count.
+/// count. Each cell runs under a [`DIFF_CELL_WATCHDOG`] deadline: a cell
+/// that hangs (a livelocked policy, a pathological generated workload)
+/// fails with its workload index and seed instead of wedging the sweep.
 pub fn differential_sweep(count: usize, seed: u64) -> DiffReport {
     let divergences: Vec<Divergence> = (0..count)
         .into_par_iter()
-        .map(|i| differential_run(i, seed))
+        .map(|i| differential_run_watched(i, seed))
         .collect::<Vec<Vec<Divergence>>>()
         .into_iter()
         .flatten()
@@ -426,6 +439,31 @@ pub fn differential_sweep(count: usize, seed: u64) -> DiffReport {
     DiffReport {
         runs: count,
         divergences,
+    }
+}
+
+/// Runs one sweep cell on a helper thread and enforces the watchdog. On
+/// expiry the helper thread is abandoned (it holds no locks and owns all
+/// its state, so leaking it is safe) and the cell reports a divergence
+/// naming the workload index and seed for offline reproduction.
+fn differential_run_watched(i: usize, seed: u64) -> Vec<Divergence> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        // The receiver may have timed out and gone away; a failed send
+        // just means nobody is listening anymore.
+        let _ = tx.send(differential_run(i, seed));
+    });
+    match rx.recv_timeout(DIFF_CELL_WATCHDOG) {
+        Ok(divergences) => divergences,
+        Err(_) => vec![Divergence {
+            recipe: format!("run {i}: seed={seed}"),
+            detail: format!(
+                "watchdog: cell exceeded {DIFF_CELL_WATCHDOG:?} (workload index {i}, \
+                 seed {seed}) — reproduce with `differential_sweep({}, {seed})` \
+                 narrowed to this index",
+                i + 1
+            ),
+        }],
     }
 }
 

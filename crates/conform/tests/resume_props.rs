@@ -1,0 +1,117 @@
+//! Property-based resume equivalence: crash-and-recover at an *arbitrary*
+//! tick must be invisible, and the snapshot codec must round-trip exactly.
+
+use proptest::prelude::*;
+
+use parapage_cache::LruCache;
+use parapage_conform::{boxed_policy, check_resume, CONFORM_POLICIES};
+use parapage_core::ModelParams;
+use parapage_sched::{Engine, EngineOpts, EngineSnapshot, FaultPlan, NullSink};
+use parapage_workloads::{build_workload, fault_scenario, SeqSpec, FAULT_SCENARIOS};
+
+fn workload_for(
+    p: usize,
+    k: usize,
+    len: usize,
+    shape: u32,
+    seed: u64,
+) -> Vec<Vec<parapage_cache::PageId>> {
+    let specs: Vec<SeqSpec> = (0..p)
+        .map(|x| match (shape + x as u32) % 4 {
+            0 => SeqSpec::Cyclic {
+                width: (k / 2).max(1),
+                len,
+            },
+            1 => SeqSpec::Fresh { len },
+            2 => SeqSpec::Uniform {
+                universe: (2 * k).max(2),
+                len,
+            },
+            _ => SeqSpec::Zipf {
+                universe: k.max(2),
+                theta: 0.9,
+                len,
+            },
+        })
+        .collect();
+    build_workload(&specs, seed).into_seqs()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For every policy, fault scenario, and a crash at a random tick of
+    /// the run, the supervised crash-and-recover run reproduces the
+    /// uninterrupted run's result and trace byte-for-byte.
+    #[test]
+    fn resume_at_random_tick_is_equivalent(
+        p in 1usize..5,
+        kexp in 1u32..4,
+        len in 1usize..120,
+        seed in 0u64..1_000_000,
+        // Folded (policy, scenario) selector plus a crash position.
+        combo in 0usize..30,
+        crash_frac in 0.0f64..1.0,
+    ) {
+        let k = p.next_power_of_two() << kexp;
+        let params = ModelParams::new(p, k, 6);
+        let seqs = workload_for(p, k, len, (combo % 4) as u32, seed);
+        let policy = CONFORM_POLICIES[combo % CONFORM_POLICIES.len()];
+        let scenario = FAULT_SCENARIOS[(combo / 6) % FAULT_SCENARIOS.len()];
+        let plan = FaultPlan::new(
+            fault_scenario(scenario, p, k, (len as u64 + 4) * 6 * 4, seed).unwrap(),
+        );
+        let opts = EngineOpts::default();
+        // Probe the baseline length, then crash at the sampled fraction.
+        let probe = check_resume(
+            policy, &seqs, &params, &opts, seed, scenario, &plan, &[],
+        ).unwrap();
+        prop_assert!(probe.passed(), "{}/{}: {:?}", policy, scenario, probe.violations);
+        let crash = ((probe.baseline_ticks as f64 * crash_frac) as u64)
+            .clamp(1, probe.baseline_ticks);
+        let cell = check_resume(
+            policy, &seqs, &params, &opts, seed, scenario, &plan, &[crash],
+        ).unwrap();
+        prop_assert!(
+            cell.passed(),
+            "{}/{} crash at tick {}/{}: {:?}",
+            policy, scenario, crash, cell.baseline_ticks, cell.violations
+        );
+    }
+
+    /// The snapshot codec round-trips exactly on real mid-run engine
+    /// states: `decode(encode(s)) == s`, for every policy and a snapshot
+    /// taken after an arbitrary number of steps.
+    #[test]
+    fn snapshot_codec_round_trips_mid_run(
+        p in 1usize..5,
+        kexp in 1u32..4,
+        len in 1usize..120,
+        seed in 0u64..1_000_000,
+        // Folded (policy, record_timelines) selector.
+        sel in 0usize..12,
+        steps in 0usize..64,
+    ) {
+        let k = p.next_power_of_two() << kexp;
+        let params = ModelParams::new(p, k, 6);
+        let seqs = workload_for(p, k, len, 2, seed);
+        let policy = CONFORM_POLICIES[sel % CONFORM_POLICIES.len()];
+        let timelines = sel >= CONFORM_POLICIES.len();
+        let plan = FaultPlan::new(fault_scenario("chaos", p, k, 4000, seed).unwrap());
+        let opts = EngineOpts { record_timelines: timelines, ..EngineOpts::default() };
+        let mut alloc = boxed_policy(policy, &params, seed, true).unwrap();
+        let mut engine =
+            Engine::new(&mut *alloc, &seqs, &params, &opts, &plan, |_| LruCache::new(0));
+        let mut sink = NullSink;
+        for _ in 0..steps {
+            match engine.step(&mut *alloc, &mut sink) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("engine errored: {e}"))),
+            }
+        }
+        let snap = engine.snapshot(&*alloc).unwrap();
+        let decoded = EngineSnapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(decoded, snap);
+    }
+}

@@ -36,7 +36,9 @@ pub mod opt_dp_fast;
 pub mod rand_green;
 pub mod universal;
 
-use parapage_cache::{run_box, CacheStats, PageId, Time, WindowOutcome};
+use parapage_cache::{
+    run_box, CacheStats, CodecError, PageId, SnapReader, SnapWriter, Time, WindowOutcome,
+};
 
 use crate::boxes::{BoxProfile, MemBox};
 use crate::config::ModelParams;
@@ -57,6 +59,20 @@ pub trait GreenPolicy {
     /// run (default: ignored). [`dynamic::RebootingGreen`] uses this to
     /// implement the paper's §4 threshold reboots.
     fn on_survivors(&mut self, _v: usize) {}
+
+    /// Serializes the pager's dynamic state (RNG position, thresholds) so a
+    /// surrounding parallel run can be snapshotted; mirrors
+    /// `BoxAllocator::checkpoint`. The default refuses with
+    /// [`CodecError::Unsupported`].
+    fn checkpoint(&self, _w: &mut SnapWriter) -> Result<(), CodecError> {
+        Err(CodecError::Unsupported(self.name()))
+    }
+
+    /// Restores state written by [`GreenPolicy::checkpoint`] into a pager
+    /// constructed with the same parameters.
+    fn restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        Err(CodecError::Unsupported(self.name()))
+    }
 
     /// Short human-readable policy name for reports.
     fn name(&self) -> &'static str;

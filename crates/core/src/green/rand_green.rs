@@ -7,6 +7,7 @@
 //! impact RAND-GREEN spends until it happens to draw `z` is only
 //! `O(log p)·s·z²` — hence `O(log p)`-competitiveness in expectation.
 
+use parapage_cache::{CodecError, SnapReader, SnapWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,6 +53,24 @@ impl GreenPolicy for RandGreen {
         self.dist.sample(&mut self.rng)
     }
 
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        // The distribution is construction-time constant; only the RNG
+        // position is dynamic.
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        self.rng = StdRng::from_state(state);
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "RAND-GREEN"
     }
@@ -89,6 +108,26 @@ mod tests {
         let a = run_green(&mut RandGreen::new(&params, 1), &seq, &params);
         let b = run_green(&mut RandGreen::new(&params, 2), &seq, &params);
         assert_ne!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn checkpoint_resumes_the_height_stream() {
+        let params = ModelParams::new(8, 64, 10);
+        let mut g = RandGreen::new(&params, 5);
+        for _ in 0..13 {
+            g.next_height();
+        }
+        let mut w = parapage_cache::SnapWriter::new();
+        g.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        // A differently-seeded pager converges after restore.
+        let mut resumed = RandGreen::new(&params, 999);
+        resumed
+            .restore(&mut parapage_cache::SnapReader::new(&bytes))
+            .unwrap();
+        for _ in 0..50 {
+            assert_eq!(resumed.next_height(), g.next_height());
+        }
     }
 
     #[test]

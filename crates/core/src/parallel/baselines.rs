@@ -1,7 +1,7 @@
 //! Baseline parallel pagers: the comparators RAND-PAR and DET-PAR are
 //! measured against in E8.
 
-use parapage_cache::{ProcId, Time, WindowOutcome};
+use parapage_cache::{CodecError, ProcId, SnapReader, SnapWriter, Time, WindowOutcome};
 
 use crate::config::ModelParams;
 use crate::parallel::{BoxAllocator, Grant};
@@ -38,6 +38,16 @@ impl BoxAllocator for StaticPartition {
     }
 
     fn on_proc_finished(&mut self, _proc: ProcId, _now: Time) {}
+
+    fn checkpoint(&self, _w: &mut SnapWriter) -> Result<(), CodecError> {
+        // Stateless: the grant is a pure function of the construction
+        // parameters, so the snapshot is empty.
+        Ok(())
+    }
+
+    fn restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        Ok(())
+    }
 
     fn name(&self) -> &'static str {
         "STATIC-EQUAL"
@@ -126,6 +136,46 @@ impl BoxAllocator for PropMissPartition {
         self.misses[proc.idx()] += outcome.stats.misses;
     }
 
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        w.put_u64(self.epoch_end);
+        w.put_len(self.alloc.len());
+        for &a in &self.alloc {
+            w.put_usize(a);
+        }
+        for &m in &self.misses {
+            w.put_u64(m);
+        }
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let epoch_end = r.get_u64()?;
+        let p = r.get_len()?;
+        if p != self.alloc.len() {
+            return Err(CodecError::Invalid("PROP-MISS processor count mismatch"));
+        }
+        let mut alloc = Vec::with_capacity(p);
+        for _ in 0..p {
+            alloc.push(r.get_usize()?);
+        }
+        let mut misses = Vec::with_capacity(p);
+        for _ in 0..p {
+            misses.push(r.get_u64()?);
+        }
+        let mut active = Vec::with_capacity(p);
+        for _ in 0..p {
+            active.push(r.get_bool()?);
+        }
+        self.epoch_end = epoch_end;
+        self.alloc = alloc;
+        self.misses = misses;
+        self.active = active;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "PROP-MISS"
     }
@@ -180,6 +230,33 @@ mod tests {
         let mut pm = PropMissPartition::with_epoch(&p, 100);
         let g = pm.grant(ProcId(0), 30);
         assert_eq!(g.duration, 70);
+    }
+
+    #[test]
+    fn prop_miss_checkpoint_round_trips_mid_epoch() {
+        let p = params();
+        let mut pm = PropMissPartition::with_epoch(&p, 100);
+        pm.grant(ProcId(0), 0);
+        pm.observe(
+            ProcId(2),
+            &WindowOutcome {
+                end_index: 5,
+                stats: parapage_cache::CacheStats { hits: 1, misses: 7 },
+                time_used: 80,
+                finished: false,
+            },
+        );
+        pm.on_proc_finished(ProcId(1), 90);
+        let mut w = SnapWriter::new();
+        pm.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = PropMissPartition::with_epoch(&p, 100);
+        restored.restore(&mut SnapReader::new(&bytes)).unwrap();
+        for t in [100u64, 150, 200] {
+            for x in [0u32, 2, 3] {
+                assert_eq!(restored.grant(ProcId(x), t), pm.grant(ProcId(x), t));
+            }
+        }
     }
 
     #[test]
@@ -253,6 +330,35 @@ impl BoxAllocator for SrptPartition {
         let served = outcome.stats.accesses();
         let r = &mut self.remaining[proc.idx()];
         *r = r.saturating_sub(served);
+    }
+
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        w.put_len(self.remaining.len());
+        for &rem in &self.remaining {
+            w.put_u64(rem);
+        }
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let p = r.get_len()?;
+        if p != self.remaining.len() {
+            return Err(CodecError::Invalid("SRPT processor count mismatch"));
+        }
+        let mut remaining = Vec::with_capacity(p);
+        for _ in 0..p {
+            remaining.push(r.get_u64()?);
+        }
+        let mut active = Vec::with_capacity(p);
+        for _ in 0..p {
+            active.push(r.get_bool()?);
+        }
+        self.remaining = remaining;
+        self.active = active;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -26,7 +26,7 @@
 //! so a tall box experienced as `2^c` consecutive grants behaves exactly
 //! like one box.
 
-use parapage_cache::{ProcId, Time};
+use parapage_cache::{CodecError, ProcId, SnapReader, SnapWriter, Time};
 
 use crate::config::{log2_ceil, log2_floor, ModelParams};
 use crate::parallel::{BoxAllocator, Grant};
@@ -222,6 +222,103 @@ impl BoxAllocator for DetPar {
         }
     }
 
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        // params.k is dynamic (shrinks under on_budget_shrunk); p, s and
+        // log_p are construction-time constants.
+        w.put_usize(self.params.k);
+        w.put_len(self.active.len());
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        for &ix in &self.roster_index {
+            w.put_u64(if ix == usize::MAX {
+                u64::MAX
+            } else {
+                ix as u64
+            });
+        }
+        w.put_usize(self.roster_len);
+        w.put_usize(self.base_height);
+        w.put_u64(self.base_period);
+        w.put_len(self.classes.len());
+        for c in &self.classes {
+            w.put_usize(c.z);
+            w.put_usize(c.slots);
+            w.put_u64(c.period);
+        }
+        w.put_u64(self.phase_start);
+        w.put_bool(self.pending_new_phase);
+        w.put_len(self.phases.len());
+        for ph in &self.phases {
+            w.put_u64(ph.start);
+            w.put_usize(ph.base_height);
+            w.put_usize(ph.roster_len);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let k = r.get_usize()?;
+        let p = r.get_len()?;
+        if p != self.params.p {
+            return Err(CodecError::Invalid("DET-PAR processor count mismatch"));
+        }
+        let mut active = Vec::with_capacity(p);
+        for _ in 0..p {
+            active.push(r.get_bool()?);
+        }
+        let mut roster_index = Vec::with_capacity(p);
+        for _ in 0..p {
+            let raw = r.get_u64()?;
+            roster_index.push(if raw == u64::MAX {
+                usize::MAX
+            } else {
+                usize::try_from(raw)
+                    .map_err(|_| CodecError::Invalid("DET-PAR roster index overflow"))?
+            });
+        }
+        let roster_len = r.get_usize()?;
+        let base_height = r.get_usize()?;
+        let base_period = r.get_u64()?;
+        let n_classes = r.get_len()?;
+        let mut classes = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let z = r.get_usize()?;
+            let slots = r.get_usize()?;
+            let period = r.get_u64()?;
+            classes.push(ClassSched { z, slots, period });
+        }
+        let phase_start = r.get_u64()?;
+        let pending_new_phase = r.get_bool()?;
+        let n_phases = r.get_len()?;
+        let mut phases = Vec::with_capacity(n_phases);
+        for _ in 0..n_phases {
+            let start = r.get_u64()?;
+            let bh = r.get_usize()?;
+            let rl = r.get_usize()?;
+            phases.push(PhaseRecord {
+                start,
+                base_height: bh,
+                roster_len: rl,
+            });
+        }
+        if base_period == 0 && !pending_new_phase {
+            return Err(CodecError::Invalid("DET-PAR zero base period"));
+        }
+        self.params.k = k;
+        self.active_count = active.iter().filter(|&&a| a).count();
+        self.active = active;
+        self.roster_index = roster_index;
+        self.roster_len = roster_len;
+        self.base_height = base_height;
+        self.base_period = base_period;
+        self.classes = classes;
+        self.phase_start = phase_start;
+        self.pending_new_phase = pending_new_phase;
+        self.phases = phases;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "DET-PAR"
     }
@@ -382,6 +479,46 @@ mod tests {
         dp.on_budget_shrunk(16);
         dp.on_budget_shrunk(4096);
         assert_eq!(dp.params.k, 16);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_phase() {
+        let p = params();
+        let mut dp = DetPar::new(&p);
+        dp.grant(ProcId(0), 0);
+        for x in 0..3 {
+            dp.on_proc_finished(ProcId(x), 50 + x as u64);
+        }
+        let mut w = SnapWriter::new();
+        dp.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = DetPar::new(&p);
+        restored.restore(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored.phases(), dp.phases());
+        assert_eq!(restored.active_count, dp.active_count);
+        // Identical future behaviour, across the next phase boundary.
+        restored.on_proc_finished(ProcId(3), 90);
+        dp.on_proc_finished(ProcId(3), 90);
+        for t in [100u64, 160, 320, 480] {
+            for x in 4..8 {
+                assert_eq!(restored.grant(ProcId(x), t), dp.grant(ProcId(x), t));
+            }
+        }
+        assert_eq!(restored.phases(), dp.phases());
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_processor_count() {
+        let mut dp = DetPar::new(&params());
+        dp.grant(ProcId(0), 0);
+        let mut w = SnapWriter::new();
+        dp.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut other = DetPar::new(&ModelParams::new(4, 64, 10));
+        assert!(matches!(
+            other.restore(&mut SnapReader::new(&bytes)),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

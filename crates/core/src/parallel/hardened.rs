@@ -34,7 +34,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use parapage_cache::{PageId, ProcId, Time, WindowOutcome};
+use parapage_cache::{CodecError, PageId, ProcId, SnapReader, SnapWriter, Time, WindowOutcome};
 
 use crate::parallel::{BoxAllocator, FaultEvent, Grant};
 
@@ -168,6 +168,46 @@ impl<A: BoxAllocator> BoxAllocator for HardenedAllocator<A> {
         self.degraded + self.inner.degraded_grants()
     }
 
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        w.put_usize(self.budget);
+        w.put_u64(self.degraded);
+        // Canonical order: the heap's internal layout is
+        // insertion-dependent, so serialize sorted.
+        let mut entries: Vec<(Time, usize)> =
+            self.outstanding.iter().map(|&Reverse(e)| e).collect();
+        entries.sort_unstable();
+        w.put_len(entries.len());
+        for (t, h) in entries {
+            w.put_u64(t);
+            w.put_usize(h);
+        }
+        self.inner.checkpoint(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let budget = r.get_usize()?;
+        let degraded = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut outstanding = BinaryHeap::with_capacity(n);
+        let mut used = 0usize;
+        for _ in 0..n {
+            let t = r.get_u64()?;
+            let h = r.get_usize()?;
+            used = used
+                .checked_add(h)
+                .ok_or(CodecError::Invalid("hardened outstanding overflow"))?;
+            outstanding.push(Reverse((t, h)));
+        }
+        // Note: `used` may legitimately exceed `budget` — grants issued
+        // before a pressure event stay on the ledger after it shrinks.
+        self.inner.restore(r)?;
+        self.budget = budget;
+        self.used = used;
+        self.outstanding = outstanding;
+        self.degraded = degraded;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -271,6 +311,34 @@ mod tests {
         hard.on_proc_finished(ProcId(0), 3);
         let g = hard.grant(ProcId(1), 3);
         assert!(g.duration >= 1);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_ledger_and_inner() {
+        let params = ModelParams::new(8, 64, 10);
+        let mut hard = HardenedAllocator::new(DetPar::new(&params), params.k);
+        hard.grant(ProcId(0), 0);
+        hard.grant(ProcId(1), 0);
+        hard.on_fault(&FaultEvent::MemoryPressure {
+            at: 5,
+            new_limit: 32,
+        });
+        hard.grant(ProcId(2), 6);
+        let mut w = parapage_cache::SnapWriter::new();
+        hard.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = HardenedAllocator::new(DetPar::new(&params), params.k);
+        restored
+            .restore(&mut parapage_cache::SnapReader::new(&bytes))
+            .unwrap();
+        assert_eq!(restored.budget(), hard.budget());
+        assert_eq!(restored.used, hard.used);
+        assert_eq!(restored.degraded_grants(), hard.degraded_grants());
+        for t in [10u64, 200, 400] {
+            for x in 3..8 {
+                assert_eq!(restored.grant(ProcId(x), t), hard.grant(ProcId(x), t));
+            }
+        }
     }
 
     #[test]

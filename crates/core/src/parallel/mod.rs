@@ -37,7 +37,7 @@ pub mod hardened;
 pub mod rand_par;
 pub mod ucp;
 
-use parapage_cache::{ProcId, Time, WindowOutcome};
+use parapage_cache::{CodecError, ProcId, SnapReader, SnapWriter, Time, WindowOutcome};
 
 /// An environmental fault injected into a run, delivered to the policy by
 /// the engine when simulated time reaches the event.
@@ -167,6 +167,24 @@ pub trait BoxAllocator {
     /// `RunResult::degraded_grants`.
     fn degraded_grants(&self) -> u64 {
         0
+    }
+
+    /// Serializes the policy's full dynamic state into `w` so a run can be
+    /// snapshotted and resumed byte-identically (see
+    /// `parapage-sched`'s `EngineSnapshot`). Canonical encoding: equal
+    /// states must write equal bytes. The default refuses with
+    /// [`CodecError::Unsupported`]; every shipped policy overrides it.
+    fn checkpoint(&self, _w: &mut SnapWriter) -> Result<(), CodecError> {
+        Err(CodecError::Unsupported(self.name()))
+    }
+
+    /// Replaces the policy's dynamic state with one previously written by
+    /// [`BoxAllocator::checkpoint`]. The receiver must have been
+    /// constructed with the same parameters (and, for randomized policies,
+    /// any seed — the saved RNG state replaces it). After a successful
+    /// restore the policy must behave byte-identically to the saved one.
+    fn restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        Err(CodecError::Unsupported(self.name()))
     }
 
     /// Short policy name for reports.

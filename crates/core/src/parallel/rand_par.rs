@@ -17,12 +17,10 @@
 //! emerge implicitly; the policy only ever reads the active count, never the
 //! request sequences (it is *oblivious*).
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use parapage_cache::{ProcId, Time};
+use parapage_cache::{CodecError, ProcId, SnapReader, SnapWriter, Time};
 
 use crate::config::{log2_ceil, ModelParams};
 use crate::distribution::BoxHeightDist;
@@ -88,8 +86,39 @@ pub struct RandPar {
     active: Vec<bool>,
     active_count: usize,
     chunk_end: Time,
-    queues: Vec<VecDeque<Grant>>,
+    sched: ChunkSchedule,
     chunks: Vec<ChunkRecord>,
+}
+
+/// Sentinel batch index for processors that were inactive when the current
+/// chunk was built.
+const NO_BATCH: u64 = u64::MAX;
+
+/// The time-anchored schedule of the current chunk.
+///
+/// Grants are *looked up* from absolute time rather than popped from
+/// per-processor queues: a processor asking at time `now` receives whatever
+/// the chunk schedule prescribes for offset `now - start`, clipped to the
+/// next schedule boundary. A processor frozen by a `ProcStall` therefore
+/// re-joins the chunk mid-schedule instead of replaying a time-shifted
+/// queue, so box generations from adjacent chunks can no longer overlap
+/// (the PR-2 stall-desync finding) and no grant ever extends past
+/// `chunk_end`.
+#[derive(Clone, Debug, Default)]
+struct ChunkSchedule {
+    start: Time,
+    h_min: usize,
+    /// Duration of one primary box (`s · h_min`).
+    primary_box_len: Time,
+    /// Total length of the primary part.
+    primary_len: Time,
+    /// Sampled secondary height.
+    j: usize,
+    /// Duration of one secondary box (`s · j`).
+    sec_box_len: Time,
+    /// Per-processor secondary batch index ([`NO_BATCH`] when the
+    /// processor was inactive at chunk construction).
+    batch_of: Vec<u64>,
 }
 
 impl RandPar {
@@ -109,7 +138,7 @@ impl RandPar {
             active: vec![true; params.p],
             active_count: params.p,
             chunk_end: 0,
-            queues: vec![VecDeque::new(); params.p],
+            sched: ChunkSchedule::default(),
             chunks: Vec::new(),
         }
     }
@@ -119,7 +148,7 @@ impl RandPar {
         &self.chunks
     }
 
-    /// Builds the grant queues for one chunk starting at `now`.
+    /// Builds the time-anchored schedule of one chunk starting at `now`.
     fn build_chunk(&mut self, now: Time) {
         let k = self.params.k;
         let s = self.params.s;
@@ -156,30 +185,23 @@ impl RandPar {
         let secondary_len = sec_box_len * batches as u64;
 
         let mut live_rank = 0usize;
-        for x in 0..self.params.p {
-            self.queues[x].clear();
-            if !self.active[x] {
+        let mut batch_of = vec![NO_BATCH; self.params.p];
+        for (slot, &active) in batch_of.iter_mut().zip(self.active.iter()) {
+            if !active {
                 continue;
             }
-            let batch = live_rank / batch_size;
+            *slot = (live_rank / batch_size) as u64;
             live_rank += 1;
-            let q = &mut self.queues[x];
-            for _ in 0..n_primary {
-                q.push_back(primary_box);
-            }
-            let lead = batch as u64 * sec_box_len;
-            if lead > 0 {
-                q.push_back(Grant::stall(lead));
-            }
-            q.push_back(Grant {
-                height: j,
-                duration: sec_box_len,
-            });
-            let tail = (batches as u64 - 1 - batch as u64) * sec_box_len;
-            if tail > 0 {
-                q.push_back(Grant::stall(tail));
-            }
         }
+        self.sched = ChunkSchedule {
+            start: now,
+            h_min,
+            primary_box_len: primary_box.duration,
+            primary_len,
+            j,
+            sec_box_len,
+            batch_of,
+        };
         self.chunk_end = now + primary_len + secondary_len;
         self.chunks.push(ChunkRecord {
             start: now,
@@ -198,14 +220,43 @@ impl BoxAllocator for RandPar {
         if now >= self.chunk_end {
             self.build_chunk(now);
         }
-        match self.queues[proc.idx()].pop_front() {
-            Some(g) => g,
-            None => {
-                // Defensive: a processor asking mid-chunk with an empty
-                // queue (cannot happen for aligned queues) stalls to the
-                // chunk boundary.
-                Grant::stall((self.chunk_end.saturating_sub(now)).max(1))
+        let sched = &self.sched;
+        let tau = now - sched.start;
+        let to_chunk_end = (self.chunk_end - now).max(1);
+        let batch = sched.batch_of[proc.idx()];
+        if batch == NO_BATCH {
+            // The processor was inactive when this chunk was built (it can
+            // only reach here defensively — finished processors get no
+            // grant requests): park it until the next chunk.
+            return Grant::stall(to_chunk_end);
+        }
+        if tau < sched.primary_len {
+            // Primary part: minimum boxes on the s·h_min grid. A processor
+            // re-joining mid-box (after an injected stall) gets the
+            // remainder of the current grid box, so it re-anchors to the
+            // chunk instead of sliding a private copy of the schedule.
+            let off = tau % sched.primary_box_len;
+            return Grant {
+                height: sched.h_min,
+                duration: sched.primary_box_len - off,
+            };
+        }
+        let sec_tau = tau - sched.primary_len;
+        let window_start = batch * sched.sec_box_len;
+        let window_end = window_start + sched.sec_box_len;
+        if sec_tau < window_start {
+            // Waiting for this processor's secondary batch.
+            Grant::stall(window_start - sec_tau)
+        } else if sec_tau < window_end {
+            // Inside its own batch window: the sampled height-j box (its
+            // remainder when re-joining mid-window).
+            Grant {
+                height: sched.j,
+                duration: window_end - sec_tau,
             }
+        } else {
+            // Batch already over: wait out the chunk.
+            Grant::stall(to_chunk_end)
         }
     }
 
@@ -214,6 +265,97 @@ impl BoxAllocator for RandPar {
             self.active[proc.idx()] = false;
             self.active_count -= 1;
         }
+    }
+
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        w.put_u64(self.rng.state()[0]);
+        w.put_u64(self.rng.state()[1]);
+        w.put_u64(self.rng.state()[2]);
+        w.put_u64(self.rng.state()[3]);
+        w.put_len(self.active.len());
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        w.put_u64(self.chunk_end);
+        let s = &self.sched;
+        w.put_u64(s.start);
+        w.put_usize(s.h_min);
+        w.put_u64(s.primary_box_len);
+        w.put_u64(s.primary_len);
+        w.put_usize(s.j);
+        w.put_u64(s.sec_box_len);
+        w.put_len(s.batch_of.len());
+        for &b in &s.batch_of {
+            w.put_u64(b);
+        }
+        // The chunk log is diagnostic, but resumed runs must keep emitting
+        // identical records, so it travels too.
+        w.put_len(self.chunks.len());
+        for c in &self.chunks {
+            w.put_u64(c.start);
+            w.put_usize(c.r);
+            w.put_usize(c.j);
+            w.put_u64(c.primary_len);
+            w.put_u64(c.secondary_len);
+            w.put_u128(c.primary_impact);
+            w.put_u128(c.secondary_impact);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let rng_state = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        let n = r.get_len()?;
+        if n != self.params.p {
+            return Err(CodecError::Invalid("RAND-PAR active vector length"));
+        }
+        let mut active = Vec::with_capacity(n);
+        for _ in 0..n {
+            active.push(r.get_bool()?);
+        }
+        let chunk_end = r.get_u64()?;
+        let start = r.get_u64()?;
+        let h_min = r.get_usize()?;
+        let primary_box_len = r.get_u64()?;
+        let primary_len = r.get_u64()?;
+        let j = r.get_usize()?;
+        let sec_box_len = r.get_u64()?;
+        let bn = r.get_len()?;
+        if bn != self.params.p {
+            return Err(CodecError::Invalid("RAND-PAR batch vector length"));
+        }
+        let mut batch_of = Vec::with_capacity(bn);
+        for _ in 0..bn {
+            batch_of.push(r.get_u64()?);
+        }
+        let cn = r.get_len()?;
+        let mut chunks = Vec::with_capacity(cn);
+        for _ in 0..cn {
+            chunks.push(ChunkRecord {
+                start: r.get_u64()?,
+                r: r.get_usize()?,
+                j: r.get_usize()?,
+                primary_len: r.get_u64()?,
+                secondary_len: r.get_u64()?,
+                primary_impact: r.get_u128()?,
+                secondary_impact: r.get_u128()?,
+            });
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.active_count = active.iter().filter(|&&a| a).count();
+        self.active = active;
+        self.chunk_end = chunk_end;
+        self.sched = ChunkSchedule {
+            start,
+            h_min,
+            primary_box_len,
+            primary_len,
+            j,
+            sec_box_len,
+            batch_of,
+        };
+        self.chunks = chunks;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

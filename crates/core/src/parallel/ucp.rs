@@ -11,7 +11,9 @@
 //! reads access streams — it represents what a well-engineered system
 //! without the paper's theory would deploy, and E8 measures the gap.
 
-use parapage_cache::{miss_curve, MissCurve, PageId, ProcId, Time};
+use parapage_cache::{
+    miss_curve, CodecError, MissCurve, PageId, ProcId, SnapReader, SnapWriter, Time,
+};
 
 use crate::config::ModelParams;
 use crate::parallel::{BoxAllocator, Grant};
@@ -126,6 +128,54 @@ impl BoxAllocator for UcpPartition {
         self.streams[proc.idx()].extend_from_slice(served);
     }
 
+    fn checkpoint(&self, w: &mut SnapWriter) -> Result<(), CodecError> {
+        w.put_u64(self.epoch_end);
+        w.put_len(self.alloc.len());
+        for &a in &self.alloc {
+            w.put_usize(a);
+        }
+        for s in &self.streams {
+            w.put_len(s.len());
+            for &pg in s {
+                w.put_page(pg);
+            }
+        }
+        for &a in &self.active {
+            w.put_bool(a);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let epoch_end = r.get_u64()?;
+        let p = r.get_len()?;
+        if p != self.alloc.len() {
+            return Err(CodecError::Invalid("UCP processor count mismatch"));
+        }
+        let mut alloc = Vec::with_capacity(p);
+        for _ in 0..p {
+            alloc.push(r.get_usize()?);
+        }
+        let mut streams = Vec::with_capacity(p);
+        for _ in 0..p {
+            let n = r.get_len()?;
+            let mut s = Vec::with_capacity(n);
+            for _ in 0..n {
+                s.push(r.get_page()?);
+            }
+            streams.push(s);
+        }
+        let mut active = Vec::with_capacity(p);
+        for _ in 0..p {
+            active.push(r.get_bool()?);
+        }
+        self.epoch_end = epoch_end;
+        self.alloc = alloc;
+        self.streams = streams;
+        self.active = active;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "UCP"
     }
@@ -184,6 +234,25 @@ mod tests {
         let mut ucp = UcpPartition::with_epoch(&params(), 100);
         let g = ucp.grant(ProcId(1), 130);
         assert_eq!(g.duration, 70);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_streams_and_allocation() {
+        let mut ucp = UcpPartition::with_epoch(&params(), 100);
+        feed_cycle(&mut ucp, 0, 12, 150);
+        feed_cycle(&mut ucp, 1, 2, 90);
+        ucp.grant(ProcId(0), 0);
+        let mut w = SnapWriter::new();
+        ucp.checkpoint(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = UcpPartition::with_epoch(&params(), 100);
+        restored.restore(&mut SnapReader::new(&bytes)).unwrap();
+        // The pending monitor streams crossed the snapshot: the next epoch's
+        // repartition must agree.
+        let a = restored.grant(ProcId(0), 100);
+        let b = ucp.grant(ProcId(0), 100);
+        assert_eq!(a, b);
+        assert_eq!(restored.allocation(), ucp.allocation());
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub mod prelude {
         ClockCache, FifoCache, LfuCache, LirsCache, LruCache, PageId, ProcId, Time, TwoQueueCache,
     };
     pub use parapage_conform::{
-        competitive_envelope, conform_matrix, conform_run, differential_sweep, ConformReport,
-        DiffReport, EnvelopeReport, CONFORM_POLICIES,
+        check_corruption_rejection, check_resume, competitive_envelope, conform_matrix,
+        conform_run, differential_sweep, resume_matrix, ConformReport, DiffReport, EnvelopeReport,
+        ResumeCell, CONFORM_POLICIES,
     };
     pub use parapage_core::{
         audit_greedy, check_well_rounded, green_opt, green_opt_fast, green_opt_fast_normalized,
@@ -85,8 +86,9 @@ pub mod prelude {
     };
     pub use parapage_sched::{
         run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
-        run_shared_lru, EngineError, EngineOpts, FaultPlan, NullSink, RunResult, TraceEvent,
-        TraceRecorder, TraceSink, DEFAULT_MAX_TIME,
+        run_shared_lru, CrashPlan, Engine, EngineError, EngineOpts, EngineSnapshot, FaultPlan,
+        NullSink, RecoveryReport, RunResult, SnapshotError, Supervisor, SupervisorError,
+        SupervisorOpts, TraceEvent, TraceRecorder, TraceSink, DEFAULT_MAX_TIME,
     };
     pub use parapage_workloads::{
         build_workload, fault_scenario, shared_hotset_workload, AdversarialConfig,

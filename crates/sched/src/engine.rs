@@ -42,12 +42,16 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use parapage_cache::{run_window, Cache, CacheStats, LruCache, PageId, ProcId, Time};
+use parapage_cache::{
+    run_window, Cache, CacheStats, Checkpoint, LruCache, PageId, ProcId, SnapReader, SnapWriter,
+    Time,
+};
 use parapage_core::{BoxAllocator, FaultEvent, Interval, ModelParams};
 
 use crate::error::EngineError;
 use crate::fault::{FaultCursor, FaultPlan};
 use crate::metrics::RunResult;
+use crate::snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// Default hard cap on simulated time.
@@ -179,7 +183,8 @@ pub fn run_engine_traced(
 }
 
 /// The fully general engine: caller-chosen replacement policy, fault
-/// injection, *and* trace emission. All other entry points delegate here.
+/// injection, *and* trace emission. All other entry points delegate here
+/// (and hence to the steppable [`Engine`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_engine_with_faults_traced<C: Cache>(
     alloc: &mut dyn BoxAllocator,
@@ -190,95 +195,210 @@ pub fn run_engine_with_faults_traced<C: Cache>(
     cache_factory: impl FnMut(usize) -> C,
     sink: &mut impl TraceSink,
 ) -> Result<RunResult, EngineError> {
-    let mut factory = cache_factory;
-    assert_eq!(seqs.len(), params.p, "one sequence per processor");
-    let p = params.p;
-    let s = params.s;
+    let mut engine = Engine::new(alloc, seqs, params, opts, faults, cache_factory);
+    while engine.step(alloc, sink)? {}
+    Ok(engine.into_result(alloc))
+}
 
-    let mut pos = vec![0usize; p];
-    let mut caches: Vec<C> = (0..p).map(&mut factory).collect();
-    let mut completions = vec![0u64; p];
-    let mut finished = vec![false; p];
-    let mut stats = CacheStats::default();
-    let mut memory_integral = 0u128;
-    let mut grants_issued = 0u64;
-    let mut timelines: Vec<Vec<Interval>> = vec![Vec::new(); p];
+// Events: (time, kind, proc). Completion notifications (kind 0) sort
+// before grant requests (kind 1) at equal timestamps, so a policy sees
+// every completion at its true simulated time before it answers any
+// grant request at that time.
+const EV_COMPLETION: u8 = 0;
+const EV_GRANT: u8 = 1;
+
+/// The box-driven event simulator as a resumable state machine.
+///
+/// [`Engine::new`] seeds the event heap; each [`Engine::step`] processes
+/// exactly one event (a grant request or a completion notification) and
+/// returns `Ok(false)` once the run is complete, at which point
+/// [`Engine::into_result`] yields the measurements. The one-shot entry
+/// points ([`run_engine`] and friends) are thin wrappers around this loop
+/// and remain behaviourally identical.
+///
+/// The step granularity is what makes crash recovery possible: between any
+/// two steps the engine can be checkpointed with [`Engine::snapshot`] and a
+/// fresh engine resumed with [`Engine::restore`] — see [`crate::snapshot`]
+/// for the format and [`crate::supervisor`] for the recovery loop. The
+/// policy lives *outside* the engine (it is passed to every call) so that a
+/// crashed attempt can be retried with a freshly-constructed policy whose
+/// state is then restored from the snapshot.
+pub struct Engine<'a, C: Cache> {
+    seqs: &'a [Vec<PageId>],
+    p: usize,
+    s: u64,
+    opts: EngineOpts,
+    workload_digest: u64,
+    pos: Vec<usize>,
+    caches: Vec<C>,
+    completions: Vec<Time>,
+    finished: Vec<bool>,
+    stats: CacheStats,
+    memory_integral: u128,
+    grants_issued: u64,
+    timelines: Vec<Vec<Interval>>,
     // Height deltas for the peak-memory audit: (time, delta); at equal
-    // times, releases (< 0) sort before acquisitions.
-    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    // times, releases (< 0) sort before acquisitions (post-hoc sort).
+    deltas: Vec<(Time, i64)>,
     // Online usage tracking for memory-limit enforcement. The enforced
     // limit starts at `opts.memory_limit` and only tightens: a
     // MemoryPressure fault activates (or shrinks) it mid-run.
-    let mut live_usage = 0usize;
-    let mut releases: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-    let mut current_limit = opts.memory_limit;
-    let mut fault_cursor = FaultCursor::new(faults);
-    let mut faults_injected = 0u64;
+    live_usage: usize,
+    releases: BinaryHeap<Reverse<(Time, usize)>>,
+    current_limit: Option<usize>,
+    fault_cursor: FaultCursor<'a>,
+    faults_injected: u64,
+    heap: BinaryHeap<Reverse<(Time, u8, u32)>>,
+    remaining: usize,
+    ticks: u64,
+    emitted: u64,
+}
 
-    // Events: (time, kind, proc). Completion notifications (kind 0) sort
-    // before grant requests (kind 1) at equal timestamps, so a policy sees
-    // every completion at its true simulated time before it answers any
-    // grant request at that time.
-    const EV_COMPLETION: u8 = 0;
-    const EV_GRANT: u8 = 1;
-    let mut heap: BinaryHeap<Reverse<(Time, u8, u32)>> = BinaryHeap::new();
-    let mut remaining = 0usize;
-    for x in 0..p {
-        if seqs[x].is_empty() {
-            finished[x] = true;
-            alloc.on_proc_finished(ProcId(x as u32), 0);
-        } else {
-            remaining += 1;
-            heap.push(Reverse((0, EV_GRANT, x as u32)));
+impl<'a, C: Cache> Engine<'a, C> {
+    /// Builds the engine and seeds the event heap (empty sequences complete
+    /// immediately, notifying the policy at time 0, exactly as the one-shot
+    /// entry points always did).
+    pub fn new(
+        alloc: &mut dyn BoxAllocator,
+        seqs: &'a [Vec<PageId>],
+        params: &ModelParams,
+        opts: &EngineOpts,
+        faults: &'a FaultPlan,
+        cache_factory: impl FnMut(usize) -> C,
+    ) -> Self {
+        let mut factory = cache_factory;
+        assert_eq!(seqs.len(), params.p, "one sequence per processor");
+        let p = params.p;
+        let mut finished = vec![false; p];
+        let mut heap: BinaryHeap<Reverse<(Time, u8, u32)>> = BinaryHeap::new();
+        let mut remaining = 0usize;
+        for x in 0..p {
+            if seqs[x].is_empty() {
+                finished[x] = true;
+                alloc.on_proc_finished(ProcId(x as u32), 0);
+            } else {
+                remaining += 1;
+                heap.push(Reverse((0, EV_GRANT, x as u32)));
+            }
+        }
+        Engine {
+            seqs,
+            p,
+            s: params.s,
+            opts: *opts,
+            workload_digest: workload_fingerprint(seqs),
+            pos: vec![0usize; p],
+            caches: (0..p).map(&mut factory).collect(),
+            completions: vec![0u64; p],
+            finished,
+            stats: CacheStats::default(),
+            memory_integral: 0,
+            grants_issued: 0,
+            timelines: vec![Vec::new(); p],
+            deltas: Vec::new(),
+            live_usage: 0,
+            releases: BinaryHeap::new(),
+            current_limit: opts.memory_limit,
+            fault_cursor: FaultCursor::new(faults),
+            faults_injected: 0,
+            heap,
+            remaining,
+            ticks: 0,
+            emitted: 0,
         }
     }
 
-    while let Some(Reverse((now, kind, xi))) = heap.pop() {
+    /// Events processed so far — the logical clock supervisors cut epochs
+    /// on.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Trace events emitted so far (monotone across the whole run; a
+    /// resumed engine continues the count, which is what lets a supervisor
+    /// deduplicate the stream across crash boundaries).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// `true` once every event has been processed.
+    pub fn is_done(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn emit(&mut self, sink: &mut impl TraceSink, ev: &TraceEvent) {
+        self.emitted += 1;
+        sink.emit(ev);
+    }
+
+    /// Processes one event. Returns `Ok(true)` while events remain,
+    /// `Ok(false)` when the run is complete.
+    ///
+    /// # Errors
+    /// The same typed [`EngineError`]s as the one-shot entry points; the
+    /// engine state after an error is unspecified (resume from a snapshot,
+    /// not from the errored engine).
+    pub fn step(
+        &mut self,
+        alloc: &mut dyn BoxAllocator,
+        sink: &mut impl TraceSink,
+    ) -> Result<bool, EngineError> {
+        let Some(Reverse((now, kind, xi))) = self.heap.pop() else {
+            return Ok(false);
+        };
+        self.ticks += 1;
         let x = xi as usize;
         // Deliver matured fault events before any decision at `now`: the
         // policy hears about a fault no later than its first grant request
         // at-or-after the fault's timestamp.
-        while let Some(ev) = fault_cursor.pop_due(now) {
+        while let Some(ev) = self.fault_cursor.pop_due(now) {
             if let FaultEvent::MemoryPressure { new_limit, .. } = ev {
-                current_limit = Some(current_limit.map_or(new_limit, |l| l.min(new_limit)));
+                self.current_limit =
+                    Some(self.current_limit.map_or(new_limit, |l| l.min(new_limit)));
             }
             alloc.on_fault(&ev);
-            sink.emit(&TraceEvent::Fault { at: now, event: ev });
-            faults_injected += 1;
+            self.emit(sink, &TraceEvent::Fault { at: now, event: ev });
+            self.faults_injected += 1;
         }
         if kind == EV_COMPLETION {
-            remaining -= 1;
+            self.remaining -= 1;
             alloc.on_proc_finished(ProcId(xi), now);
-            sink.emit(&TraceEvent::Completion {
-                proc: ProcId(xi),
-                at: now,
-            });
-            continue;
+            self.emit(
+                sink,
+                &TraceEvent::Completion {
+                    proc: ProcId(xi),
+                    at: now,
+                },
+            );
+            return Ok(true);
         }
-        if now > opts.max_time {
+        if now > self.opts.max_time {
             return Err(EngineError::TimeCapExceeded {
                 at: now,
-                cap: opts.max_time,
+                cap: self.opts.max_time,
             });
         }
         // A frozen processor gets no grant: defer the request to the stall
         // window's end (recorded as a height-0 interval so timelines stay
         // contiguous).
-        if let Some(until) = fault_cursor.stalled_until(x, now) {
-            if opts.record_timelines {
-                timelines[x].push(Interval {
+        if let Some(until) = self.fault_cursor.stalled_until(x, now) {
+            if self.opts.record_timelines {
+                self.timelines[x].push(Interval {
                     start: now,
                     end: until,
                     height: 0,
                 });
             }
-            sink.emit(&TraceEvent::StallDeferred {
-                proc: ProcId(xi),
-                at: now,
-                until,
-            });
-            heap.push(Reverse((until, EV_GRANT, xi)));
-            continue;
+            self.emit(
+                sink,
+                &TraceEvent::StallDeferred {
+                    proc: ProcId(xi),
+                    at: now,
+                    until,
+                },
+            );
+            self.heap.push(Reverse((until, EV_GRANT, xi)));
+            return Ok(true);
         }
         let grant = alloc.grant(ProcId(xi), now);
         if grant.duration == 0 {
@@ -287,18 +407,19 @@ pub fn run_engine_with_faults_traced<C: Cache>(
                 at: now,
             });
         }
-        grants_issued += 1;
+        self.grants_issued += 1;
         let end = now
             .checked_add(grant.duration)
             .ok_or(EngineError::TimeOverflow { at: now })?;
         // Effective miss penalty: scaled during an injected latency spike.
-        let eff_s = s
-            .checked_mul(fault_cursor.latency_factor(now))
+        let eff_s = self
+            .s
+            .checked_mul(self.fault_cursor.latency_factor(now))
             .ok_or(EngineError::TimeOverflow { at: now })?;
 
-        let cache = &mut caches[x];
+        let cache = &mut self.caches[x];
         let resident_before = cache.len();
-        if opts.compartmentalized {
+        if self.opts.compartmentalized {
             cache.clear();
         }
         cache.resize(grant.height);
@@ -311,18 +432,18 @@ pub fn run_engine_with_faults_traced<C: Cache>(
             // Stall: no progress; the cache (already truncated to zero)
             // holds nothing.
             parapage_cache::WindowOutcome {
-                end_index: pos[x],
+                end_index: self.pos[x],
                 stats: CacheStats::default(),
                 time_used: 0,
-                finished: pos[x] >= seqs[x].len(),
+                finished: self.pos[x] >= self.seqs[x].len(),
             }
         } else {
-            run_window(&seqs[x], pos[x], cache, grant.duration, eff_s)
+            run_window(&self.seqs[x], self.pos[x], cache, grant.duration, eff_s)
         };
-        let served_from = pos[x];
-        pos[x] = out.end_index;
-        stats += out.stats;
-        memory_integral += grant.height as u128 * grant.duration as u128;
+        let served_from = self.pos[x];
+        self.pos[x] = out.end_index;
+        self.stats += out.stats;
+        self.memory_integral += grant.height as u128 * grant.duration as u128;
         // Peak accounting releases the allocation at completion if the
         // processor finishes mid-grant (a real allocator reclaims on
         // completion); the memory *integral* above still charges the
@@ -336,55 +457,61 @@ pub fn run_engine_with_faults_traced<C: Cache>(
         } else {
             end
         };
-        sink.emit(&TraceEvent::Grant {
-            proc: ProcId(xi),
-            at: now,
-            height: grant.height,
-            duration: grant.duration,
-            release_at,
-        });
+        self.emit(
+            sink,
+            &TraceEvent::Grant {
+                proc: ProcId(xi),
+                at: now,
+                height: grant.height,
+                duration: grant.duration,
+                release_at,
+            },
+        );
         // Every fetch inserts one page (when the box has capacity), so
         // insertions minus cache growth is the eviction count.
         let window_evictions = if grant.height == 0 {
             0
         } else {
-            out.stats.misses - (cache.len() - resident_at_start) as u64
+            out.stats.misses - (self.caches[x].len() - resident_at_start) as u64
         };
-        sink.emit(&TraceEvent::Window {
-            proc: ProcId(xi),
-            at: now,
-            served: out.stats.accesses(),
-            hits: out.stats.hits,
-            fetches: out.stats.misses,
-            evictions: boundary_evictions + window_evictions,
-            time_used: out.time_used,
-            finished: out.finished,
-        });
+        self.emit(
+            sink,
+            &TraceEvent::Window {
+                proc: ProcId(xi),
+                at: now,
+                served: out.stats.accesses(),
+                hits: out.stats.hits,
+                fetches: out.stats.misses,
+                evictions: boundary_evictions + window_evictions,
+                time_used: out.time_used,
+                finished: out.finished,
+            },
+        );
         if grant.height > 0 {
-            deltas.push((now, grant.height as i64));
-            deltas.push((release_at, -(grant.height as i64)));
-            while let Some(&Reverse((t, h))) = releases.peek() {
+            self.deltas.push((now, grant.height as i64));
+            self.deltas.push((release_at, -(grant.height as i64)));
+            while let Some(&Reverse((t, h))) = self.releases.peek() {
                 if t <= now {
-                    releases.pop();
-                    live_usage -= h;
+                    self.releases.pop();
+                    self.live_usage -= h;
                 } else {
                     break;
                 }
             }
-            live_usage += grant.height;
-            releases.push(Reverse((release_at, grant.height)));
-            if let Some(limit) = current_limit {
-                if live_usage > limit {
+            self.live_usage += grant.height;
+            self.releases.push(Reverse((release_at, grant.height)));
+            if let Some(limit) = self.current_limit {
+                if self.live_usage > limit {
                     return Err(EngineError::MemoryLimitExceeded {
                         at: now,
-                        allocated: live_usage,
+                        allocated: self.live_usage,
                         limit,
                     });
                 }
             }
         }
-        if opts.record_timelines {
-            timelines[x].push(Interval {
+        if self.opts.record_timelines {
+            self.timelines[x].push(Interval {
                 start: now,
                 end,
                 height: grant.height,
@@ -392,44 +519,170 @@ pub fn run_engine_with_faults_traced<C: Cache>(
         }
         alloc.observe(ProcId(xi), &out);
         if out.end_index > served_from {
-            alloc.observe_accesses(ProcId(xi), &seqs[x][served_from..out.end_index]);
+            alloc.observe_accesses(ProcId(xi), &self.seqs[x][served_from..out.end_index]);
         }
 
-        if out.finished && !finished[x] {
-            finished[x] = true;
-            completions[x] = now + out.time_used;
-            heap.push(Reverse((completions[x], EV_COMPLETION, xi)));
+        if out.finished && !self.finished[x] {
+            self.finished[x] = true;
+            self.completions[x] = now + out.time_used;
+            self.heap
+                .push(Reverse((self.completions[x], EV_COMPLETION, xi)));
         } else if !out.finished {
-            heap.push(Reverse((end, EV_GRANT, xi)));
+            self.heap.push(Reverse((end, EV_GRANT, xi)));
+        }
+        Ok(true)
+    }
+
+    /// Finalizes the run into a [`RunResult`]. Call only once
+    /// [`Engine::step`] has returned `Ok(false)`.
+    pub fn into_result(self, alloc: &dyn BoxAllocator) -> RunResult {
+        debug_assert!(self.heap.is_empty());
+        debug_assert_eq!(self.remaining, 0);
+
+        // Peak concurrent memory from the delta trace.
+        let mut deltas = self.deltas;
+        deltas.sort_unstable_by_key(|&(t, d)| (t, d));
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for &(_, d) in &deltas {
+            cur += d;
+            peak = peak.max(cur);
+        }
+
+        let makespan = self.completions.iter().copied().max().unwrap_or(0);
+        RunResult {
+            completions: self.completions,
+            makespan,
+            stats: self.stats,
+            memory_integral: self.memory_integral,
+            peak_memory: peak as usize,
+            grants_issued: self.grants_issued,
+            faults_injected: self.faults_injected,
+            degraded_grants: alloc.degraded_grants(),
+            timelines: if self.opts.record_timelines {
+                Some(self.timelines)
+            } else {
+                None
+            },
         }
     }
-    debug_assert_eq!(remaining, 0);
+}
 
-    // Peak concurrent memory from the delta trace.
-    deltas.sort_unstable_by_key(|&(t, d)| (t, d));
-    let mut cur = 0i64;
-    let mut peak = 0i64;
-    for &(_, d) in &deltas {
-        cur += d;
-        peak = peak.max(cur);
+impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
+    /// Captures the run's full dynamic state — engine counters, event heap,
+    /// per-processor caches, and the policy's own checkpoint — at the
+    /// current event boundary.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Codec`] when the policy (or a green pager inside
+    /// it) does not support checkpointing.
+    pub fn snapshot(&self, alloc: &dyn BoxAllocator) -> Result<EngineSnapshot, SnapshotError> {
+        let mut cache_blobs = Vec::with_capacity(self.p);
+        for cache in &self.caches {
+            let mut w = SnapWriter::new();
+            cache.save(&mut w);
+            cache_blobs.push(w.into_bytes());
+        }
+        let mut w = SnapWriter::new();
+        alloc.checkpoint(&mut w)?;
+        let policy_blob = w.into_bytes();
+        // Heaps iterate in arbitrary internal order; serialize sorted so
+        // equal states encode to equal bytes.
+        let mut releases: Vec<(Time, usize)> = self.releases.iter().map(|&Reverse(e)| e).collect();
+        releases.sort_unstable();
+        let mut heap: Vec<(Time, u8, u32)> = self.heap.iter().map(|&Reverse(e)| e).collect();
+        heap.sort_unstable();
+        Ok(EngineSnapshot {
+            ticks: self.ticks,
+            emitted: self.emitted,
+            workload_digest: self.workload_digest,
+            pos: self.pos.clone(),
+            completions: self.completions.clone(),
+            finished: self.finished.clone(),
+            stats: self.stats,
+            memory_integral: self.memory_integral,
+            grants_issued: self.grants_issued,
+            timelines: if self.opts.record_timelines {
+                self.timelines.clone()
+            } else {
+                Vec::new()
+            },
+            deltas: self.deltas.clone(),
+            live_usage: self.live_usage,
+            releases,
+            current_limit: self.current_limit,
+            fault_pos: self.fault_cursor.position(),
+            faults_injected: self.faults_injected,
+            heap,
+            remaining: self.remaining,
+            cache_blobs,
+            policy_blob,
+        })
     }
 
-    let makespan = completions.iter().copied().max().unwrap_or(0);
-    Ok(RunResult {
-        completions,
-        makespan,
-        stats,
-        memory_integral,
-        peak_memory: peak as usize,
-        grants_issued,
-        faults_injected,
-        degraded_grants: alloc.degraded_grants(),
-        timelines: if opts.record_timelines {
-            Some(timelines)
+    /// Replaces this engine's dynamic state (and `alloc`'s, via
+    /// `BoxAllocator::restore`) with a snapshot taken from an engine built
+    /// on the same workload, parameters, and fault plan. After a successful
+    /// restore the run continues byte-identically to the snapshotted one.
+    ///
+    /// # Errors
+    /// [`SnapshotError::WorkloadMismatch`] when the snapshot was taken
+    /// against different sequences; [`SnapshotError::Shape`] on a
+    /// structural mismatch; [`SnapshotError::Codec`] when a cache or
+    /// policy blob fails to load.
+    pub fn restore(
+        &mut self,
+        snap: &EngineSnapshot,
+        alloc: &mut dyn BoxAllocator,
+    ) -> Result<(), SnapshotError> {
+        if snap.workload_digest != self.workload_digest {
+            return Err(SnapshotError::WorkloadMismatch {
+                expected: self.workload_digest,
+                found: snap.workload_digest,
+            });
+        }
+        if snap.pos.len() != self.p
+            || snap.completions.len() != self.p
+            || snap.finished.len() != self.p
+            || snap.cache_blobs.len() != self.p
+        {
+            return Err(SnapshotError::Shape("processor count"));
+        }
+        if !snap.timelines.is_empty() && snap.timelines.len() != self.p {
+            return Err(SnapshotError::Shape("timeline count"));
+        }
+        for (x, &pos) in snap.pos.iter().enumerate() {
+            if pos > self.seqs[x].len() {
+                return Err(SnapshotError::Shape("sequence cursor out of range"));
+            }
+        }
+        for (cache, blob) in self.caches.iter_mut().zip(&snap.cache_blobs) {
+            cache.load(&mut SnapReader::new(blob))?;
+        }
+        alloc.restore(&mut SnapReader::new(&snap.policy_blob))?;
+        self.ticks = snap.ticks;
+        self.emitted = snap.emitted;
+        self.pos = snap.pos.clone();
+        self.completions = snap.completions.clone();
+        self.finished = snap.finished.clone();
+        self.stats = snap.stats;
+        self.memory_integral = snap.memory_integral;
+        self.grants_issued = snap.grants_issued;
+        self.timelines = if snap.timelines.is_empty() {
+            vec![Vec::new(); self.p]
         } else {
-            None
-        },
-    })
+            snap.timelines.clone()
+        };
+        self.deltas = snap.deltas.clone();
+        self.live_usage = snap.live_usage;
+        self.releases = snap.releases.iter().map(|&e| Reverse(e)).collect();
+        self.current_limit = snap.current_limit;
+        self.fault_cursor.set_position(snap.fault_pos);
+        self.faults_injected = snap.faults_injected;
+        self.heap = snap.heap.iter().map(|&e| Reverse(e)).collect();
+        self.remaining = snap.remaining;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

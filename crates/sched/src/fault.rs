@@ -71,6 +71,16 @@ impl<'a> FaultCursor<'a> {
         FaultCursor { plan, next: 0 }
     }
 
+    /// Index of the next undelivered event (for checkpointing).
+    pub(crate) fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Restores the delivery position from a checkpoint.
+    pub(crate) fn set_position(&mut self, next: usize) {
+        self.next = next;
+    }
+
     /// Pops the next undelivered event with effect time ≤ `now`.
     pub(crate) fn pop_due(&mut self, now: Time) -> Option<FaultEvent> {
         let ev = *self.plan.events.get(self.next)?;

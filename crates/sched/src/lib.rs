@@ -20,6 +20,12 @@
 //!   the engine returns `Result` instead of panicking.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]): processor
 //!   stalls, fetch-latency spikes, and mid-run memory pressure.
+//! * [`snapshot`] — checkpoint/restore: [`EngineSnapshot`] captures a run's
+//!   full dynamic state (engine counters, event heap, caches, policy state)
+//!   in a versioned, integrity-checked byte format.
+//! * [`supervisor`] — crash recovery: [`Supervisor`] runs the engine in
+//!   bounded epochs under panic isolation with a watchdog, resuming from the
+//!   last good snapshot after a crash.
 //! * [`trace`] — the conformance trace stream: [`run_engine_traced`] emits
 //!   every grant, served window, fault delivery, and completion as a
 //!   [`TraceEvent`] through a caller-supplied [`TraceSink`] (zero-cost when
@@ -38,15 +44,19 @@ pub mod fault;
 pub mod interleaved;
 pub mod metrics;
 pub mod shared;
+pub mod snapshot;
+pub mod supervisor;
 pub mod trace;
 
 pub use engine::{
     run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
-    run_engine_with_faults_traced, EngineOpts, DEFAULT_MAX_TIME,
+    run_engine_with_faults_traced, Engine, EngineOpts, DEFAULT_MAX_TIME,
 };
 pub use error::EngineError;
 pub use fault::FaultPlan;
 pub use interleaved::{run_interleaved_partition, run_interleaved_shared, InterleavedResult};
 pub use metrics::RunResult;
 pub use shared::{run_shared_lru, run_shared_lru_bandwidth};
-pub use trace::{NullSink, TraceEvent, TraceRecorder, TraceSink};
+pub use snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
+pub use supervisor::{CrashPlan, RecoveryReport, Supervisor, SupervisorError, SupervisorOpts};
+pub use trace::{DigestSink, NullSink, TraceEvent, TraceRecorder, TraceSink};

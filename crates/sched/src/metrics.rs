@@ -4,7 +4,11 @@ use parapage_cache::{CacheStats, Time};
 use parapage_core::Interval;
 
 /// The measured outcome of one parallel paging run.
-#[derive(Clone, Debug)]
+///
+/// Equality is field-wise and exact — the resume-equivalence checker in
+/// `parapage-conform` relies on a recovered run's result comparing equal to
+/// the uninterrupted run's.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Completion time of each processor.
     pub completions: Vec<Time>,

@@ -181,6 +181,65 @@ impl TraceSink for TraceRecorder {
     }
 }
 
+/// A sink that folds the stream into a running FNV-1a fingerprint instead
+/// of storing it.
+///
+/// Two runs emitted identical streams iff their digests and counts agree,
+/// so resume-equivalence over long runs can be checked in O(1) memory. The
+/// digest hashes each event's canonical `Debug` rendering — `TraceEvent`'s
+/// derived `Debug` prints every field, so distinct events render
+/// distinctly.
+#[derive(Clone, Copy, Debug)]
+pub struct DigestSink {
+    digest: u64,
+    count: u64,
+}
+
+impl Default for DigestSink {
+    fn default() -> Self {
+        DigestSink::new()
+    }
+}
+
+impl DigestSink {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh (empty-stream) digest.
+    pub fn new() -> Self {
+        DigestSink {
+            digest: Self::FNV_OFFSET,
+            count: 0,
+        }
+    }
+
+    /// The fingerprint of the events absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// How many events were absorbed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TraceSink for DigestSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        use std::fmt::Write;
+        let mut rendered = String::new();
+        let _ = write!(rendered, "{event:?}");
+        for b in rendered.as_bytes() {
+            self.digest ^= *b as u64;
+            self.digest = self.digest.wrapping_mul(Self::FNV_PRIME);
+        }
+        // Separator byte so event boundaries can't alias.
+        self.digest ^= 0xff;
+        self.digest = self.digest.wrapping_mul(Self::FNV_PRIME);
+        self.count += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +285,30 @@ mod tests {
             .at(),
             11
         );
+    }
+
+    #[test]
+    fn digest_sink_distinguishes_streams() {
+        let a = TraceEvent::Completion {
+            proc: ProcId(0),
+            at: 5,
+        };
+        let b = TraceEvent::Completion {
+            proc: ProcId(1),
+            at: 5,
+        };
+        let mut d1 = DigestSink::new();
+        let mut d2 = DigestSink::new();
+        d1.emit(&a);
+        d1.emit(&b);
+        d2.emit(&a);
+        d2.emit(&b);
+        assert_eq!(d1.digest(), d2.digest());
+        assert_eq!(d1.count(), 2);
+        let mut d3 = DigestSink::new();
+        d3.emit(&b);
+        d3.emit(&a);
+        assert_ne!(d1.digest(), d3.digest(), "order must matter");
     }
 
     #[test]

@@ -20,6 +20,9 @@ cargo test -q -p rayon
 echo "==> parapage conform --quick"
 cargo run -q -p parapage-cli --release -- conform --quick
 
+echo "==> parapage chaos --quick (crash-recovery matrix)"
+cargo run -q -p parapage-cli --release -- chaos --quick
+
 echo "==> parapage bench --quick (smoke + determinism gate)"
 cargo run -q -p parapage-cli --release -- bench --quick --out /tmp/parapage-bench-smoke.json
 

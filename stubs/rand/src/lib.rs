@@ -189,6 +189,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpointing. Restoring with
+        /// [`StdRng::from_state`] continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -244,6 +257,18 @@ mod tests {
             assert!((5..=7).contains(&v));
             let f = rng.random_range(-2.0f64..3.0);
             assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
     }
 

@@ -363,7 +363,47 @@ mod tests {
                 })
                 .collect();
         });
-        assert!(result.is_err(), "worker panic must reach the caller");
+        let payload = result.expect_err("worker panic must reach the caller");
+        let msg = pool_panic_message(payload.as_ref());
+        assert!(
+            msg.contains("slot 11") && msg.contains("unit 11 exploded"),
+            "report must carry the failing slot and the unit's payload, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_report_names_lowest_failing_slot_at_every_thread_count() {
+        let _g = lock();
+        for threads in [1usize, 4] {
+            let _t = pool::threads(threads);
+            let result = std::panic::catch_unwind(|| {
+                let _out: Vec<usize> = (0..32usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 7 || x == 23 {
+                            panic!("unit {x} exploded");
+                        }
+                        x
+                    })
+                    .collect();
+            });
+            let payload = result.expect_err("worker panic must reach the caller");
+            let msg = pool_panic_message(payload.as_ref());
+            assert!(
+                msg.contains("slot 7") && msg.contains("unit 7 exploded"),
+                "threads={threads}: expected the lowest failing slot, got: {msg}"
+            );
+        }
+    }
+
+    fn pool_panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            panic!("pool panic payload must be a string");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! [`execute`]/[`join`] calls; when the budget is exhausted a call simply
 //! runs inline on its caller — same results, no oversubscription.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -119,24 +120,64 @@ impl Drop for BudgetGuard {
     }
 }
 
+/// Renders a panic payload for the slot-indexed report (the common `&str`
+/// and `String` payloads verbatim, anything else a placeholder).
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Re-raises unit failures as one panic naming the **lowest** failing slot
+/// and its payload. Every unit always runs (a failure does not stop the
+/// other workers), so the set of failing slots — and hence this report —
+/// is identical for every thread count.
+fn raise_unit_failures(failures: Vec<(usize, String)>) {
+    if let Some((slot, msg)) = failures.into_iter().min_by_key(|&(slot, _)| slot) {
+        panic!("pool unit at slot {slot} panicked: {msg}");
+    }
+}
+
 /// Runs every unit and returns the concatenated outputs **in slot order**,
 /// regardless of thread count or scheduling.
 ///
 /// Workers claim contiguous chunks of slot indices from a shared atomic
 /// cursor (self-balancing: a worker stuck on a heavy unit simply claims
 /// fewer chunks), execute each unit, and send `(slot, output)` down a
-/// channel; assembly happens on the caller after the scope joins. A panic
-/// in any unit propagates to the caller once the remaining workers have
-/// drained their claimed chunks.
+/// channel; assembly happens on the caller after the scope joins.
+///
+/// A panicking unit does not take the pool down blind: each unit runs
+/// under [`catch_unwind`], the remaining units still execute, and after
+/// the scope joins the caller re-panics with the lowest failing slot index
+/// and the unit's own payload (`pool unit at slot N panicked: ...`) — the
+/// same report for every thread count, including the sequential fallback.
 pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
     let units = tasks.units;
     let n = units.len();
-    if n <= 1 || current_threads() <= 1 {
-        return units.into_iter().flat_map(|u| u()).collect();
-    }
-    let extra = budget_acquire(current_threads().min(n) - 1);
+    let extra = if n <= 1 || current_threads() <= 1 {
+        0
+    } else {
+        budget_acquire(current_threads().min(n) - 1)
+    };
     if extra == 0 {
-        return units.into_iter().flat_map(|u| u()).collect();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let outs: Vec<Vec<T>> = units
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| match catch_unwind(AssertUnwindSafe(u)) {
+                Ok(v) => v,
+                Err(p) => {
+                    failures.push((i, payload_string(p.as_ref())));
+                    Vec::new()
+                }
+            })
+            .collect();
+        raise_unit_failures(failures);
+        return outs.into_iter().flatten().collect();
     }
     let _budget = BudgetGuard(extra);
 
@@ -149,9 +190,9 @@ pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
     // while still rebalancing heavy tails (chunks are far smaller than a
     // static 1/threads split).
     let chunk = (n / ((extra + 1) * 8)).max(1);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<Vec<T>, String>)>();
 
-    let worker = |tx: mpsc::Sender<(usize, Vec<T>)>| loop {
+    let worker = |tx: mpsc::Sender<(usize, Result<Vec<T>, String>)>| loop {
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= n {
             break;
@@ -163,10 +204,12 @@ pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
                 .expect("pool slot lock poisoned")
                 .take()
                 .expect("pool unit claimed twice");
+            let report =
+                catch_unwind(AssertUnwindSafe(unit)).map_err(|p| payload_string(p.as_ref()));
             // The receiver outlives the scope, so send only fails if
             // the caller is already unwinding; dropping the output is
             // fine then.
-            let _ = tx.send((i, unit()));
+            let _ = tx.send((i, report));
         }
     };
     std::thread::scope(|s| {
@@ -181,9 +224,17 @@ pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
     drop(tx);
 
     let mut out: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
-    for (i, v) in rx.try_iter() {
-        out[i] = Some(v);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    for (i, report) in rx.try_iter() {
+        match report {
+            Ok(v) => out[i] = Some(v),
+            Err(msg) => {
+                failures.push((i, msg));
+                out[i] = Some(Vec::new());
+            }
+        }
     }
+    raise_unit_failures(failures);
     out.into_iter()
         .flat_map(|v| v.expect("pool slot never filled"))
         .collect()
