@@ -1,0 +1,41 @@
+//! Regression pin on the WAL's size advantage: the per-epoch incremental
+//! delta stream must stay well below the full-snapshot stream on the
+//! suite's own workload, and both byte counts must be deterministic.
+
+use std::sync::Mutex;
+
+use parapage_bench::suite::checkpoint_cost;
+
+/// Serializes tests against others that set the global pool width.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn wal_deltas_cost_less_than_half_of_full_snapshots() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let full = checkpoint_cost(true, 42, false);
+    let wal = checkpoint_cost(true, 42, true);
+    assert_eq!(
+        full.runs, wal.runs,
+        "both modes must checkpoint every epoch"
+    );
+    let (full_bytes, wal_bytes) = (full.bytes.unwrap(), wal.bytes.unwrap());
+    assert!(full_bytes > 0 && wal_bytes > 0);
+    assert!(
+        wal_bytes * 2 < full_bytes,
+        "WAL deltas ({wal_bytes} bytes over {} epochs) must cost less than half the \
+         full snapshots ({full_bytes} bytes) — the O(changes) advantage regressed",
+        wal.runs
+    );
+}
+
+#[test]
+fn checkpoint_byte_counts_are_deterministic() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for wal in [false, true] {
+        let a = checkpoint_cost(true, 7, wal);
+        let b = checkpoint_cost(true, 7, wal);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.bytes, b.bytes, "wal={wal}: byte count not reproducible");
+        assert_eq!(a.digest, b.digest);
+    }
+}

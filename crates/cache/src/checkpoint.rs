@@ -78,12 +78,116 @@ impl std::error::Error for CodecError {}
 
 /// FNV-1a 64-bit hash over `bytes` — the snapshot integrity digest.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a64_seeded(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a 64-bit hash continued from an arbitrary `seed` state.
+///
+/// This is what chains WAL record digests: each record's digest seeds the
+/// next record's hash, and the first record is seeded by the digest of the
+/// base snapshot, so a record can only verify against the exact log prefix
+/// (and base) it was written after. Seeding with the standard offset basis
+/// reduces to plain [`fnv1a64`].
+pub fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Leading magic of one framed WAL delta record (`b"ppwr"`).
+pub const WAL_RECORD_MAGIC: [u8; 4] = *b"ppwr";
+
+/// Bytes of a WAL record before the payload: magic, sequence number,
+/// payload length.
+pub const WAL_RECORD_HEADER: usize = 4 + 8 + 4;
+
+/// Frames one WAL delta record and returns `(bytes, digest)`:
+///
+/// ```text
+/// WAL_RECORD_MAGIC(4) | seq u64 | payload_len u32 | payload … | digest u64
+/// ```
+///
+/// where `digest = fnv1a64_seeded(chain, seq ‖ payload_len ‖ payload)`.
+/// `chain` is the previous record's digest (or the base snapshot's
+/// [`fnv1a64`] for the first record), so the returned digest is the chain
+/// seed for the *next* record. A record therefore only verifies in the
+/// exact position it was appended at: against a different base, a reordered
+/// log, or a gap, the chain breaks and [`parse_wal_record`] reports a tear.
+pub fn frame_wal_record(seq: u64, chain: u64, payload: &[u8]) -> (Vec<u8>, u64) {
+    let len = u32::try_from(payload.len()).expect("WAL record payload exceeds u32");
+    let mut out = Vec::with_capacity(WAL_RECORD_HEADER + payload.len() + 8);
+    out.extend_from_slice(&WAL_RECORD_MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    let digest = fnv1a64_seeded(chain, &out[4..]);
+    out.extend_from_slice(&digest.to_le_bytes());
+    (out, digest)
+}
+
+/// Outcome of parsing one WAL record off the front of a log buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecordStep<'a> {
+    /// A complete, digest-valid record. `digest` seeds the next record's
+    /// chain; `consumed` is the record's total framed length.
+    Record {
+        /// Sequence number stored in the record header.
+        seq: u64,
+        /// The record's payload bytes.
+        payload: &'a [u8],
+        /// The record's chained digest (= the next chain seed).
+        digest: u64,
+        /// Framed bytes consumed from the buffer.
+        consumed: usize,
+    },
+    /// The buffer is empty: a clean end of log.
+    End,
+    /// The buffer ends or breaks mid-record — a torn write, a partial
+    /// tail, a flipped byte, or a chain break — with the typed reason.
+    /// Everything before this point is intact; recovery truncates here.
+    Torn(CodecError),
+}
+
+/// Parses one WAL record off the front of `buf`, verifying its chained
+/// digest against `chain` (the previous record's digest, or the base
+/// snapshot digest for the first record).
+///
+/// Never panics: every malformed shape maps onto a typed [`CodecError`]
+/// inside [`WalRecordStep::Torn`] — a short buffer (torn write or partial
+/// tail mid-header or mid-payload) is [`CodecError::UnexpectedEof`], wrong
+/// leading bytes are [`CodecError::BadMagic`], and any byte flip or
+/// chain/ordering break is [`CodecError::DigestMismatch`].
+pub fn parse_wal_record(buf: &[u8], chain: u64) -> WalRecordStep<'_> {
+    if buf.is_empty() {
+        return WalRecordStep::End;
+    }
+    if buf.len() < WAL_RECORD_HEADER {
+        return WalRecordStep::Torn(CodecError::UnexpectedEof);
+    }
+    if buf[..4] != WAL_RECORD_MAGIC {
+        return WalRecordStep::Torn(CodecError::BadMagic);
+    }
+    let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    let total = WAL_RECORD_HEADER + len + 8;
+    if buf.len() < total {
+        return WalRecordStep::Torn(CodecError::UnexpectedEof);
+    }
+    let payload = &buf[WAL_RECORD_HEADER..WAL_RECORD_HEADER + len];
+    let stored = u64::from_le_bytes(buf[total - 8..total].try_into().unwrap());
+    let computed = fnv1a64_seeded(chain, &buf[4..total - 8]);
+    if computed != stored {
+        return WalRecordStep::Torn(CodecError::DigestMismatch { computed, stored });
+    }
+    WalRecordStep::Record {
+        seq,
+        payload,
+        digest: computed,
+        consumed: total,
+    }
 }
 
 /// Append-only payload writer with typed little-endian primitives.
@@ -434,5 +538,87 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seeded_fnv_continues_the_stream() {
+        // Hashing "foo" then "bar" from the intermediate state must equal
+        // hashing "foobar" in one go.
+        let mid = fnv1a64(b"foo");
+        assert_eq!(fnv1a64_seeded(mid, b"bar"), fnv1a64(b"foobar"));
+        assert_eq!(fnv1a64_seeded(0xcbf2_9ce4_8422_2325, b"a"), fnv1a64(b"a"));
+    }
+
+    #[test]
+    fn wal_records_chain_and_round_trip() {
+        let base = fnv1a64(b"base snapshot bytes");
+        let (r0, d0) = frame_wal_record(0, base, b"first");
+        let (r1, d1) = frame_wal_record(1, d0, b"second");
+        let mut log = r0.clone();
+        log.extend_from_slice(&r1);
+
+        let step = parse_wal_record(&log, base);
+        let WalRecordStep::Record {
+            seq,
+            payload,
+            digest,
+            consumed,
+        } = step
+        else {
+            panic!("expected record, got {step:?}");
+        };
+        assert_eq!(
+            (seq, payload, digest, consumed),
+            (0, &b"first"[..], d0, r0.len())
+        );
+        let step = parse_wal_record(&log[consumed..], digest);
+        let WalRecordStep::Record {
+            seq,
+            payload,
+            digest,
+            ..
+        } = step
+        else {
+            panic!("expected record, got {step:?}");
+        };
+        assert_eq!((seq, payload, digest), (1, &b"second"[..], d1));
+        assert_eq!(parse_wal_record(&[], d1), WalRecordStep::End);
+    }
+
+    #[test]
+    fn wal_record_tears_are_typed() {
+        let base = fnv1a64(b"base");
+        let (rec, _) = frame_wal_record(3, base, b"payload");
+
+        // Partial header (torn write very early).
+        assert_eq!(
+            parse_wal_record(&rec[..7], base),
+            WalRecordStep::Torn(CodecError::UnexpectedEof)
+        );
+        // Mid-payload truncation (torn write inside the record).
+        assert_eq!(
+            parse_wal_record(&rec[..rec.len() - 3], base),
+            WalRecordStep::Torn(CodecError::UnexpectedEof)
+        );
+        // Garbage where the magic should be.
+        let mut bad = rec.clone();
+        bad[0] = b'x';
+        assert_eq!(
+            parse_wal_record(&bad, base),
+            WalRecordStep::Torn(CodecError::BadMagic)
+        );
+        // A flipped payload byte breaks the digest.
+        let mut bad = rec.clone();
+        bad[WAL_RECORD_HEADER + 2] ^= 0x10;
+        assert!(matches!(
+            parse_wal_record(&bad, base),
+            WalRecordStep::Torn(CodecError::DigestMismatch { .. })
+        ));
+        // The right record against the wrong chain seed (stale base /
+        // reordered log) is a digest mismatch too.
+        assert!(matches!(
+            parse_wal_record(&rec, base ^ 1),
+            WalRecordStep::Torn(CodecError::DigestMismatch { .. })
+        ));
     }
 }

@@ -53,8 +53,9 @@ pub mod window;
 pub use arc::ArcCache;
 pub use belady::{min_misses, BeladyCache};
 pub use checkpoint::{
-    decode_framed, fnv1a64, Checkpoint, CodecError, SnapReader, SnapWriter, SNAP_MAGIC,
-    SNAP_VERSION,
+    decode_framed, fnv1a64, fnv1a64_seeded, frame_wal_record, parse_wal_record, Checkpoint,
+    CodecError, SnapReader, SnapWriter, WalRecordStep, SNAP_MAGIC, SNAP_VERSION, WAL_RECORD_HEADER,
+    WAL_RECORD_MAGIC,
 };
 pub use clock::ClockCache;
 pub use fenwick::Fenwick;

@@ -34,7 +34,7 @@ COMMANDS:
                  --p N --k N [--slack F] (exits non-zero on violation)
   bench        perf-trajectory benchmark gate: run the fixed suite of
                  engine/sweep hot paths under threads(1) and threads(N),
-                 check byte-identical results, and write BENCH_3.json:
+                 check byte-identical results, and write BENCH_4.json:
                  [--quick] [--threads N] [--seed N] [--out FILE]
                  (exits non-zero on a determinism violation, or on a
                  multi-core full run whose speedup misses the 1.5x gate)
@@ -50,8 +50,12 @@ COMMANDS:
   chaos        crash-recovery matrix: every policy x fault scenario x
                  deterministic crashpoint, run under the checkpointing
                  supervisor; recovered runs must be byte-identical to
-                 uninterrupted ones, corrupted snapshots must be rejected:
+                 uninterrupted ones, corrupted snapshots must be rejected,
+                 and a WAL corruption matrix (torn/partial tails,
+                 mid-record truncation, bit flips, stale bases) must
+                 recover byte-identically with typed truncations:
                  [--quick] [--p N --k N --s N --len N] [--seed N]
+                 [--cells SUBSTR[,SUBSTR..]] [--wal]
                  (exits non-zero on any divergence or failed recovery)
   profile      visualize green box profiles (OPT vs RAND-GREEN):
                  --p N --k N [--seed N] [--width N]

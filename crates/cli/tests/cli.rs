@@ -165,3 +165,29 @@ fn audit_passes_on_det_par() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("well-rounded: true"));
 }
+
+#[test]
+fn chaos_wal_cells_filter_runs_only_matching_cells() {
+    let (ok, stdout, stderr) = parapage(&[
+        "chaos",
+        "--quick",
+        "--wal",
+        "--cells",
+        "det-par/torn-tail",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("WAL corruption matrix"));
+    assert!(stdout.contains("torn-tail"));
+    assert!(!stdout.contains("stale-base"));
+    assert!(stdout.contains("1 cells recovered byte-identically"));
+    assert!(stdout.contains("filtered out by --cells"));
+}
+
+#[test]
+fn chaos_rejects_a_filter_matching_nothing() {
+    let (ok, _, stderr) = parapage(&["chaos", "--quick", "--wal", "--cells", "no-such-cell"]);
+    assert!(!ok);
+    assert!(stderr.contains("matched no cells"));
+}

@@ -30,6 +30,11 @@
 //!   from snapshots (the `parapage-sched` supervisor) must reproduce the
 //!   uninterrupted run's result and trace byte-for-byte; drives the
 //!   `parapage chaos` matrix.
+//! * [`walchaos`] — WAL corruption chaos: torn tails, partial tails,
+//!   mid-record truncations, bit flips, and stale-base/newer-log pairings
+//!   inflicted on the incremental checkpoint log at recovery time must be
+//!   detected as typed truncations and still recover byte-identically;
+//!   drives `parapage chaos --wal`.
 //!
 //! The `parapage conform` CLI subcommand drives all of this; it is also
 //! wired into `scripts/check.sh` as a pre-PR gate.
@@ -42,6 +47,7 @@ pub mod envelope;
 pub mod oracle;
 pub mod reference;
 pub mod resume;
+pub mod walchaos;
 
 pub use checkers::{
     check_box_geometry, check_det_par_stream, check_memory, check_phase_structure, check_replay,
@@ -56,6 +62,9 @@ pub use oracle::{
 pub use reference::run_reference;
 pub use resume::{
     boxed_policy, check_corruption_rejection, check_resume, resume_matrix, ResumeCell,
+};
+pub use walchaos::{
+    check_wal_corruption, wal_chaos_matrix, SabotagedStore, WalCell, WalCorruption,
 };
 
 #[cfg(test)]

@@ -1,0 +1,501 @@
+//! WAL corruption chaos: torn writes against the incremental checkpoint
+//! log must lose at most the tail, never correctness.
+//!
+//! The supervisor's WAL-backed recovery contract (see `parapage-sched`'s
+//! `wal` module) is: whatever happens to the bytes the recovery scan reads
+//! — a torn final write, a partial tail, a truncation in the middle of the
+//! log, a flipped bit, a stale base paired with a newer log, a corrupt
+//! base — the supervised run either resumes from the last intact record or
+//! restarts from an earlier point, and in every case finishes
+//! **byte-identical** to the uninterrupted run. Corruption is detected as
+//! a typed `CodecError` and surfaced as a truncation count; it is never a
+//! panic and never a silent divergence.
+//!
+//! This module turns that contract into matrix cells: a
+//! [`SabotagedStore`] wraps the supervisor's checkpoint store and serves a
+//! corrupted `(base, log)` view exactly once — at the recovery read that
+//! follows an injected crash — then [`check_wal_corruption`] diffs the
+//! recovered run against the uninterrupted baseline field by field and
+//! event by event. [`wal_chaos_matrix`] sweeps every checkpoint-capable
+//! policy (RNG-backed ones included) across every corruption kind. The
+//! `parapage chaos --wal` CLI subcommand drives it.
+
+use parapage_cache::{
+    fnv1a64, parse_wal_record, LruCache, PageId, WalRecordStep, WAL_RECORD_HEADER,
+};
+use parapage_core::ModelParams;
+use parapage_sched::{
+    CheckpointStore, CrashPlan, Engine, EngineOpts, FaultPlan, MemStore, Supervisor,
+    SupervisorOpts, TraceRecorder,
+};
+
+use crate::checkers;
+use crate::oracle::CONFORM_POLICIES;
+use crate::resume::boxed_policy;
+
+/// The corruption a [`SabotagedStore`] inflicts on the recovery read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalCorruption {
+    /// The last bytes of the log vanish mid-record — the classic torn
+    /// write of an append that did not complete.
+    TornTail,
+    /// The log ends a few bytes into the final record's header — a tear so
+    /// early the record's frame is unreadable.
+    PartialTail,
+    /// Bytes are cut out of the *middle* of the log (an interior record is
+    /// truncated), desynchronizing everything after it.
+    MidRecord,
+    /// One byte somewhere in the log flips — silent media corruption; the
+    /// digest chain must catch it.
+    BitFlip,
+    /// The log is paired with the *previous* base snapshot — a stale base
+    /// under a newer log, as when a base write was lost but its log
+    /// survived. The chain seed must refuse every record.
+    StaleBase,
+    /// One byte of the base snapshot itself flips: recovery must fall back
+    /// to restarting the run from scratch.
+    BaseFlip,
+}
+
+impl WalCorruption {
+    /// Every corruption kind, in matrix order.
+    pub const ALL: [WalCorruption; 6] = [
+        WalCorruption::TornTail,
+        WalCorruption::PartialTail,
+        WalCorruption::MidRecord,
+        WalCorruption::BitFlip,
+        WalCorruption::StaleBase,
+        WalCorruption::BaseFlip,
+    ];
+
+    /// Stable cell name (used by `parapage chaos --cells`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalCorruption::TornTail => "torn-tail",
+            WalCorruption::PartialTail => "partial-tail",
+            WalCorruption::MidRecord => "mid-record",
+            WalCorruption::BitFlip => "bit-flip",
+            WalCorruption::StaleBase => "stale-base",
+            WalCorruption::BaseFlip => "base-flip",
+        }
+    }
+}
+
+impl std::fmt::Display for WalCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Byte offset where the last complete record of `log` begins, given the
+/// base that seeds the digest chain. `None` when no record parses.
+fn last_record_start(base: &[u8], log: &[u8]) -> Option<usize> {
+    let mut chain = fnv1a64(base);
+    let mut off = 0usize;
+    let mut last = None;
+    loop {
+        match parse_wal_record(&log[off..], chain) {
+            WalRecordStep::Record {
+                digest, consumed, ..
+            } => {
+                last = Some(off);
+                chain = digest;
+                off += consumed;
+            }
+            _ => return last,
+        }
+    }
+}
+
+/// A checkpoint store that serves a corrupted `(base, log)` view exactly
+/// once — on the first recovery read that finds content — and behaves like
+/// a faithful [`MemStore`] otherwise. Writes are never corrupted: the
+/// sabotage models what a crash does to storage, not a broken writer.
+pub struct SabotagedStore {
+    inner: MemStore,
+    prev_base: Option<Vec<u8>>,
+    base_shadow: Option<Vec<u8>>,
+    corruption: WalCorruption,
+    struck: bool,
+    faithful: bool,
+    /// What the strike actually did, for diagnostics.
+    pub strike_note: Option<String>,
+    serve_base: Vec<u8>,
+    serve_log: Vec<u8>,
+}
+
+impl SabotagedStore {
+    /// A store that will inflict `corruption` on its first non-empty view.
+    pub fn new(corruption: WalCorruption) -> Self {
+        SabotagedStore {
+            inner: MemStore::new(),
+            prev_base: None,
+            base_shadow: None,
+            corruption,
+            struck: false,
+            faithful: false,
+            strike_note: None,
+            serve_base: Vec::new(),
+            serve_log: Vec::new(),
+        }
+    }
+
+    /// `true` once the corrupted view has been served.
+    pub fn struck(&self) -> bool {
+        self.struck
+    }
+
+    /// `true` when the strike had nothing to corrupt and the view was
+    /// served unchanged (e.g. an empty log, or no previous base to serve
+    /// as stale).
+    pub fn served_faithfully(&self) -> bool {
+        self.faithful
+    }
+
+    fn corrupt(&mut self, base: Vec<u8>, log: Vec<u8>) {
+        if log.is_empty() && self.corruption != WalCorruption::BaseFlip {
+            self.faithful = true;
+            self.strike_note = Some("log empty; nothing to corrupt".to_string());
+            self.serve_base = base;
+            self.serve_log = log;
+            return;
+        }
+        let note;
+        let (serve_base, serve_log) = match self.corruption {
+            WalCorruption::TornTail => {
+                let keep = log.len().saturating_sub(7);
+                note = format!("tore the log from {} to {keep} bytes", log.len());
+                (base, log[..keep].to_vec())
+            }
+            WalCorruption::PartialTail => {
+                let cut = last_record_start(&base, &log)
+                    .map(|s| s + WAL_RECORD_HEADER - 2)
+                    .unwrap_or(0)
+                    .min(log.len());
+                note = format!("cut the log mid-header at byte {cut} of {}", log.len());
+                (base, log[..cut].to_vec())
+            }
+            WalCorruption::MidRecord => {
+                // Remove a chunk from inside the first record's payload:
+                // the log shrinks and every later byte shifts.
+                let cut = (WAL_RECORD_HEADER + 4).min(log.len());
+                let splice = 8usize.min(log.len().saturating_sub(cut));
+                let mut l = log.clone();
+                l.drain(cut..cut + splice);
+                note = format!("spliced {splice} bytes out of the log at byte {cut}");
+                (base, l)
+            }
+            WalCorruption::BitFlip => {
+                let mut l = log.clone();
+                if !l.is_empty() {
+                    let mid = l.len() / 2;
+                    l[mid] ^= 0x20;
+                    note = format!("flipped a bit at log byte {mid}");
+                } else {
+                    self.faithful = true;
+                    note = "log empty; nothing to flip".to_string();
+                }
+                (base, l)
+            }
+            WalCorruption::StaleBase => match self.prev_base.clone() {
+                Some(stale) if !log.is_empty() => {
+                    note = format!(
+                        "served the previous base ({} bytes) under the current log",
+                        stale.len()
+                    );
+                    (stale, log)
+                }
+                _ => {
+                    self.faithful = true;
+                    note = "no previous base or empty log; serving faithfully".to_string();
+                    (base, log)
+                }
+            },
+            WalCorruption::BaseFlip => {
+                let mut b = base.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+                note = format!("flipped a bit at base byte {mid}");
+                (b, log)
+            }
+        };
+        self.strike_note = Some(note);
+        self.serve_base = serve_base;
+        self.serve_log = serve_log;
+    }
+}
+
+impl CheckpointStore for SabotagedStore {
+    fn install_base(&mut self, snapshot: Vec<u8>) {
+        self.prev_base = self.base_shadow.take();
+        self.base_shadow = Some(snapshot.clone());
+        self.inner.install_base(snapshot);
+    }
+
+    fn append_record(&mut self, record: Vec<u8>) {
+        self.inner.append_record(record);
+    }
+
+    fn view(&mut self) -> Option<(&[u8], &[u8])> {
+        if self.struck {
+            return self.inner.view();
+        }
+        let (base, log) = match self.inner.view() {
+            Some((b, l)) => (b.to_vec(), l.to_vec()),
+            None => return None,
+        };
+        self.struck = true;
+        self.corrupt(base, log);
+        Some((&self.serve_base, &self.serve_log))
+    }
+}
+
+/// The verdict of one WAL corruption cell.
+pub struct WalCell {
+    /// Policy name.
+    pub policy: String,
+    /// Corruption kind.
+    pub corruption: WalCorruption,
+    /// Engine tick the injected crash fired at.
+    pub crash_tick: u64,
+    /// Recovery truncations the supervisor reported.
+    pub truncations: u32,
+    /// WAL records appended across the run.
+    pub wal_records: u64,
+    /// Divergences from the uninterrupted baseline; empty means the cell
+    /// passed.
+    pub violations: Vec<String>,
+}
+
+impl WalCell {
+    /// `true` when recovery was exact despite the corruption.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One WAL corruption cell: run the policy uninterrupted, then crash it
+/// once mid-run with WAL checkpoints at every epoch and the given
+/// corruption inflicted on the recovery read, and demand a byte-identical
+/// result and trace.
+pub fn check_wal_corruption(
+    policy: &str,
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    seed: u64,
+    corruption: WalCorruption,
+) -> Result<WalCell, String> {
+    let opts = EngineOpts::default();
+    let plan = FaultPlan::none();
+
+    // Baseline: the uninterrupted run.
+    let mut alloc = boxed_policy(policy, params, seed, false)?;
+    let mut engine = Engine::new(&mut *alloc, seqs, params, &opts, &plan, |_| {
+        LruCache::new(0)
+    });
+    let mut baseline_trace = TraceRecorder::new();
+    loop {
+        match engine.step(&mut *alloc, &mut baseline_trace) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => return Err(format!("baseline run errored: {e}")),
+        }
+    }
+    let baseline_ticks = engine.ticks();
+    let baseline = engine.into_result(&*alloc);
+    if baseline_ticks < 24 {
+        return Err(format!(
+            "premise failed: baseline run too short ({baseline_ticks} ticks) to corrupt into"
+        ));
+    }
+
+    // Policies with long-lived grants run few engine ticks even on long
+    // workloads, so scale the epoch to the baseline: aim for a dozen or so
+    // epoch boundaries before the run ends.
+    let epoch_ticks = (baseline_ticks / 12).clamp(2, 8);
+
+    // Crash past the 60% mark, then align so the WAL actually has
+    // something to corrupt at that moment. With `full_snapshot_every: 2`
+    // the store cycles base / one record / two records over a period of
+    // three epoch boundaries, so the stale-base cell must land where the
+    // log is non-empty and a previous base exists (boundary count >= 5,
+    // not 1 mod 3); every other cell keeps one base forever and just needs
+    // the log non-empty (boundary count >= 2).
+    let mut boundaries = (baseline_ticks * 3 / 5) / epoch_ticks;
+    match corruption {
+        WalCorruption::StaleBase => {
+            while boundaries < 5 || boundaries % 3 == 1 {
+                boundaries += 1;
+            }
+        }
+        _ => boundaries = boundaries.max(2),
+    }
+    let crash_tick = boundaries * epoch_ticks + epoch_ticks / 2;
+    if crash_tick >= baseline_ticks {
+        return Err(format!(
+            "premise failed: aligned crash tick {crash_tick} falls past the \
+             {baseline_ticks}-tick baseline"
+        ));
+    }
+
+    let sup_opts = SupervisorOpts {
+        epoch_ticks,
+        max_retries: 3,
+        backoff_base: std::time::Duration::ZERO,
+        // Stale-base needs at least two bases installed before the crash;
+        // the others keep one base so the log grows long.
+        full_snapshot_every: if corruption == WalCorruption::StaleBase {
+            2
+        } else {
+            u64::MAX
+        },
+        ..SupervisorOpts::default()
+    };
+    let mut store = SabotagedStore::new(corruption);
+    let mut recovered_trace = TraceRecorder::new();
+    let supervised = Supervisor::new(sup_opts).run_with_store(
+        seqs,
+        params,
+        &opts,
+        &plan,
+        &CrashPlan::at_ticks(vec![crash_tick]),
+        || boxed_policy(policy, params, seed, false).expect("factory succeeded for the baseline"),
+        |_| LruCache::new(0),
+        &mut recovered_trace,
+        &mut store,
+    );
+
+    let mut violations = Vec::new();
+    let mut truncations = 0;
+    let mut wal_records = 0;
+    match supervised {
+        Err(e) => violations.push(format!("recovery failed: {e}")),
+        Ok(report) => {
+            truncations = report.wal_truncations;
+            wal_records = report.wal_records;
+            if report.crashes != 1 {
+                violations.push(format!(
+                    "expected 1 injected crash, observed {}",
+                    report.crashes
+                ));
+            }
+            if !store.struck() {
+                violations.push("the corrupted view was never read".to_string());
+            }
+            if report.wal_records == 0 {
+                violations.push("premise failed: no WAL records were written".to_string());
+            }
+            // Every kind must be *detected* — a faithful pass-through means
+            // the crash tick alignment failed to give the strike material.
+            if store.served_faithfully() {
+                violations.push(format!(
+                    "premise failed: nothing to corrupt at the strike ({:?})",
+                    store.strike_note
+                ));
+            } else if report.wal_truncations == 0 {
+                violations.push(format!(
+                    "corruption went undetected (strike: {:?})",
+                    store.strike_note
+                ));
+            }
+            if report.result != baseline {
+                violations.push(format!(
+                    "RunResult diverged: recovered {:?} vs baseline {:?}",
+                    report.result, baseline
+                ));
+            }
+            violations.extend(
+                checkers::check_replay(baseline_trace.events(), recovered_trace.events())
+                    .into_iter()
+                    .map(|v| format!("trace: {v}")),
+            );
+        }
+    }
+
+    Ok(WalCell {
+        policy: policy.to_string(),
+        corruption,
+        crash_tick,
+        truncations,
+        wal_records,
+        violations,
+    })
+}
+
+/// The WAL corruption matrix: every policy in `policies` (all of
+/// [`CONFORM_POLICIES`] when empty) × every [`WalCorruption`] kind.
+pub fn wal_chaos_matrix(
+    seqs: &[Vec<PageId>],
+    params: &ModelParams,
+    seed: u64,
+    policies: &[&str],
+) -> Result<Vec<WalCell>, String> {
+    let policies: Vec<&str> = if policies.is_empty() {
+        CONFORM_POLICIES.to_vec()
+    } else {
+        policies.to_vec()
+    };
+    let mut cells = Vec::new();
+    for policy in policies {
+        for corruption in WalCorruption::ALL {
+            cells.push(check_wal_corruption(
+                policy, seqs, params, seed, corruption,
+            )?);
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapage_workloads::{build_workload, SeqSpec};
+
+    fn workload(p: usize, len: usize, k: usize) -> Vec<Vec<PageId>> {
+        let specs: Vec<SeqSpec> = (0..p)
+            .map(|x| match x % 2 {
+                0 => SeqSpec::Cyclic {
+                    width: (k / 4).max(2),
+                    len,
+                },
+                _ => SeqSpec::Zipf {
+                    universe: k.max(4),
+                    theta: 0.9,
+                    len,
+                },
+            })
+            .collect();
+        build_workload(&specs, 42).seqs().to_vec()
+    }
+
+    #[test]
+    fn every_corruption_kind_recovers_det_par_exactly() {
+        let params = ModelParams::new(4, 32, 8);
+        let seqs = workload(4, 2500, 32);
+        for corruption in WalCorruption::ALL {
+            let cell = check_wal_corruption("det-par", &seqs, &params, 7, corruption)
+                .unwrap_or_else(|e| panic!("{corruption}: {e}"));
+            assert!(
+                cell.passed(),
+                "{corruption}: violations {:?}",
+                cell.violations
+            );
+            assert!(cell.truncations >= 1, "{corruption}: nothing truncated");
+        }
+    }
+
+    #[test]
+    fn rng_backed_policy_survives_a_torn_tail() {
+        let params = ModelParams::new(4, 32, 8);
+        let seqs = workload(4, 2500, 32);
+        for corruption in [WalCorruption::TornTail, WalCorruption::StaleBase] {
+            let cell = check_wal_corruption("rand-par", &seqs, &params, 11, corruption)
+                .unwrap_or_else(|e| panic!("{corruption}: {e}"));
+            assert!(
+                cell.passed(),
+                "{corruption}: violations {:?}",
+                cell.violations
+            );
+        }
+    }
+}

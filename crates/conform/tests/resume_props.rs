@@ -1,12 +1,17 @@
 //! Property-based resume equivalence: crash-and-recover at an *arbitrary*
-//! tick must be invisible, and the snapshot codec must round-trip exactly.
+//! tick must be invisible, the snapshot codec must round-trip exactly, and
+//! an incremental WAL delta applied to its base must reconstruct the full
+//! snapshot byte-for-byte.
 
 use proptest::prelude::*;
 
 use parapage_cache::LruCache;
-use parapage_conform::{boxed_policy, check_resume, CONFORM_POLICIES};
+use parapage_conform::{boxed_policy, check_replay, check_resume, CONFORM_POLICIES};
 use parapage_core::ModelParams;
-use parapage_sched::{Engine, EngineOpts, EngineSnapshot, FaultPlan, NullSink};
+use parapage_sched::{
+    CrashPlan, Engine, EngineOpts, EngineSnapshot, FaultPlan, NullSink, Supervisor, SupervisorOpts,
+    TraceRecorder,
+};
 use parapage_workloads::{build_workload, fault_scenario, SeqSpec, FAULT_SCENARIOS};
 
 fn workload_for(
@@ -113,5 +118,117 @@ proptest! {
         let snap = engine.snapshot(&*alloc).unwrap();
         let decoded = EngineSnapshot::decode(&snap.encode()).unwrap();
         prop_assert_eq!(decoded, snap);
+    }
+
+    /// An incremental WAL delta taken after an arbitrary number of steps
+    /// past an arbitrary base reconstructs the engine's full snapshot
+    /// byte-for-byte when applied to that base, for every policy.
+    #[test]
+    fn wal_delta_reconstruction_matches_full_snapshot(
+        p in 1usize..5,
+        kexp in 1u32..4,
+        len in 1usize..120,
+        seed in 0u64..1_000_000,
+        sel in 0usize..6,
+        // Folded (base_steps, delta_steps), each in 0..48.
+        steps in 0usize..2304,
+    ) {
+        let (base_steps, delta_steps) = (steps % 48, steps / 48);
+        let k = p.next_power_of_two() << kexp;
+        let params = ModelParams::new(p, k, 6);
+        let seqs = workload_for(p, k, len, 1, seed);
+        let policy = CONFORM_POLICIES[sel % CONFORM_POLICIES.len()];
+        let plan = FaultPlan::new(fault_scenario("chaos", p, k, 4000, seed).unwrap());
+        let opts = EngineOpts::default();
+        let mut alloc = boxed_policy(policy, &params, seed, true).unwrap();
+        let mut engine =
+            Engine::new(&mut *alloc, &seqs, &params, &opts, &plan, |_| LruCache::new(0));
+        let mut sink = NullSink;
+        for _ in 0..base_steps {
+            match engine.step(&mut *alloc, &mut sink) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("engine errored: {e}"))),
+            }
+        }
+        let base = engine.snapshot(&*alloc).unwrap();
+        engine.reset_wal_mark();
+        for _ in 0..delta_steps {
+            match engine.step(&mut *alloc, &mut sink) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("engine errored: {e}"))),
+            }
+        }
+        let delta = engine.wal_delta(&*alloc).unwrap();
+        let full = engine.snapshot(&*alloc).unwrap();
+        let mut rebuilt = base;
+        delta.apply(&mut rebuilt).unwrap();
+        prop_assert_eq!(rebuilt.encode(), full.encode());
+    }
+
+    /// With WAL checkpoints at *every* epoch boundary and a crash at a
+    /// random tick, the supervised run reproduces the uninterrupted run's
+    /// result and trace byte-for-byte — for every policy, the RNG-backed
+    /// ones included.
+    #[test]
+    fn wal_resume_at_random_tick_is_equivalent(
+        p in 1usize..5,
+        kexp in 1u32..4,
+        len in 8usize..120,
+        seed in 0u64..1_000_000,
+        sel in 0usize..6,
+        crash_frac in 0.0f64..1.0,
+    ) {
+        let k = p.next_power_of_two() << kexp;
+        let params = ModelParams::new(p, k, 6);
+        let seqs = workload_for(p, k, len, 3, seed);
+        let policy = CONFORM_POLICIES[sel % CONFORM_POLICIES.len()];
+        let plan = FaultPlan::none();
+        let opts = EngineOpts::default();
+
+        let mut alloc = boxed_policy(policy, &params, seed, false).unwrap();
+        let mut engine =
+            Engine::new(&mut *alloc, &seqs, &params, &opts, &plan, |_| LruCache::new(0));
+        let mut baseline_trace = TraceRecorder::new();
+        loop {
+            match engine.step(&mut *alloc, &mut baseline_trace) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("engine errored: {e}"))),
+            }
+        }
+        let baseline_ticks = engine.ticks();
+        let baseline = engine.into_result(&*alloc);
+        let crash = ((baseline_ticks as f64 * crash_frac) as u64).clamp(1, baseline_ticks);
+
+        let sup_opts = SupervisorOpts {
+            epoch_ticks: 8,
+            max_retries: 3,
+            backoff_base: std::time::Duration::ZERO,
+            wal: true,
+            full_snapshot_every: 4,
+            ..SupervisorOpts::default()
+        };
+        let mut recovered_trace = TraceRecorder::new();
+        let report = Supervisor::new(sup_opts)
+            .run(
+                &seqs,
+                &params,
+                &opts,
+                &plan,
+                &CrashPlan::at_ticks(vec![crash]),
+                || boxed_policy(policy, &params, seed, false).unwrap(),
+                |_| LruCache::new(0),
+                &mut recovered_trace,
+            )
+            .map_err(|e| TestCaseError::fail(format!("{policy}: recovery failed: {e}")))?;
+        prop_assert_eq!(&report.result, &baseline, "{} diverged", policy);
+        let trace_violations = check_replay(baseline_trace.events(), recovered_trace.events());
+        prop_assert!(
+            trace_violations.is_empty(),
+            "{} crash at tick {}/{}: {:?}",
+            policy, crash, baseline_ticks, trace_violations
+        );
     }
 }

@@ -73,9 +73,10 @@ pub mod prelude {
         ClockCache, FifoCache, LfuCache, LirsCache, LruCache, PageId, ProcId, Time, TwoQueueCache,
     };
     pub use parapage_conform::{
-        check_corruption_rejection, check_resume, competitive_envelope, conform_matrix,
-        conform_run, differential_sweep, resume_matrix, ConformReport, DiffReport, EnvelopeReport,
-        ResumeCell, CONFORM_POLICIES,
+        check_corruption_rejection, check_resume, check_wal_corruption, competitive_envelope,
+        conform_matrix, conform_run, differential_sweep, resume_matrix, wal_chaos_matrix,
+        ConformReport, DiffReport, EnvelopeReport, ResumeCell, WalCell, WalCorruption,
+        CONFORM_POLICIES,
     };
     pub use parapage_core::{
         audit_greedy, check_well_rounded, green_opt, green_opt_fast, green_opt_fast_normalized,

@@ -53,6 +53,7 @@ use crate::fault::{FaultCursor, FaultPlan};
 use crate::metrics::RunResult;
 use crate::snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
+use crate::wal::WalDelta;
 
 /// Default hard cap on simulated time.
 ///
@@ -252,6 +253,14 @@ pub struct Engine<'a, C: Cache> {
     remaining: usize,
     ticks: u64,
     emitted: u64,
+    // WAL checkpoint mark: how much of the grow-only state was already
+    // captured at the last checkpoint boundary, and which caches have been
+    // mutated since. `wal_delta` emits only what lies past the mark, which
+    // is what makes an incremental checkpoint O(changes) rather than
+    // O(state).
+    ckpt_deltas_len: usize,
+    ckpt_timeline_lens: Vec<usize>,
+    dirty_caches: Vec<bool>,
 }
 
 impl<'a, C: Cache> Engine<'a, C> {
@@ -305,6 +314,9 @@ impl<'a, C: Cache> Engine<'a, C> {
             remaining,
             ticks: 0,
             emitted: 0,
+            ckpt_deltas_len: 0,
+            ckpt_timeline_lens: vec![0; p],
+            dirty_caches: vec![false; p],
         }
     }
 
@@ -324,6 +336,19 @@ impl<'a, C: Cache> Engine<'a, C> {
     /// `true` once every event has been processed.
     pub fn is_done(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Declares the current state a checkpoint boundary: the next
+    /// [`Engine::wal_delta`] reports changes relative to *now*. Call after
+    /// installing a full snapshot as a new WAL base.
+    pub fn reset_wal_mark(&mut self) {
+        self.ckpt_deltas_len = self.deltas.len();
+        for (n, tl) in self.ckpt_timeline_lens.iter_mut().zip(&self.timelines) {
+            *n = tl.len();
+        }
+        for d in &mut self.dirty_caches {
+            *d = false;
+        }
     }
 
     fn emit(&mut self, sink: &mut impl TraceSink, ev: &TraceEvent) {
@@ -417,6 +442,10 @@ impl<'a, C: Cache> Engine<'a, C> {
             .checked_mul(self.fault_cursor.latency_factor(now))
             .ok_or(EngineError::TimeOverflow { at: now })?;
 
+        // The grant path is the only place a cache mutates (clear, resize,
+        // and the served window below), so this flag alone decides whether
+        // the next WAL delta must re-ship processor `x`'s cache blob.
+        self.dirty_caches[x] = true;
         let cache = &mut self.caches[x];
         let resident_before = cache.len();
         if self.opts.compartmentalized {
@@ -620,6 +649,76 @@ impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
         })
     }
 
+    /// Captures everything that changed since the last checkpoint boundary
+    /// as a [`WalDelta`] — the payload of one WAL record — and advances the
+    /// boundary to now.
+    ///
+    /// The delta carries the engine's O(p) scalars, the suffixes of the
+    /// grow-only audit/timeline traces, the cache blobs of only the caches
+    /// mutated since the mark, and the policy's full checkpoint (bounded,
+    /// and the carrier of RNG position for the randomized policies). The
+    /// mark is reset by a successful call, by [`Engine::restore`], and by
+    /// [`Engine::reset_wal_mark`] — a supervisor resets it whenever it
+    /// installs a fresh full snapshot as the new WAL base.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Codec`] when the policy does not support
+    /// checkpointing; the mark is left untouched on error.
+    pub fn wal_delta(&mut self, alloc: &dyn BoxAllocator) -> Result<WalDelta, SnapshotError> {
+        let mut w = SnapWriter::new();
+        alloc.checkpoint(&mut w)?;
+        let policy_blob = w.into_bytes();
+        let mut cache_updates = Vec::with_capacity(self.p);
+        for (x, cache) in self.caches.iter().enumerate() {
+            if self.dirty_caches[x] {
+                let mut w = SnapWriter::new();
+                cache.save(&mut w);
+                cache_updates.push((x as u32, w.into_bytes()));
+            }
+        }
+        let mut releases: Vec<(Time, usize)> = self.releases.iter().map(|&Reverse(e)| e).collect();
+        releases.sort_unstable();
+        let mut heap: Vec<(Time, u8, u32)> = self.heap.iter().map(|&Reverse(e)| e).collect();
+        heap.sort_unstable();
+        let delta = WalDelta {
+            ticks: self.ticks,
+            emitted: self.emitted,
+            pos: self.pos.clone(),
+            completions: self.completions.clone(),
+            finished: self.finished.clone(),
+            stats: self.stats,
+            memory_integral: self.memory_integral,
+            grants_issued: self.grants_issued,
+            live_usage: self.live_usage,
+            releases,
+            current_limit: self.current_limit,
+            fault_pos: self.fault_cursor.position(),
+            faults_injected: self.faults_injected,
+            heap,
+            remaining: self.remaining,
+            deltas_base: self.ckpt_deltas_len as u64,
+            deltas_suffix: self.deltas[self.ckpt_deltas_len..].to_vec(),
+            timeline_bases: if self.opts.record_timelines {
+                self.ckpt_timeline_lens.iter().map(|&n| n as u64).collect()
+            } else {
+                Vec::new()
+            },
+            timeline_suffixes: if self.opts.record_timelines {
+                self.timelines
+                    .iter()
+                    .zip(&self.ckpt_timeline_lens)
+                    .map(|(tl, &n)| tl[n..].to_vec())
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            cache_updates,
+            policy_blob,
+        };
+        self.reset_wal_mark();
+        Ok(delta)
+    }
+
     /// Replaces this engine's dynamic state (and `alloc`'s, via
     /// `BoxAllocator::restore`) with a snapshot taken from an engine built
     /// on the same workload, parameters, and fault plan. After a successful
@@ -681,6 +780,8 @@ impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
         self.faults_injected = snap.faults_injected;
         self.heap = snap.heap.iter().map(|&e| Reverse(e)).collect();
         self.remaining = snap.remaining;
+        // The restored state *is* the new checkpoint boundary.
+        self.reset_wal_mark();
         Ok(())
     }
 }

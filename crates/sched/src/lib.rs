@@ -26,6 +26,10 @@
 //! * [`supervisor`] — crash recovery: [`Supervisor`] runs the engine in
 //!   bounded epochs under panic isolation with a watchdog, resuming from the
 //!   last good snapshot after a crash.
+//! * [`wal`] — incremental checkpoints: a write-ahead delta log between
+//!   full snapshots ([`WalDelta`] records, digest-chained framing, and the
+//!   torn-write-tolerant [`recover`] scan) drops per-epoch checkpoint cost
+//!   from O(state) to O(changes).
 //! * [`trace`] — the conformance trace stream: [`run_engine_traced`] emits
 //!   every grant, served window, fault delivery, and completion as a
 //!   [`TraceEvent`] through a caller-supplied [`TraceSink`] (zero-cost when
@@ -47,6 +51,7 @@ pub mod shared;
 pub mod snapshot;
 pub mod supervisor;
 pub mod trace;
+pub mod wal;
 
 pub use engine::{
     run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
@@ -60,3 +65,6 @@ pub use shared::{run_shared_lru, run_shared_lru_bandwidth};
 pub use snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
 pub use supervisor::{CrashPlan, RecoveryReport, Supervisor, SupervisorError, SupervisorOpts};
 pub use trace::{DigestSink, NullSink, TraceEvent, TraceRecorder, TraceSink};
+pub use wal::{
+    recover, CheckpointStore, MemStore, WalCursor, WalDelta, WalRecovery, WalTruncation,
+};

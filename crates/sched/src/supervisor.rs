@@ -5,12 +5,20 @@
 //!
 //! 1. Step the engine for one *epoch* (a bounded number of events) inside
 //!    [`std::panic::catch_unwind`], with a wall-clock watchdog.
-//! 2. At each epoch boundary, take an [`EngineSnapshot`] and keep its
-//!    encoded bytes as the *last good* checkpoint.
+//! 2. At each epoch boundary, checkpoint into a
+//!    [`CheckpointStore`](crate::wal::CheckpointStore): by default an
+//!    O(changes) WAL delta record appended after the current base snapshot
+//!    (see [`crate::wal`]), with a fresh O(state) full snapshot installed
+//!    as a new base every [`SupervisorOpts::full_snapshot_every`] epochs —
+//!    or every epoch when [`SupervisorOpts::wal`] is off.
 //! 3. On a crash (panic) or watchdog expiry, discard the poisoned engine
 //!    and policy, wait out an exponential backoff, build a **fresh** policy
-//!    from the caller's factory, and restore engine + policy from the last
-//!    good checkpoint (or restart from scratch when none exists yet).
+//!    from the caller's factory, and recover from the store: decode the
+//!    base, replay the delta log, and truncate at the first record whose
+//!    frame, digest, or chain breaks (a torn write loses only the tail; an
+//!    unusable base restarts from scratch). The first epoch boundary after
+//!    a recovery installs a fresh base, so new records never append after
+//!    a torn tail.
 //! 4. Give up with [`SupervisorError::RetriesExhausted`] once the crash
 //!    budget is spent.
 //!
@@ -39,8 +47,9 @@ use crate::engine::{Engine, EngineOpts};
 use crate::error::EngineError;
 use crate::fault::FaultPlan;
 use crate::metrics::RunResult;
-use crate::snapshot::{EngineSnapshot, SnapshotError};
+use crate::snapshot::SnapshotError;
 use crate::trace::{TraceEvent, TraceSink};
+use crate::wal::{recover, CheckpointStore, MemStore, WalCursor};
 
 /// Deterministic crashpoints: engine ticks at which the supervised run
 /// panics, each firing at most once per supervised run.
@@ -86,6 +95,14 @@ pub struct SupervisorOpts {
     /// (they would otherwise spray backtraces over test output). Real
     /// panics still propagate as crashes either way.
     pub silence_panics: bool,
+    /// Checkpoint incrementally: append an O(changes) WAL delta record at
+    /// each epoch boundary instead of encoding the full O(state) snapshot
+    /// (default `true`; see [`crate::wal`]). Off, every boundary installs
+    /// a full snapshot — the pre-WAL behaviour.
+    pub wal: bool,
+    /// With [`SupervisorOpts::wal`] on, install a fresh full snapshot as a
+    /// new base every this many epochs, bounding recovery-scan length.
+    pub full_snapshot_every: u64,
 }
 
 impl Default for SupervisorOpts {
@@ -97,6 +114,8 @@ impl Default for SupervisorOpts {
             backoff_cap: Duration::from_millis(50),
             watchdog: Duration::from_secs(30),
             silence_panics: true,
+            wal: true,
+            full_snapshot_every: 16,
         }
     }
 }
@@ -160,22 +179,35 @@ pub struct RecoveryReport {
     /// Crashes recovered by restoring a snapshot (the rest restarted from
     /// scratch because no checkpoint existed yet).
     pub resumes: u32,
-    /// Completed epochs (= snapshots taken).
+    /// Completed epochs (= checkpoints taken).
     pub epochs: u64,
     /// Total engine ticks of the finished run.
     pub ticks: u64,
+    /// Total checkpoint bytes written (full-snapshot bases plus WAL delta
+    /// records) — the deterministic cost the bench suite regression-pins.
+    pub checkpoint_bytes: u64,
+    /// WAL delta records appended across the run.
+    pub wal_records: u64,
+    /// Recovery scans that had to truncate: a torn or corrupt delta log
+    /// (resumed from the last intact record) or an unusable base snapshot
+    /// (restarted from scratch).
+    pub wal_truncations: u32,
 }
 
 impl RecoveryReport {
     /// One-line human summary.
     pub fn summary_line(&self) -> String {
         format!(
-            "{} | {} ticks, {} epochs, {} crashes ({} resumed)",
+            "{} | {} ticks, {} epochs, {} crashes ({} resumed), \
+             {} ckpt bytes ({} wal records, {} truncations)",
             self.result.summary_line(),
             self.ticks,
             self.epochs,
             self.crashes,
-            self.resumes
+            self.resumes,
+            self.checkpoint_bytes,
+            self.wal_records,
+            self.wal_truncations
         )
     }
 }
@@ -297,26 +329,84 @@ impl Supervisor {
         opts: &EngineOpts,
         faults: &FaultPlan,
         crash_plan: &CrashPlan,
+        policy_factory: impl FnMut() -> Box<dyn BoxAllocator>,
+        cache_factory: impl FnMut(usize) -> C,
+        sink: &mut impl TraceSink,
+    ) -> Result<RecoveryReport, SupervisorError> {
+        let mut store = MemStore::new();
+        self.run_with_store(
+            seqs,
+            params,
+            opts,
+            faults,
+            crash_plan,
+            policy_factory,
+            cache_factory,
+            sink,
+            &mut store,
+        )
+    }
+
+    /// Like [`Supervisor::run`], but checkpointing into a caller-supplied
+    /// [`CheckpointStore`] — the seam the chaos harness uses to corrupt
+    /// what recovery reads (torn tails, flipped bytes, stale bases), and
+    /// the hook a persistent server would use to keep checkpoints on disk.
+    /// A store holding a checkpoint from a previous run of the *same*
+    /// workload resumes it instead of starting over.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_store<C: Cache + Checkpoint>(
+        &self,
+        seqs: &[Vec<PageId>],
+        params: &ModelParams,
+        opts: &EngineOpts,
+        faults: &FaultPlan,
+        crash_plan: &CrashPlan,
         mut policy_factory: impl FnMut() -> Box<dyn BoxAllocator>,
         mut cache_factory: impl FnMut(usize) -> C,
         sink: &mut impl TraceSink,
+        store: &mut dyn CheckpointStore,
     ) -> Result<RecoveryReport, SupervisorError> {
         let _hook = HookGuard::install(self.opts.silence_panics);
         let mut gate = GatedSink::new(sink);
         let mut fired = vec![false; crash_plan.ticks().len()];
-        let mut last_good: Option<Vec<u8>> = None;
         let mut crashes = 0u32;
         let mut resumes = 0u32;
         let mut epochs = 0u64;
+        let mut checkpoint_bytes = 0u64;
+        let mut wal_records = 0u64;
+        let mut wal_truncations = 0u32;
 
         'attempt: loop {
             let mut alloc = policy_factory();
             let mut engine =
                 Engine::new(&mut *alloc, seqs, params, opts, faults, &mut cache_factory);
-            if let Some(bytes) = &last_good {
-                let snap = EngineSnapshot::decode(bytes)?;
-                engine.restore(&snap, &mut *alloc)?;
+            // Recover from the store: decode the base snapshot, replay the
+            // delta log, truncate at the first tear. An unusable base means
+            // restart from scratch — deterministic replay plus the gated
+            // sink keep even that byte-identical, just slower.
+            let mut restored = false;
+            if let Some((base, log)) = store.view() {
+                match recover(base, log) {
+                    Ok(rec) => {
+                        if rec.truncation.is_some() {
+                            wal_truncations += 1;
+                        }
+                        engine.restore(&rec.snapshot, &mut *alloc)?;
+                        restored = true;
+                    }
+                    Err(_) => {
+                        wal_truncations += 1;
+                    }
+                }
             }
+            if restored && crashes > 0 {
+                resumes += 1;
+            }
+            // Always re-base after an attempt starts: the first epoch
+            // boundary below installs a fresh full snapshot, so records are
+            // never appended after a (possibly torn) old log tail.
+            let mut cursor: Option<WalCursor> = None;
+            let mut epochs_since_base = 0u64;
             gate.resync(engine.emitted());
             let attempt_start = Instant::now();
 
@@ -358,12 +448,34 @@ impl Supervisor {
                             resumes,
                             epochs,
                             ticks,
+                            checkpoint_bytes,
+                            wal_records,
+                            wal_truncations,
                         });
                     }
                     Ok(Ok(Stretch::EpochBoundary)) => {
-                        let snap = engine.snapshot(&*alloc)?;
-                        last_good = Some(snap.encode());
                         epochs += 1;
+                        let incremental = self.opts.wal
+                            && cursor.is_some()
+                            && epochs_since_base < self.opts.full_snapshot_every;
+                        if incremental {
+                            let delta = engine.wal_delta(&*alloc)?;
+                            let record = cursor
+                                .as_mut()
+                                .expect("incremental implies a base is installed")
+                                .frame(&delta.encode());
+                            checkpoint_bytes += record.len() as u64;
+                            store.append_record(record);
+                            wal_records += 1;
+                            epochs_since_base += 1;
+                        } else {
+                            let bytes = engine.snapshot(&*alloc)?.encode();
+                            checkpoint_bytes += bytes.len() as u64;
+                            cursor = Some(WalCursor::at_base(&bytes));
+                            store.install_base(bytes);
+                            engine.reset_wal_mark();
+                            epochs_since_base = 0;
+                        }
                         continue;
                     }
                     Ok(Ok(Stretch::Watchdog)) => format!(
@@ -382,9 +494,6 @@ impl Supervisor {
                         crashes,
                         last_crash: crash_note,
                     });
-                }
-                if last_good.is_some() {
-                    resumes += 1;
                 }
                 let backoff = self
                     .opts
@@ -566,6 +675,129 @@ mod tests {
         assert_eq!(report.crashes, 2);
         assert_eq!(report.result, want, "RNG state must survive recovery");
         assert_eq!(rec.into_events(), want_trace);
+    }
+
+    #[test]
+    fn double_crash_in_one_run_dedups_the_trace_exactly() {
+        // Satellite: two distinct crash ticks in one run, chosen to land in
+        // the *same* epoch window (20 and 24 with 16-tick epochs), so the
+        // second crash interrupts the replay of the first crash's gap. The
+        // gated sink must still forward every event exactly once.
+        let seqs = seqs();
+        let (want, want_trace) = uninterrupted(&seqs, &FaultPlan::none());
+        let mut rec = TraceRecorder::new();
+        let report = Supervisor::new(tiny_opts())
+            .run(
+                &seqs,
+                &params(),
+                &EngineOpts::default(),
+                &FaultPlan::none(),
+                &CrashPlan::at_ticks(vec![20, 24]),
+                || Box::new(DetPar::new(&params())),
+                |_| LruCache::new(0),
+                &mut rec,
+            )
+            .expect("doubly-crashed run");
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.resumes, 2, "both crashes resume from checkpoints");
+        assert_eq!(report.result, want);
+        assert_eq!(
+            rec.into_events(),
+            want_trace,
+            "dedup across two crash boundaries must be exact"
+        );
+    }
+
+    #[test]
+    fn wal_checkpoints_cost_less_than_full_snapshots() {
+        // Same workload, same epoch cadence, crash-free: incremental delta
+        // records must be much cheaper than a full snapshot per epoch, and
+        // the result must be identical either way. Deterministic byte
+        // counts, so the margin is pinned without timing flakiness. A run
+        // long enough for the grow-only audit trace to dominate a full
+        // snapshot — the regime the WAL exists for.
+        let seqs: Vec<Vec<PageId>> = (0..4usize)
+            .map(|x| {
+                (0..4000usize)
+                    .map(|i| PageId::namespaced(ProcId(x as u32), (i as u64 * (x as u64 + 1)) % 48))
+                    .collect()
+            })
+            .collect();
+        let run = |wal: bool| {
+            Supervisor::new(SupervisorOpts { wal, ..tiny_opts() })
+                .run(
+                    &seqs,
+                    &params(),
+                    &EngineOpts::default(),
+                    &FaultPlan::none(),
+                    &CrashPlan::none(),
+                    || Box::new(DetPar::new(&params())),
+                    |_| LruCache::new(0),
+                    &mut crate::trace::NullSink,
+                )
+                .expect("supervised run")
+        };
+        let full = run(false);
+        let wal = run(true);
+        assert_eq!(full.result, wal.result);
+        assert_eq!(full.epochs, wal.epochs);
+        assert_eq!(full.wal_records, 0);
+        assert!(wal.wal_records > 0, "incremental epochs must use records");
+        assert!(
+            wal.checkpoint_bytes * 2 < full.checkpoint_bytes,
+            "wal {} bytes vs full {} bytes",
+            wal.checkpoint_bytes,
+            full.checkpoint_bytes
+        );
+    }
+
+    #[test]
+    fn prepopulated_store_resumes_a_previous_run() {
+        // A store carried over from a crashed process resumes the run
+        // instead of starting over: crash mid-run with one store, then
+        // hand the same store to a brand-new supervisor call.
+        let seqs = seqs();
+        let (want, want_trace) = uninterrupted(&seqs, &FaultPlan::none());
+        let mut store = MemStore::new();
+        let opts = SupervisorOpts {
+            max_retries: 0,
+            ..tiny_opts()
+        };
+        let err = Supervisor::new(opts)
+            .run_with_store(
+                &seqs,
+                &params(),
+                &EngineOpts::default(),
+                &FaultPlan::none(),
+                &CrashPlan::at_ticks(vec![20]),
+                || Box::new(DetPar::new(&params())),
+                |_| LruCache::new(0),
+                &mut crate::trace::NullSink,
+                &mut store,
+            )
+            .expect_err("zero retries: the injected crash is fatal");
+        assert!(matches!(err, SupervisorError::RetriesExhausted { .. }));
+        let mut rec = TraceRecorder::new();
+        let report = Supervisor::new(tiny_opts())
+            .run_with_store(
+                &seqs,
+                &params(),
+                &EngineOpts::default(),
+                &FaultPlan::none(),
+                &CrashPlan::none(),
+                || Box::new(DetPar::new(&params())),
+                |_| LruCache::new(0),
+                &mut rec,
+                &mut store,
+            )
+            .expect("second process finishes the run");
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.result, want);
+        // The second process replays from the stored checkpoint, so its
+        // stream is exactly a suffix of the uninterrupted trace.
+        let evs = rec.into_events();
+        assert!(!evs.is_empty() && evs.len() < want_trace.len());
+        assert_eq!(evs[..], want_trace[want_trace.len() - evs.len()..]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory benchmark: builds the release CLI and runs the fixed
-# `parapage bench` recipe, writing BENCH_3.json at the repo root.
+# `parapage bench` recipe, writing BENCH_4.json at the repo root.
 #
 # Usage: scripts/bench.sh [--quick] [--threads N] [--seed N] [--out FILE]
 # (flags pass through to `parapage bench`).

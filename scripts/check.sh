@@ -23,6 +23,9 @@ cargo run -q -p parapage-cli --release -- conform --quick
 echo "==> parapage chaos --quick (crash-recovery matrix)"
 cargo run -q -p parapage-cli --release -- chaos --quick
 
+echo "==> parapage chaos --quick --wal (WAL corruption matrix)"
+cargo run -q -p parapage-cli --release -- chaos --quick --wal
+
 echo "==> parapage bench --quick (smoke + determinism gate)"
 cargo run -q -p parapage-cli --release -- bench --quick --out /tmp/parapage-bench-smoke.json
 
