@@ -1,0 +1,231 @@
+//! A FIFO cache over the lock-free split-ordered index.
+//!
+//! Residency is a [`SplitOrderedMap`] from page to a monotonically
+//! increasing *insertion stamp*; the eviction victim is the live entry with
+//! the smallest stamp — exactly the queue front of the sequential
+//! [`crate::FifoCache`]. Driven from one thread this cache is
+//! operation-for-operation identical to the sequential FIFO (a unit test
+//! and the conform sweep pin this); driven from many threads, individual
+//! operations stay lock-free and the conform oracle checks the aggregate
+//! hit/miss counts against the policy envelope instead of exact equality,
+//! since `access` is a composite of several linearizable steps.
+//!
+//! The checkpoint encoding deliberately matches [`crate::FifoCache`] byte
+//! for byte — `(capacity, len, pages in arrival order)` — so snapshots
+//! taken from either implementation interchange.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::checkpoint::{Checkpoint, CodecError, SnapReader, SnapWriter};
+use crate::policy::{Access, Cache};
+use crate::types::PageId;
+
+use super::split_order::SplitOrderedMap;
+
+/// A concurrently accessible FIFO cache with lock-free operations.
+#[derive(Debug)]
+pub struct LockFreeFifoCache {
+    map: SplitOrderedMap,
+    capacity: AtomicUsize,
+    stamp: AtomicU64,
+}
+
+impl LockFreeFifoCache {
+    /// An empty cache with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        LockFreeFifoCache {
+            map: SplitOrderedMap::new(),
+            capacity: AtomicUsize::new(capacity),
+            stamp: AtomicU64::new(0),
+        }
+    }
+
+    /// Concurrent access path. Lock-free; under contention the miss path's
+    /// evict-then-insert pair is not atomic as a unit (the conform oracle
+    /// accounts for this with envelope checks rather than exact replay).
+    pub fn access_shared(&self, page: PageId) -> Access {
+        if self.map.contains(page) {
+            return Access::Hit;
+        }
+        let cap = self.capacity.load(Ordering::SeqCst);
+        if cap == 0 {
+            return Access::Miss;
+        }
+        let stamp = self.stamp.fetch_add(1, Ordering::SeqCst);
+        if !self.map.insert(page, stamp) {
+            // A racing thread cached it between our probe and insert.
+            return Access::Hit;
+        }
+        while self.map.len() > cap {
+            match self.map.min_by_val() {
+                Some((victim, _)) => {
+                    self.map.remove(victim);
+                }
+                None => break,
+            }
+        }
+        Access::Miss
+    }
+
+    /// Concurrent residency probe.
+    pub fn contains_shared(&self, page: PageId) -> bool {
+        self.map.contains(page)
+    }
+}
+
+impl Cache for LockFreeFifoCache {
+    fn access(&mut self, page: PageId) -> Access {
+        self.access_shared(page)
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.contains_shared(page)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::SeqCst)
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::SeqCst);
+        while self.map.len() > capacity {
+            match self.map.min_by_val() {
+                Some((victim, _)) => {
+                    self.map.remove(victim);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for (page, _) in self.map.entries() {
+            self.map.remove(page);
+        }
+    }
+}
+
+impl Checkpoint for LockFreeFifoCache {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.capacity.load(Ordering::SeqCst));
+        let mut entries = self.map.entries();
+        entries.sort_unstable_by_key(|&(page, stamp)| (stamp, page));
+        w.put_len(entries.len());
+        for (page, _) in entries {
+            w.put_page(page);
+        }
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let capacity = r.get_usize()?;
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(CodecError::Invalid("FIFO resident count exceeds capacity"));
+        }
+        let map = SplitOrderedMap::new();
+        for stamp in 0..n as u64 {
+            let page = r.get_page()?;
+            if !map.insert(page, stamp) {
+                return Err(CodecError::Invalid("duplicate page in FIFO snapshot"));
+            }
+        }
+        self.map = map;
+        self.capacity.store(capacity, Ordering::SeqCst);
+        self.stamp.store(n as u64, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoCache;
+
+    fn p(v: u64) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn sequential_drive_matches_fifo_exactly() {
+        let mut seq = FifoCache::new(3);
+        let mut conc = LockFreeFifoCache::new(3);
+        let trace: Vec<u64> = (0..500).map(|i| (i * 7 + i / 3) % 11).collect();
+        for &v in &trace {
+            assert_eq!(seq.access(p(v)), conc.access(p(v)), "page {v}");
+            assert_eq!(seq.len(), conc.len());
+        }
+        for v in 0..11 {
+            assert_eq!(seq.contains(p(v)), conc.contains(p(v)), "page {v}");
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_interchange_with_sequential_fifo() {
+        let mut seq = FifoCache::new(4);
+        let mut conc = LockFreeFifoCache::new(4);
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            seq.access(p(v));
+            conc.access(p(v));
+        }
+        let (mut wa, mut wb) = (SnapWriter::new(), SnapWriter::new());
+        seq.save(&mut wa);
+        conc.save(&mut wb);
+        let (ba, bb) = (wa.into_bytes(), wb.into_bytes());
+        assert_eq!(ba, bb, "snapshot encodings diverge");
+        // Cross-load: the sequential snapshot restores the concurrent cache.
+        let mut restored = LockFreeFifoCache::new(0);
+        restored.load(&mut SnapReader::new(&ba)).unwrap();
+        assert_eq!(restored.access(p(7)), Access::Miss);
+        assert_eq!(seq.access(p(7)), Access::Miss);
+        assert_eq!(
+            restored.contains(p(3)),
+            seq.contains(p(3)),
+            "same victim after restore"
+        );
+    }
+
+    #[test]
+    fn resize_and_clear_behave_like_sequential() {
+        let mut c = LockFreeFifoCache::new(4);
+        for v in 1..=4 {
+            c.access(p(v));
+        }
+        c.resize(2);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(p(3)) && c.contains(p(4)), "oldest evicted first");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_streams_through() {
+        let mut c = LockFreeFifoCache::new(0);
+        assert_eq!(c.access(p(1)), Access::Miss);
+        assert_eq!(c.access(p(1)), Access::Miss);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_hammering_never_exceeds_capacity_for_long() {
+        let c = LockFreeFifoCache::new(16);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for v in 0..1000 {
+                        c.access_shared(p((v + t * 13) % 64));
+                    }
+                });
+            }
+        });
+        // Quiescent: the final evict loops have run, so residency is
+        // back inside capacity.
+        assert!(c.len() <= 16, "len {} exceeds capacity", c.len());
+        assert!(c.len() > 0);
+    }
+}

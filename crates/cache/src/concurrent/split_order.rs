@@ -1,0 +1,764 @@
+//! A lock-free split-ordered hash map over an index arena, in safe Rust.
+//!
+//! This is the Shalev–Shavit *split-ordered list* (recursive split-ordering
+//! of one lock-free linked list, a growable bucket array of dummy-node
+//! shortcuts) combined with a Harris linked list (logical deletion via a
+//! mark bit, physical unlink by helping CAS). Three adaptations make it
+//! expressible without `unsafe`:
+//!
+//! * **Index arena, not pointers.** Nodes live in an append-only segmented
+//!   arena and are addressed by `u32` slot index; `next` links are packed
+//!   `tag | mark | index` words in a single `AtomicU64`. Out-of-thin-air
+//!   reads are impossible — a stale index at worst addresses a *different
+//!   valid node*, which the version tag and epoch scheme rule out.
+//! * **Version-tagged links.** Every successful CAS on a `next` word bumps
+//!   a 31-bit tag, so an ABA'd index (slot recycled and relinked) can never
+//!   satisfy a stale compare — the compare covers the tag.
+//! * **Epoch-based slot recycling.** Unlinked slots are retired through
+//!   [`super::epoch::EpochGc`] and recycled only two epochs later, so no
+//!   pinned traversal can walk into a re-initialized slot (see `epoch.rs`
+//!   for the reachability argument).
+//!
+//! Every shared load/CAS that another thread can race with is announced to
+//! the schedule explorer via [`super::yieldpoint::yield_point`]; the
+//! explorer in `parapage-conform` enumerates interleavings of
+//! insert/find/delete/resize over exactly these points.
+//!
+//! The map stores `(PageId, u64)` entries; callers that want a set pass
+//! `0` values. Keys are split-ordered by bit-reversed FNV-1a hash, with the
+//! page id as tiebreak so full-hash collisions stay distinct entries.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::checkpoint::fnv1a64;
+use crate::types::PageId;
+
+use super::epoch::{EpochGc, EpochGuard};
+use super::sabotage;
+use super::yieldpoint::yield_point;
+
+/// Sentinel index meaning "no node".
+const NIL: u32 = u32::MAX;
+
+const IDX_MASK: u64 = 0xFFFF_FFFF;
+const MARK_BIT: u64 = 1 << 32;
+const TAG_SHIFT: u32 = 33;
+
+#[inline]
+fn pack(idx: u32, mark: bool, tag: u64) -> u64 {
+    ((tag & 0x7FFF_FFFF) << TAG_SHIFT) | (u64::from(mark) * MARK_BIT) | u64::from(idx)
+}
+
+#[inline]
+fn idx_of(w: u64) -> u32 {
+    (w & IDX_MASK) as u32
+}
+
+#[inline]
+fn is_marked(w: u64) -> bool {
+    w & MARK_BIT != 0
+}
+
+#[inline]
+fn tag_of(w: u64) -> u64 {
+    w >> TAG_SHIFT
+}
+
+/// Successor word to install over `old`: same shape, tag bumped.
+#[inline]
+fn bump(old: u64, idx: u32, mark: bool) -> u64 {
+    pack(idx, mark, tag_of(old).wrapping_add(1))
+}
+
+/// One arena node. All fields are atomics because a node's slot is shared
+/// the instant its index is published by a CAS.
+struct Node {
+    /// Split-order key: bit-reversed hash; low bit 1 = regular, 0 = dummy.
+    so_key: AtomicU64,
+    /// The page id for regular nodes, the bucket number for dummies.
+    page: AtomicU64,
+    /// Caller value (FIFO stamp, etc.); 0 for dummies.
+    val: AtomicU64,
+    /// Packed `tag | mark | index` successor word. Doubles as the free-list
+    /// link while the slot is awaiting reuse.
+    next: AtomicU64,
+}
+
+impl Node {
+    fn empty() -> Node {
+        Node {
+            so_key: AtomicU64::new(0),
+            page: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+            next: AtomicU64::new(pack(NIL, false, 0)),
+        }
+    }
+}
+
+/// Append-only segmented growable array: segment `i` holds `BASE << i`
+/// elements, so capacity doubles per segment and an index maps to its
+/// segment with integer log arithmetic. Segments materialize on first
+/// touch through `OnceLock`, so growth takes no lock and never moves
+/// existing elements (indices stay stable forever — the property the
+/// whole design leans on).
+struct Segmented<T> {
+    segs: Box<[OnceLock<Box<[T]>>]>,
+    base: usize,
+}
+
+impl<T> Segmented<T> {
+    fn new(base: usize, segs: usize) -> Self {
+        Segmented {
+            segs: (0..segs).map(|_| OnceLock::new()).collect(),
+            base,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.base * ((1usize << self.segs.len()) - 1)
+    }
+
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        let q = idx / self.base + 1;
+        let seg = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let start = self.base * ((1 << seg) - 1);
+        (seg, idx - start)
+    }
+
+    #[inline]
+    fn get(&self, idx: usize, init: impl Fn() -> T) -> &T {
+        let (seg, off) = self.locate(idx);
+        let boxed = self.segs[seg].get_or_init(|| {
+            let len = self.base << seg;
+            (0..len).map(|_| init()).collect()
+        });
+        &boxed[off]
+    }
+}
+
+/// A lock-free split-ordered hash map from [`PageId`] to `u64`.
+///
+/// `insert`/`remove`/`contains`/`get` are lock-free; [`grow`]
+/// (bucket-array doubling — the structure's *resize*) is a single CAS with
+/// lazy, lock-free bucket initialization. Slot recycling goes through
+/// epoch-based reclamation.
+///
+/// [`grow`]: SplitOrderedMap::grow
+pub struct SplitOrderedMap {
+    nodes: Segmented<Node>,
+    /// Bump cursor over arena slots that have never been used.
+    fresh: AtomicUsize,
+    /// Treiber free stack of recycled slots (tagged head word).
+    free_head: AtomicU64,
+    /// Bucket array: slot `b` holds `dummy_index + 1`, 0 while uninitialized.
+    buckets: Segmented<AtomicU64>,
+    /// Current bucket count (power of two).
+    bucket_count: AtomicUsize,
+    /// Live regular entries.
+    size: AtomicUsize,
+    /// Grow when `size >= bucket_count * load_factor`.
+    load_factor: usize,
+    gc: EpochGc,
+}
+
+impl std::fmt::Debug for SplitOrderedMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitOrderedMap")
+            .field("len", &self.len())
+            .field("buckets", &self.bucket_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Position returned by the internal Harris `find`.
+struct FindPos {
+    /// Predecessor node index (always a reachable, at-the-time-unmarked
+    /// node: a dummy at minimum).
+    prev: u32,
+    /// The exact word read from `prev.next` (its tag arms the caller's CAS
+    /// against concurrent mutation).
+    prev_word: u64,
+    /// Successor index (`NIL` at end of chain).
+    curr: u32,
+    /// Whether `curr` holds exactly the sought key.
+    found: bool,
+}
+
+fn so_regular(hash: u64) -> u64 {
+    (hash | (1 << 63)).reverse_bits()
+}
+
+fn so_dummy(bucket: u64) -> u64 {
+    bucket.reverse_bits()
+}
+
+fn hash_page(page: PageId) -> u64 {
+    fnv1a64(&page.0.to_le_bytes())
+}
+
+/// Bucket `b`'s parent: `b` with its most-significant set bit cleared.
+fn parent_bucket(b: usize) -> usize {
+    debug_assert!(b > 0);
+    b ^ (1 << (usize::BITS - 1 - b.leading_zeros()))
+}
+
+impl Default for SplitOrderedMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SplitOrderedMap {
+    /// An empty map with 2 initial buckets and load factor 4.
+    pub fn new() -> Self {
+        SplitOrderedMap::with_config(2, 4)
+    }
+
+    /// An empty map with `initial_buckets` (rounded up to a power of two)
+    /// and the given `load_factor` (grow when `size >= buckets * load`).
+    /// Tiny values of both make bucket splits easy to provoke, which the
+    /// schedule explorer uses to exercise the resize path.
+    pub fn with_config(initial_buckets: usize, load_factor: usize) -> Self {
+        let map = SplitOrderedMap {
+            nodes: Segmented::new(64, 24),
+            fresh: AtomicUsize::new(0),
+            free_head: AtomicU64::new(pack(NIL, false, 0)),
+            buckets: Segmented::new(8, 18),
+            bucket_count: AtomicUsize::new(initial_buckets.next_power_of_two().max(1)),
+            size: AtomicUsize::new(0),
+            load_factor: load_factor.max(1),
+            gc: EpochGc::new(),
+        };
+        // Bucket 0's dummy is the head of the whole chain; materialize it
+        // eagerly so every traversal has an anchor.
+        let head = map.alloc_node(so_dummy(0), 0, 0, NIL);
+        map.bucket_slot(0)
+            .store(u64::from(head) + 1, Ordering::SeqCst);
+        map
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::SeqCst)
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current bucket count (a power of two).
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_count.load(Ordering::SeqCst)
+    }
+
+    fn node(&self, idx: u32) -> &Node {
+        self.nodes.get(idx as usize, Node::empty)
+    }
+
+    fn bucket_slot(&self, b: usize) -> &AtomicU64 {
+        self.buckets.get(b, || AtomicU64::new(0))
+    }
+
+    /// Pops a recycled slot or bumps the fresh cursor; initializes fields.
+    fn alloc_node(&self, so_key: u64, page: u64, val: u64, next_idx: u32) -> u32 {
+        let idx = match self.pop_free() {
+            Some(i) => i,
+            None => {
+                // Opportunistically drain the epoch limbo into the free
+                // stack before extending the arena.
+                for freed in self.gc.try_advance() {
+                    self.push_free(freed);
+                }
+                match self.pop_free() {
+                    Some(i) => i,
+                    None => {
+                        let i = self.fresh.fetch_add(1, Ordering::SeqCst);
+                        assert!(
+                            i < self.nodes.capacity() && i < NIL as usize,
+                            "split-ordered arena exhausted"
+                        );
+                        i as u32
+                    }
+                }
+            }
+        };
+        let n = self.node(idx);
+        n.so_key.store(so_key, Ordering::SeqCst);
+        n.page.store(page, Ordering::SeqCst);
+        n.val.store(val, Ordering::SeqCst);
+        let old = n.next.load(Ordering::SeqCst);
+        n.next.store(bump(old, next_idx, false), Ordering::SeqCst);
+        idx
+    }
+
+    fn push_free(&self, idx: u32) {
+        loop {
+            let head = self.free_head.load(Ordering::SeqCst);
+            let n = self.node(idx);
+            let old = n.next.load(Ordering::SeqCst);
+            n.next
+                .store(bump(old, idx_of(head), false), Ordering::SeqCst);
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    bump(head, idx, false),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop_free(&self) -> Option<u32> {
+        loop {
+            let head = self.free_head.load(Ordering::SeqCst);
+            let idx = idx_of(head);
+            if idx == NIL {
+                return None;
+            }
+            let next = idx_of(self.node(idx).next.load(Ordering::SeqCst));
+            if self
+                .free_head
+                .compare_exchange(
+                    head,
+                    bump(head, next, false),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Returns the dummy-node index anchoring `bucket`, initializing the
+    /// bucket (and, recursively, its parent chain) on first touch.
+    fn ensure_bucket(&self, bucket: usize, guard: &EpochGuard<'_>) -> u32 {
+        let slot = self.bucket_slot(bucket);
+        let v = slot.load(Ordering::SeqCst);
+        if v != 0 {
+            return (v - 1) as u32;
+        }
+        debug_assert!(bucket > 0, "bucket 0 is initialized at construction");
+        let parent = self.ensure_bucket(parent_bucket(bucket), guard);
+        let key = so_dummy(bucket as u64);
+        let dummy = if sabotage::resize_fence_dropped() {
+            // SEEDED BUG (off by default): publish a detached dummy without
+            // splicing it into the parent chain — the "resize fence" that
+            // makes a fresh bucket's shortcut agree with the total list
+            // order is dropped. Entries that sorted into this bucket's key
+            // range before the split become unreachable through the new
+            // shortcut: a lost update the schedule explorer must catch.
+            self.alloc_node(key, bucket as u64, 0, NIL)
+        } else {
+            self.insert_at(parent, key, bucket as u64, 0, guard).1
+        };
+        yield_point("bucket-publish");
+        match slot.compare_exchange(0, u64::from(dummy) + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => dummy,
+            // Another thread initialized the bucket first. Without the
+            // seeded bug both threads resolved the same keyed dummy node,
+            // so the values agree; with it, drop ours on the floor (it is
+            // detached by construction).
+            Err(raced) => (raced - 1) as u32,
+        }
+    }
+
+    /// Harris find over the chain anchored at `start`: locates the first
+    /// node with `(so_key, page) >= (key, page_key)`, physically unlinking
+    /// any marked node it steps over (and retiring its slot).
+    fn find(&self, start: u32, key: u64, page_key: u64, guard: &EpochGuard<'_>) -> FindPos {
+        'retry: loop {
+            let mut prev = start;
+            yield_point("find-head");
+            let mut prev_word = self.node(prev).next.load(Ordering::SeqCst);
+            loop {
+                let curr = idx_of(prev_word);
+                if curr == NIL {
+                    return FindPos {
+                        prev,
+                        prev_word,
+                        curr: NIL,
+                        found: false,
+                    };
+                }
+                let curr_node = self.node(curr);
+                yield_point("find-next");
+                let curr_word = curr_node.next.load(Ordering::SeqCst);
+                let ckey = curr_node.so_key.load(Ordering::SeqCst);
+                let cpage = curr_node.page.load(Ordering::SeqCst);
+                if is_marked(curr_word) {
+                    // Help: physically unlink the logically deleted node.
+                    yield_point("unlink-cas");
+                    let next_word = bump(prev_word, idx_of(curr_word), false);
+                    match self.node(prev).next.compare_exchange(
+                        prev_word,
+                        next_word,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => {
+                            // Unique unlinker (the tag made the transition
+                            // exclusive): this thread owns the retirement.
+                            self.gc.retire(guard, curr);
+                            prev_word = next_word;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                if (ckey, cpage) >= (key, page_key) {
+                    return FindPos {
+                        prev,
+                        prev_word,
+                        curr,
+                        found: ckey == key && cpage == page_key,
+                    };
+                }
+                prev = curr;
+                prev_word = curr_word;
+            }
+        }
+    }
+
+    /// Inserts `(key, page, val)` into the chain anchored at `start`.
+    /// Returns `(inserted, node_index)` — on a duplicate key the existing
+    /// node's index comes back (what bucket initialization needs).
+    fn insert_at(
+        &self,
+        start: u32,
+        key: u64,
+        page: u64,
+        val: u64,
+        guard: &EpochGuard<'_>,
+    ) -> (bool, u32) {
+        loop {
+            let pos = self.find(start, key, page, guard);
+            if pos.found {
+                return (false, pos.curr);
+            }
+            let fresh = self.alloc_node(key, page, val, pos.curr);
+            yield_point("insert-cas");
+            if self
+                .node(pos.prev)
+                .next
+                .compare_exchange(
+                    pos.prev_word,
+                    bump(pos.prev_word, fresh, false),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                return (true, fresh);
+            }
+            // Never published: the slot can go straight back.
+            self.push_free(fresh);
+        }
+    }
+
+    /// The dummy anchoring `page`'s bucket under the current bucket count.
+    fn bucket_for(&self, hash: u64, guard: &EpochGuard<'_>) -> u32 {
+        let b = (hash as usize) & (self.bucket_count() - 1);
+        self.ensure_bucket(b, guard)
+    }
+
+    /// Inserts `page -> val`; returns `false` (without updating the value)
+    /// when the page is already present.
+    pub fn insert(&self, page: PageId, val: u64) -> bool {
+        let guard = self.gc.pin();
+        let hash = hash_page(page);
+        let start = self.bucket_for(hash, &guard);
+        let (inserted, _) = self.insert_at(start, so_regular(hash), page.0, val, &guard);
+        if inserted {
+            self.size.fetch_add(1, Ordering::SeqCst);
+            drop(guard);
+            self.maybe_grow();
+        }
+        inserted
+    }
+
+    /// Removes `page`; returns `false` when it was not present.
+    pub fn remove(&self, page: PageId) -> bool {
+        let guard = self.gc.pin();
+        let hash = hash_page(page);
+        let key = so_regular(hash);
+        loop {
+            let start = self.bucket_for(hash, &guard);
+            let pos = self.find(start, key, page.0, &guard);
+            if !pos.found {
+                return false;
+            }
+            let curr_node = self.node(pos.curr);
+            yield_point("mark-load");
+            let curr_word = curr_node.next.load(Ordering::SeqCst);
+            if is_marked(curr_word) {
+                continue; // someone else is removing it; re-find (helps)
+            }
+            yield_point("mark-cas");
+            if curr_node
+                .next
+                .compare_exchange(
+                    curr_word,
+                    bump(curr_word, idx_of(curr_word), true),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                // Logical removal done; this op owns the size decrement.
+                self.size.fetch_sub(1, Ordering::SeqCst);
+                // Attempt the physical unlink; on failure the next find
+                // through this chain helps and retires instead.
+                yield_point("remove-unlink");
+                if self
+                    .node(pos.prev)
+                    .next
+                    .compare_exchange(
+                        pos.prev_word,
+                        bump(pos.prev_word, idx_of(curr_word), false),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    self.gc.retire(&guard, pos.curr);
+                }
+                return true;
+            }
+        }
+    }
+
+    /// Whether `page` is present.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.get(page).is_some()
+    }
+
+    /// The value stored for `page`, if present.
+    pub fn get(&self, page: PageId) -> Option<u64> {
+        let guard = self.gc.pin();
+        let hash = hash_page(page);
+        let start = self.bucket_for(hash, &guard);
+        let pos = self.find(start, so_regular(hash), page.0, &guard);
+        if pos.found {
+            Some(self.node(pos.curr).val.load(Ordering::SeqCst))
+        } else {
+            None
+        }
+    }
+
+    /// Doubles the bucket count (the structure's *resize*). Buckets
+    /// themselves materialize lazily on first access. No-op at the bucket
+    /// segment capacity limit.
+    pub fn grow(&self) {
+        loop {
+            let cur = self.bucket_count();
+            if cur * 2 > self.buckets.capacity() {
+                return;
+            }
+            yield_point("grow-cas");
+            if self
+                .bucket_count
+                .compare_exchange(cur, cur * 2, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn maybe_grow(&self) {
+        if self.len() >= self.bucket_count().saturating_mul(self.load_factor) {
+            self.grow();
+        }
+    }
+
+    /// Weakly consistent scan of every live entry, sorted by page id.
+    /// Exact when no writer is concurrent (the quiescent snapshots the
+    /// checkpoint path and the test ledgers take).
+    pub fn entries(&self) -> Vec<(PageId, u64)> {
+        let guard = self.gc.pin();
+        let _ = &guard;
+        let head = (self.bucket_slot(0).load(Ordering::SeqCst) - 1) as u32;
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = idx_of(self.node(head).next.load(Ordering::SeqCst));
+        while cur != NIL {
+            let n = self.node(cur);
+            let w = n.next.load(Ordering::SeqCst);
+            let key = n.so_key.load(Ordering::SeqCst);
+            if !is_marked(w) && key & 1 == 1 {
+                out.push((
+                    PageId(n.page.load(Ordering::SeqCst)),
+                    n.val.load(Ordering::SeqCst),
+                ));
+            }
+            cur = idx_of(w);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The live entry with the smallest value (FIFO's eviction victim).
+    /// Weakly consistent under concurrency, exact when quiescent.
+    pub fn min_by_val(&self) -> Option<(PageId, u64)> {
+        self.entries()
+            .into_iter()
+            .min_by_key(|&(page, val)| (val, page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u64) -> PageId {
+        PageId(v)
+    }
+
+    #[test]
+    fn insert_find_remove_round_trip() {
+        let m = SplitOrderedMap::new();
+        assert!(m.is_empty());
+        assert!(m.insert(p(1), 10));
+        assert!(!m.insert(p(1), 99), "duplicate insert must fail");
+        assert!(m.insert(p(2), 20));
+        assert_eq!(m.get(p(1)), Some(10), "value survives duplicate insert");
+        assert_eq!(m.get(p(2)), Some(20));
+        assert_eq!(m.len(), 2);
+        assert!(m.remove(p(1)));
+        assert!(!m.remove(p(1)));
+        assert!(!m.contains(p(1)));
+        assert!(m.contains(p(2)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_membership() {
+        let m = SplitOrderedMap::with_config(1, 2);
+        for v in 0..200 {
+            assert!(m.insert(p(v), v));
+        }
+        assert!(m.bucket_count() > 1, "load factor must have forced splits");
+        for v in 0..200 {
+            assert_eq!(m.get(p(v)), Some(v), "page {v} lost across splits");
+        }
+        assert_eq!(m.len(), 200);
+        let entries = m.entries();
+        assert_eq!(entries.len(), 200);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn explicit_grow_is_idempotent_on_membership() {
+        let m = SplitOrderedMap::new();
+        for v in 0..50 {
+            m.insert(p(v), v);
+        }
+        for _ in 0..5 {
+            m.grow();
+        }
+        for v in 0..50 {
+            assert!(m.contains(p(v)));
+        }
+    }
+
+    #[test]
+    fn removed_slots_are_recycled() {
+        let m = SplitOrderedMap::new();
+        for round in 0..50u64 {
+            for v in 0..20 {
+                m.insert(p(round * 100 + v), v);
+            }
+            for v in 0..20 {
+                m.remove(p(round * 100 + v));
+            }
+        }
+        assert!(m.is_empty());
+        // 1000 inserts with aggressive churn must not burn 1000 fresh
+        // arena slots: recycling has to kick in.
+        assert!(
+            m.fresh.load(Ordering::SeqCst) < 500,
+            "arena grew to {} slots for a 20-entry working set",
+            m.fresh.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn min_by_val_tracks_fifo_order() {
+        let m = SplitOrderedMap::new();
+        m.insert(p(5), 2);
+        m.insert(p(9), 0);
+        m.insert(p(7), 1);
+        assert_eq!(m.min_by_val(), Some((p(9), 0)));
+        m.remove(p(9));
+        assert_eq!(m.min_by_val(), Some((p(7), 1)));
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges_lose_nothing() {
+        let m = SplitOrderedMap::with_config(1, 2);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for v in 0..500 {
+                        assert!(m.insert(p(t * 10_000 + v), v));
+                    }
+                    for v in 0..500 {
+                        assert!(m.contains(p(t * 10_000 + v)));
+                    }
+                    for v in 0..250 {
+                        assert!(m.remove(p(t * 10_000 + v)));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4 * 250);
+        for t in 0..4u64 {
+            for v in 250..500 {
+                assert!(m.contains(p(t * 10_000 + v)));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_single_key_is_exclusive() {
+        // Many threads fight to insert/remove one key; the number of
+        // successful inserts can exceed successful removes by at most the
+        // final presence.
+        let m = SplitOrderedMap::new();
+        let ins = AtomicUsize::new(0);
+        let del = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (m, ins, del) = (&m, &ins, &del);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if m.insert(p(42), 0) {
+                            ins.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if m.remove(p(42)) {
+                            del.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        let (i, d) = (ins.load(Ordering::SeqCst), del.load(Ordering::SeqCst));
+        let present = m.contains(p(42)) as usize;
+        assert_eq!(
+            i,
+            d + present,
+            "inserts {i} vs removes {d} + live {present}"
+        );
+        assert_eq!(m.len(), present);
+    }
+}

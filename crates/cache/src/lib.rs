@@ -23,6 +23,10 @@
 //! * [`sampling`] — SHARDS-style spatially-hashed sampled stack distances,
 //!   approximating the miss curve at a fraction of the cost for long
 //!   traces.
+//! * [`concurrent`] — concurrently-accessible caches behind the same
+//!   [`Cache`] trait: a sharded fine-grained-locking baseline plus a
+//!   lock-free split-ordered hash index with epoch-based reclamation,
+//!   instrumented with yield points for schedule exploration.
 //! * [`window`] — simulation of one *memory box*: run a request sequence
 //!   through an LRU cache of height `h` for a time budget, which is the inner
 //!   loop of every paging algorithm in the paper.
@@ -37,6 +41,7 @@ pub mod arc;
 pub mod belady;
 pub mod checkpoint;
 pub mod clock;
+pub mod concurrent;
 pub mod fenwick;
 pub mod fifo;
 pub mod lfu;
@@ -58,6 +63,7 @@ pub use checkpoint::{
     WAL_RECORD_MAGIC,
 };
 pub use clock::ClockCache;
+pub use concurrent::{LockFreeFifoCache, ShardedCache, ShardedLru, SplitOrderedMap};
 pub use fenwick::Fenwick;
 pub use fifo::FifoCache;
 pub use lfu::LfuCache;

@@ -1,0 +1,149 @@
+//! Property pins for the sharded concurrent cache:
+//!
+//! * a **1-shard** [`ShardedCache`] is indistinguishable — access outcome
+//!   by access outcome *and* snapshot byte by snapshot byte — from the
+//!   sequential cache it wraps, for every checkpointable policy and random
+//!   traces (the degeneracy the whole test story is anchored on);
+//! * with any shard count, driving the sharded cache equals driving each
+//!   shard's sequential twin with the routed subsequence;
+//! * the lock-free FIFO tracks the sequential FIFO op-for-op, snapshot
+//!   bytes included, so their blobs cross-load.
+
+use proptest::prelude::*;
+
+use parapage_cache::{
+    concurrent::shard_capacity, ArcCache, Cache, Checkpoint, ClockCache, FifoCache, LfuCache,
+    LockFreeFifoCache, LruCache, PageId, ShardedCache, SnapReader, SnapWriter, TwoQueueCache,
+};
+
+fn seq_strategy(max_len: usize, universe: u64) -> impl Strategy<Value = Vec<PageId>> {
+    prop::collection::vec((0..universe).prop_map(PageId), 0..max_len)
+}
+
+fn snapshot_bytes<C: Checkpoint>(cache: &C) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    cache.save(&mut w);
+    w.into_bytes()
+}
+
+/// Drives a plain `make(cap)` cache and a 1-shard sharded wrapper over the
+/// same trace, insisting on identical outcomes, identical snapshot bytes,
+/// and that the plain cache's blob loads into the sharded one unchanged.
+fn assert_one_shard_identical<C, F>(
+    name: &str,
+    make: F,
+    cap: usize,
+    seq: &[PageId],
+) -> Result<(), TestCaseError>
+where
+    C: Cache + Checkpoint,
+    F: Fn(usize) -> C,
+{
+    let mut plain = make(cap);
+    let mut sharded = ShardedCache::with_shards_by(cap, 1, &make);
+    prop_assert_eq!(sharded.shard_count(), 1, "{}", name);
+    for &page in seq {
+        prop_assert_eq!(
+            plain.access(page),
+            sharded.access(page),
+            "{} diverged",
+            name
+        );
+    }
+    prop_assert_eq!(plain.len(), sharded.len(), "{}", name);
+    let (a, b) = (snapshot_bytes(&plain), snapshot_bytes(&sharded));
+    prop_assert_eq!(&a, &b, "{}: snapshot bytes differ", name);
+
+    // Cross-load: the *sequential* blob restores the sharded cache, and the
+    // restored state re-encodes to the same bytes.
+    let mut restored = ShardedCache::with_shards_by(cap, 1, &make);
+    restored
+        .load(&mut SnapReader::new(&a))
+        .map_err(|e| TestCaseError::fail(format!("{name}: cross-load failed: {e}")))?;
+    prop_assert_eq!(snapshot_bytes(&restored), b, "{}: re-encode differs", name);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite 1's headline: for every checkpointable policy, a 1-shard
+    /// sharded cache is byte-identical to the sequential cache it wraps.
+    /// (LIRS is absent only because it does not implement `Checkpoint`.)
+    #[test]
+    fn one_shard_is_byte_identical_for_every_policy(
+        seq in seq_strategy(200, 24),
+        cap in 0usize..10,
+    ) {
+        assert_one_shard_identical("lru", LruCache::new, cap, &seq)?;
+        assert_one_shard_identical("fifo", FifoCache::new, cap, &seq)?;
+        assert_one_shard_identical("clock", ClockCache::new, cap, &seq)?;
+        assert_one_shard_identical("lfu", LfuCache::new, cap, &seq)?;
+        assert_one_shard_identical("arc", ArcCache::new, cap, &seq)?;
+        assert_one_shard_identical("2q", TwoQueueCache::new, cap, &seq)?;
+    }
+
+    /// With any power-of-two shard count, the sharded cache behaves exactly
+    /// like `n` independent sequential caches fed the routed subsequences —
+    /// the router partitions, it never mixes.
+    #[test]
+    fn routing_equals_per_shard_sequential_twins(
+        seq in seq_strategy(300, 32),
+        cap in 0usize..16,
+        shards_exp in 0u32..4,
+    ) {
+        let n = 1usize << shards_exp;
+        let mut sharded = ShardedCache::with_shards(cap, n);
+        let mut twins: Vec<LruCache> =
+            (0..n).map(|i| LruCache::new(shard_capacity(cap, n, i))).collect();
+        for &page in &seq {
+            let i = sharded.shard_of(page);
+            prop_assert_eq!(
+                sharded.access(page),
+                twins[i].access(page),
+                "shard {} diverged on {:?}", i, page
+            );
+        }
+        prop_assert_eq!(sharded.len(), twins.iter().map(Cache::len).sum::<usize>());
+        // The sharded snapshot is exactly the twins' payloads concatenated.
+        let mut w = SnapWriter::new();
+        for t in &twins {
+            t.save(&mut w);
+        }
+        prop_assert_eq!(snapshot_bytes(&sharded), w.into_bytes());
+    }
+
+    /// The lock-free FIFO is a drop-in for the sequential FIFO on any
+    /// single-threaded trace: same outcomes, same residents, and snapshot
+    /// blobs that load into each other.
+    #[test]
+    fn lock_free_fifo_tracks_sequential_fifo(
+        seq in seq_strategy(250, 20),
+        cap in 0usize..12,
+    ) {
+        let mut plain = FifoCache::new(cap);
+        let mut lock_free = LockFreeFifoCache::new(cap);
+        for &page in &seq {
+            prop_assert_eq!(plain.access(page), lock_free.access(page), "{:?}", page);
+        }
+        prop_assert_eq!(plain.len(), lock_free.len());
+        let (a, b) = (snapshot_bytes(&plain), snapshot_bytes(&lock_free));
+        prop_assert_eq!(&a, &b, "snapshot bytes differ");
+
+        // Cross-load both directions, then verify observable agreement.
+        let mut from_plain = LockFreeFifoCache::new(0);
+        from_plain
+            .load(&mut SnapReader::new(&a))
+            .map_err(|e| TestCaseError::fail(format!("fifo blob -> lock-free: {e}")))?;
+        let mut from_lock_free = FifoCache::new(0);
+        from_lock_free
+            .load(&mut SnapReader::new(&b))
+            .map_err(|e| TestCaseError::fail(format!("lock-free blob -> fifo: {e}")))?;
+        for &page in &seq {
+            prop_assert_eq!(from_plain.contains(page), plain.contains(page));
+            prop_assert_eq!(from_lock_free.contains(page), plain.contains(page));
+        }
+        prop_assert_eq!(snapshot_bytes(&from_plain), a);
+        prop_assert_eq!(snapshot_bytes(&from_lock_free), b);
+    }
+}

@@ -20,6 +20,9 @@ use crate::common::run_named_policy_faults;
 
 /// Executes the subcommand.
 pub fn exec(args: &Args) -> Result<(), String> {
+    if args.flag("concurrent") {
+        return exec_concurrent(args);
+    }
     let quick = args.flag("quick");
     let p: usize = args.get("p", 8)?;
     let k: usize = args.get("k", 8 * p)?;
@@ -139,5 +142,140 @@ pub fn exec(args: &Args) -> Result<(), String> {
         return Err(format!("conformance FAILED: {failures} violation(s)"));
     }
     println!("conformance: all checks passed");
+    Ok(())
+}
+
+/// `parapage conform --concurrent`: the concurrent-substrate sweep.
+///
+/// Four sections:
+///
+/// 1. **Schedule exploration (exhaustive)** — DFS over thread
+///    interleavings of the core split-ordered list ops, every history
+///    checked for linearizability against a sequential set model.
+/// 2. **Schedule exploration (random)** — seeded random sampling past the
+///    DFS frontier of the deeper scenarios.
+/// 3. **Sharded stress cells** — real OS threads hammering a sharded LRU;
+///    per-shard ledgers replayed exactly against the sequential policy,
+///    aggregate misses checked against the hit/miss envelope.
+/// 4. **Sabotage self-check** — re-enables the seeded dropped-resize-fence
+///    bug and *requires* the explorer to catch it: a harness that cannot
+///    fail proves nothing.
+fn exec_concurrent(args: &Args) -> Result<(), String> {
+    use parapage::cache::concurrent::sabotage;
+
+    let quick = args.flag("quick");
+    let budget: usize = args.get("budget", if quick { 4_000 } else { 24_000 })?;
+    let seed: u64 = args.get("seed", 42)?;
+
+    println!("concurrent conformance: schedule exploration budget {budget}\n");
+    let mut failures = 0usize;
+    let mut details: Vec<String> = Vec::new();
+
+    // 1 + 2. Schedule exploration, exhaustive then random.
+    let mut distinct_total = 0usize;
+    let mut t = Table::new([
+        "scenario",
+        "mode",
+        "executions",
+        "distinct",
+        "complete",
+        "verdict",
+    ]);
+    for (mode_name, mode, share) in [
+        ("exhaustive", ExploreMode::Exhaustive, budget),
+        ("random", ExploreMode::Random { seed }, budget / 4),
+    ] {
+        for r in explore_all(share, mode) {
+            distinct_total += r.distinct;
+            if !r.passed() {
+                failures += r.violations.len();
+                for v in &r.violations {
+                    details.push(v.clone());
+                }
+            }
+            t.row([
+                r.scenario.clone(),
+                mode_name.to_string(),
+                r.executions.to_string(),
+                r.distinct.to_string(),
+                r.complete.to_string(),
+                if r.passed() {
+                    "pass".to_string()
+                } else {
+                    format!("FAIL ({})", r.violations.len())
+                },
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("distinct interleavings: {distinct_total}");
+    if !quick && distinct_total < 10_000 {
+        failures += 1;
+        details.push(format!(
+            "exploration coverage: only {distinct_total} distinct interleavings (need >= 10000)"
+        ));
+    }
+
+    // 3. Sharded stress cells.
+    println!("\nsharded stress (ledger replay + hit/miss envelope):");
+    let ops = if quick { 400 } else { 2_000 };
+    let mut t = Table::new(["threads", "capacity", "shards", "ops", "misses", "verdict"]);
+    for (threads, capacity, shards) in [(2, 64, 4), (4, 128, 8), (8, 256, 8)] {
+        let cell = check_concurrent_cache(threads, ops, capacity, shards, seed);
+        if !cell.passed() {
+            failures += cell.violations.len();
+            for v in &cell.violations {
+                details.push(format!("stress {threads}x{ops}/{shards}: {v}"));
+            }
+        }
+        t.row([
+            threads.to_string(),
+            capacity.to_string(),
+            shards.to_string(),
+            cell.ops.to_string(),
+            cell.misses.to_string(),
+            if cell.passed() {
+                "pass".to_string()
+            } else {
+                format!("FAIL ({})", cell.violations.len())
+            },
+        ]);
+    }
+    println!("{t}");
+
+    // 4. Sabotage self-check: the harness must catch the seeded bug.
+    let grow_fence = scenarios()
+        .into_iter()
+        .find(|s| s.name == "grow-fence")
+        .expect("built-in grow-fence scenario");
+    sabotage::set_resize_fence_bug(true);
+    let sabotaged = explore(&grow_fence, 400, ExploreMode::Exhaustive);
+    sabotage::set_resize_fence_bug(false);
+    if sabotaged.violations.is_empty() {
+        failures += 1;
+        details.push(format!(
+            "sabotage self-check: explorer missed the seeded resize-fence bug \
+             in {} executions — the harness cannot fail",
+            sabotaged.executions
+        ));
+        println!("\nsabotage self-check: FAIL (seeded bug not caught)");
+    } else {
+        println!(
+            "\nsabotage self-check: pass (seeded resize-fence bug caught in {} \
+             of {} executions)",
+            sabotaged.violations.len().min(sabotaged.executions),
+            sabotaged.executions
+        );
+    }
+
+    for d in &details {
+        println!("  violation: {d}");
+    }
+    if failures > 0 {
+        return Err(format!(
+            "concurrent conformance FAILED: {failures} violation(s)"
+        ));
+    }
+    println!("concurrent conformance: all checks passed");
     Ok(())
 }

@@ -47,6 +47,12 @@ COMMANDS:
                  engine-vs-reference sweep, and competitive-ratio
                  guardrails: [--quick] [--p N --k N --s N --len N]
                  [--diff N] [--seed N] (exits non-zero on any violation)
+                 --concurrent switches to the concurrent-substrate sweep:
+                 schedule exploration (exhaustive + random) over the
+                 lock-free list ops with linearization checking, sharded
+                 stress cells with exact ledger replay, and a sabotage
+                 self-check that must catch a seeded concurrency bug:
+                 [--budget N] [--quick] [--seed N]
   chaos        crash-recovery matrix: every policy x fault scenario x
                  deterministic crashpoint, run under the checkpointing
                  supervisor; recovered runs must be byte-identical to

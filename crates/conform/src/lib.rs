@@ -30,6 +30,12 @@
 //!   from snapshots (the `parapage-sched` supervisor) must reproduce the
 //!   uninterrupted run's result and trace byte-for-byte; drives the
 //!   `parapage chaos` matrix.
+//! * [`schedules`] — loom-style schedule exploration for the concurrent
+//!   cache substrate: a token-passing virtual scheduler over the yield
+//!   points instrumented into `parapage-cache::concurrent`, DFS/random
+//!   enumeration of thread interleavings, and a Wing–Gong linearization
+//!   checker over the recorded histories; drives
+//!   `parapage conform --concurrent`.
 //! * [`walchaos`] — WAL corruption chaos: torn tails, partial tails,
 //!   mid-record truncations, bit flips, and stale-base/newer-log pairings
 //!   inflicted on the incremental checkpoint log at recovery time must be
@@ -47,6 +53,7 @@ pub mod envelope;
 pub mod oracle;
 pub mod reference;
 pub mod resume;
+pub mod schedules;
 pub mod walchaos;
 
 pub use checkers::{
@@ -62,6 +69,10 @@ pub use oracle::{
 pub use reference::run_reference;
 pub use resume::{
     boxed_policy, check_corruption_rejection, check_resume, resume_matrix, ResumeCell,
+};
+pub use schedules::{
+    check_concurrent_cache, check_linearizable, check_sharded_ledgers, explore, explore_all,
+    run_schedule, scenarios, ConcurrentCell, ExploreMode, ExploreReport, Op, OpRecord, Scenario,
 };
 pub use walchaos::{
     check_wal_corruption, wal_chaos_matrix, SabotagedStore, WalCell, WalCorruption,

@@ -1,0 +1,841 @@
+//! Loom-style schedule exploration for the concurrent cache substrate.
+//!
+//! The lock-free structures in `parapage-cache::concurrent` announce every
+//! racy shared-memory access through a thread-local yield hook. This module
+//! turns those hooks into a *virtual scheduler*: worker threads run real
+//! code on real OS threads, but a token-passing controller admits exactly
+//! one thread at a time and decides, at every yield point, which thread
+//! runs next. An execution is therefore a deterministic function of the
+//! controller's choice sequence — which makes interleavings enumerable,
+//! replayable, and shrinkable.
+//!
+//! Three pieces:
+//!
+//! * **The scheduler** ([`run_schedule`]) — token passing over a
+//!   mutex/condvar pair. A worker owns the token from the moment the
+//!   controller grants it until its next yield point (or completion); no
+//!   two workers ever run concurrently, so each step is atomic *between*
+//!   instrumented access points — exactly the granularity at which the
+//!   substrate's CASes can interleave.
+//! * **The explorer** ([`explore`]) — depth-first enumeration of the
+//!   choice tree by prefix replay: run with a plan, record every decision
+//!   point and its fan-out, then increment the deepest incrementable
+//!   choice like an odometer and replay. Every execution visits a distinct
+//!   interleaving; the walk is exhaustive when the budget allows. A
+//!   random-sampling mode covers schedules past any feasible DFS horizon.
+//! * **The linearization checker** ([`check_linearizable`]) — Wing–Gong
+//!   style: each operation records an `(invoked, returned)` interval from
+//!   a global clock; the checker searches for a total order, consistent
+//!   with real-time precedence, under which a sequential set model
+//!   reproduces every observed result. No such order = a real concurrency
+//!   bug, reported with the exact choice sequence that triggers it.
+//!
+//! Soundness of the approach rests on two facts, both load-bearing enough
+//! to state: (1) the substrate is deterministic between yield points (no
+//! wall-clock, no RNG, no unannounced shared access), so a choice sequence
+//! fully determines an execution — replay *is* reproduction; and (2) the
+//! yield points cover every shared load/CAS a racing thread can observe,
+//! so the explored interleavings are exactly the sequentially-consistent
+//! executions of the instrumented operations.
+//!
+//! The module also carries the conform-side checks for the sharded
+//! baseline: per-shard ledgers replayed exactly against the sequential
+//! policy ([`check_sharded_ledgers`]) and an aggregate hit/miss envelope
+//! in the spirit of `envelope.rs` ([`check_concurrent_cache`]).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use parapage_cache::concurrent::{clear_yield_hook, set_yield_hook};
+use parapage_cache::{Access, Cache, LruCache, PageId, ShardedLru, SplitOrderedMap};
+
+/// One operation a virtual thread performs against the shared map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a key (value = the op's invocation stamp).
+    Insert(u64),
+    /// Remove a key.
+    Remove(u64),
+    /// Membership probe.
+    Contains(u64),
+    /// Double the bucket array (the structure's resize).
+    Grow,
+}
+
+/// A completed operation with its real-time interval and observed result.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Virtual thread that ran the op.
+    pub thread: usize,
+    /// The operation.
+    pub op: Op,
+    /// Observed boolean result (`true` for [`Op::Grow`]).
+    pub result: bool,
+    /// Global-clock stamp at invocation.
+    pub invoked: u64,
+    /// Global-clock stamp at return.
+    pub returned: u64,
+}
+
+/// A schedule-exploration scenario: a shared map configuration, sequential
+/// setup, and one op script per virtual thread.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Initial bucket count for the map under test.
+    pub initial_buckets: usize,
+    /// Load factor (keep high so growth happens only via [`Op::Grow`]).
+    pub load_factor: usize,
+    /// Ops applied sequentially before the threads start.
+    pub setup: Vec<Op>,
+    /// Per-thread op scripts (2–3 threads is the sweet spot).
+    pub threads: Vec<Vec<Op>>,
+}
+
+/// How [`explore`] walks the schedule space.
+#[derive(Clone, Copy, Debug)]
+pub enum ExploreMode {
+    /// Depth-first enumeration; every execution is a distinct interleaving.
+    Exhaustive,
+    /// Uniform random sampling of choices with a deterministic seed.
+    Random {
+        /// RNG seed (xorshift64*).
+        seed: u64,
+    },
+}
+
+/// Outcome of exploring one scenario.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Executions performed.
+    pub executions: usize,
+    /// Distinct interleavings visited (equals `executions` when exhaustive).
+    pub distinct: usize,
+    /// Whether the full choice tree was exhausted within the budget.
+    pub complete: bool,
+    /// Linearization violations (capped at [`MAX_REPORTED`] entries).
+    pub violations: Vec<String>,
+}
+
+impl ExploreReport {
+    /// `true` when no violation was found.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Cap on retained violation strings per report.
+pub const MAX_REPORTED: usize = 5;
+
+/// Fair-mode fallback threshold: a single execution taking more scheduler
+/// grants than this is treated as a livelock symptom; the controller
+/// switches to round-robin (which is fair, so lock-free ops terminate) and
+/// the execution is flagged.
+const STEP_CAP: usize = 100_000;
+
+// ---------------------------------------------------------------------------
+// Token-passing virtual scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Turn {
+    Controller,
+    Worker(usize),
+}
+
+struct SchedState {
+    turn: Turn,
+    finished: Box<[bool]>,
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(workers: usize) -> Sched {
+        Sched {
+            state: Mutex::new(SchedState {
+                turn: Turn::Controller,
+                finished: vec![false; workers].into_boxed_slice(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Worker `i`: block until first granted the token.
+    fn acquire(&self, i: usize) {
+        let mut st = self.lock();
+        while st.turn != Turn::Worker(i) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Worker `i`: hand the token back and block until granted again.
+    fn yield_back(&self, i: usize) {
+        let mut st = self.lock();
+        st.turn = Turn::Controller;
+        self.cv.notify_all();
+        while st.turn != Turn::Worker(i) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Worker `i`: mark done and hand the token back for good.
+    fn finish(&self, i: usize) {
+        let mut st = self.lock();
+        st.finished[i] = true;
+        st.turn = Turn::Controller;
+        self.cv.notify_all();
+    }
+
+    /// Controller: grant the token to worker `c`, block until it comes back.
+    fn grant(&self, c: usize) {
+        let mut st = self.lock();
+        st.turn = Turn::Worker(c);
+        self.cv.notify_all();
+        while st.turn != Turn::Controller {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        let st = self.lock();
+        (0..st.finished.len())
+            .filter(|&i| !st.finished[i])
+            .collect()
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Runs `scenario` once under the virtual scheduler.
+///
+/// `plan` fixes the first `plan.len()` choices (indices into the runnable
+/// list); past the plan, choices come from `rng` when given, else default
+/// to index 0 (the DFS left spine). Returns the full decision trace and
+/// the linearization verdict for the execution's history.
+pub fn run_schedule(
+    scenario: &Scenario,
+    plan: &[usize],
+    mut rng: Option<&mut u64>,
+) -> (Vec<(usize, usize)>, Vec<OpRecord>, Option<String>) {
+    let map = SplitOrderedMap::with_config(scenario.initial_buckets, scenario.load_factor);
+    let mut initial = Vec::new();
+    for &op in &scenario.setup {
+        apply_real(&map, op, 0);
+        apply_model(&mut initial, op);
+    }
+    let sched = Arc::new(Sched::new(scenario.threads.len()));
+    let clock = AtomicU64::new(1);
+    let history: Mutex<Vec<OpRecord>> = Mutex::new(Vec::new());
+    let mut taken: Vec<(usize, usize)> = Vec::new();
+    let mut livelock = false;
+
+    std::thread::scope(|s| {
+        for (i, script) in scenario.threads.iter().enumerate() {
+            let sched_arc = Arc::clone(&sched);
+            let (map, clock, history) = (&map, &clock, &history);
+            s.spawn(move || {
+                sched_arc.acquire(i);
+                let hook_sched = Arc::clone(&sched_arc);
+                set_yield_hook(Box::new(move |_| hook_sched.yield_back(i)));
+                for &op in script {
+                    let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                    let result = apply_real(map, op, invoked);
+                    let returned = clock.fetch_add(1, Ordering::SeqCst);
+                    history
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(OpRecord {
+                            thread: i,
+                            op,
+                            result,
+                            invoked,
+                            returned,
+                        });
+                }
+                clear_yield_hook();
+                sched_arc.finish(i);
+            });
+        }
+        // Controller loop: one grant per scheduling step.
+        let mut step = 0usize;
+        loop {
+            let runnable = sched.runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            step += 1;
+            let pick = if step > STEP_CAP {
+                livelock = true;
+                step % runnable.len() // fair round-robin drain
+            } else if taken.len() < plan.len() {
+                plan[taken.len()].min(runnable.len() - 1)
+            } else {
+                match rng.as_deref_mut() {
+                    Some(seed) => (xorshift(seed) % runnable.len() as u64) as usize,
+                    None => 0,
+                }
+            };
+            if !livelock {
+                taken.push((pick, runnable.len()));
+            }
+            sched.grant(runnable[pick]);
+        }
+    });
+
+    let mut history = history.into_inner().unwrap_or_else(|e| e.into_inner());
+    history.sort_by_key(|r| r.invoked);
+    let mut violation = check_linearizable(&initial, &history)
+        .err()
+        .map(|v| format!("{}: {v} [choices {:?}]", scenario.name, choices_of(&taken)));
+    if livelock && violation.is_none() {
+        violation = Some(format!(
+            "{}: exceeded {STEP_CAP} scheduler steps (livelock suspected)",
+            scenario.name
+        ));
+    }
+    (taken, history, violation)
+}
+
+fn choices_of(taken: &[(usize, usize)]) -> Vec<usize> {
+    taken.iter().map(|&(c, _)| c).collect()
+}
+
+fn apply_real(map: &SplitOrderedMap, op: Op, stamp: u64) -> bool {
+    match op {
+        Op::Insert(k) => map.insert(PageId(k), stamp),
+        Op::Remove(k) => map.remove(PageId(k)),
+        Op::Contains(k) => map.contains(PageId(k)),
+        Op::Grow => {
+            map.grow();
+            true
+        }
+    }
+}
+
+/// Applies `op` to a sorted-vec set model (setup only: results unchecked).
+fn apply_model(state: &mut Vec<u64>, op: Op) {
+    match op {
+        Op::Insert(k) => {
+            if let Err(at) = state.binary_search(&k) {
+                state.insert(at, k);
+            }
+        }
+        Op::Remove(k) => {
+            if let Ok(at) = state.binary_search(&k) {
+                state.remove(at);
+            }
+        }
+        Op::Contains(_) | Op::Grow => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wing–Gong linearization check
+// ---------------------------------------------------------------------------
+
+/// Checks that `history` (ops with real-time intervals) is linearizable
+/// against a sequential set model starting from `initial` membership.
+///
+/// Searches for a total order of the ops that (a) respects real-time
+/// precedence — if op `a` returned before op `b` was invoked, `a` comes
+/// first — and (b) makes every observed result correct under sequential
+/// set semantics. Memoized on (linearized-op set, membership state), which
+/// keeps the search polynomial-ish for the short histories the explorer
+/// generates.
+pub fn check_linearizable(initial: &[u64], history: &[OpRecord]) -> Result<(), String> {
+    assert!(
+        history.len() <= 63,
+        "history too long for the bitmask search"
+    );
+    // Canonicalize keys to bit positions for a compact memo key.
+    let mut keys: Vec<u64> = initial.to_vec();
+    for r in history {
+        if let Op::Insert(k) | Op::Remove(k) | Op::Contains(k) = r.op {
+            keys.push(k);
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    assert!(
+        keys.len() <= 64,
+        "too many distinct keys for the bitmask model"
+    );
+    let bit = |k: u64| keys.binary_search(&k).expect("key was collected") as u32;
+    let mut state0: u64 = 0;
+    for &k in initial {
+        state0 |= 1 << bit(k);
+    }
+
+    let full: u64 = if history.is_empty() {
+        0
+    } else {
+        (1u64 << history.len()) - 1
+    };
+    let mut memo: HashSet<(u64, u64)> = HashSet::new();
+    let mut stack = vec![(0u64, state0)];
+    while let Some((done, state)) = stack.pop() {
+        if done == full {
+            return Ok(());
+        }
+        if !memo.insert((done, state)) {
+            continue;
+        }
+        // An undone op is a linearization candidate iff no *other* undone
+        // op returned before it was invoked.
+        let min_ret = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done & (1 << i) == 0)
+            .map(|(_, r)| r.returned)
+            .min()
+            .unwrap_or(u64::MAX);
+        for (i, r) in history.iter().enumerate() {
+            if done & (1 << i) != 0 || r.invoked > min_ret {
+                continue;
+            }
+            let next = match r.op {
+                Op::Insert(k) => {
+                    let b = 1u64 << bit(k);
+                    if (state & b == 0) != r.result {
+                        continue;
+                    }
+                    Some(state | b)
+                }
+                Op::Remove(k) => {
+                    let b = 1u64 << bit(k);
+                    if (state & b != 0) != r.result {
+                        continue;
+                    }
+                    Some(state & !b)
+                }
+                Op::Contains(k) => {
+                    if (state & (1u64 << bit(k)) != 0) != r.result {
+                        continue;
+                    }
+                    Some(state)
+                }
+                Op::Grow => Some(state),
+            };
+            if let Some(ns) = next {
+                stack.push((done | (1 << i), ns));
+            }
+        }
+    }
+    Err(format!(
+        "no linearization explains the history: {:?}",
+        history
+            .iter()
+            .map(|r| format!(
+                "T{} {:?}={} @[{},{}]",
+                r.thread, r.op, r.result, r.invoked, r.returned
+            ))
+            .collect::<Vec<_>>()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Odometer increment over a decision trace: the next unexplored DFS plan,
+/// or `None` when the whole tree is exhausted.
+fn next_plan(taken: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut prefix = taken.to_vec();
+    while let Some((c, n)) = prefix.pop() {
+        if c + 1 < n {
+            let mut plan = choices_of(&prefix);
+            plan.push(c + 1);
+            return Some(plan);
+        }
+    }
+    None
+}
+
+/// Explores `scenario` for at most `budget` executions under `mode`.
+pub fn explore(scenario: &Scenario, budget: usize, mode: ExploreMode) -> ExploreReport {
+    let mut report = ExploreReport {
+        scenario: scenario.name.to_string(),
+        executions: 0,
+        distinct: 0,
+        complete: false,
+        violations: Vec::new(),
+    };
+    match mode {
+        ExploreMode::Exhaustive => {
+            let mut plan: Vec<usize> = Vec::new();
+            loop {
+                if report.executions >= budget {
+                    return report;
+                }
+                let (taken, _, violation) = run_schedule(scenario, &plan, None);
+                report.executions += 1;
+                report.distinct += 1;
+                if let Some(v) = violation {
+                    if report.violations.len() < MAX_REPORTED {
+                        report.violations.push(v);
+                    }
+                }
+                match next_plan(&taken) {
+                    Some(p) => plan = p,
+                    None => {
+                        report.complete = true;
+                        return report;
+                    }
+                }
+            }
+        }
+        ExploreMode::Random { seed } => {
+            let mut rng = seed.max(1);
+            let mut seen: HashSet<Vec<usize>> = HashSet::new();
+            for _ in 0..budget {
+                let (taken, _, violation) = run_schedule(scenario, &[], Some(&mut rng));
+                report.executions += 1;
+                if seen.insert(choices_of(&taken)) {
+                    report.distinct += 1;
+                }
+                if let Some(v) = violation {
+                    if report.violations.len() < MAX_REPORTED {
+                        report.violations.push(v);
+                    }
+                }
+            }
+            report
+        }
+    }
+}
+
+/// The built-in scenario suite covering the core list operations
+/// (insert / find / delete / resize) under 2–3 virtual threads.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "insert-insert-contested",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![],
+            threads: vec![
+                vec![Op::Insert(1), Op::Insert(2)],
+                vec![Op::Insert(1), Op::Contains(2)],
+            ],
+        },
+        Scenario {
+            name: "insert-remove-contested",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![Op::Insert(7)],
+            threads: vec![
+                vec![Op::Remove(7), Op::Insert(7)],
+                vec![Op::Remove(7), Op::Contains(7)],
+            ],
+        },
+        Scenario {
+            name: "grow-fence",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![Op::Insert(1), Op::Insert(2), Op::Insert(3), Op::Insert(4)],
+            threads: vec![
+                vec![Op::Insert(5), Op::Contains(3)],
+                vec![Op::Grow, Op::Contains(1), Op::Contains(2)],
+                vec![Op::Contains(4), Op::Remove(2)],
+            ],
+        },
+        Scenario {
+            name: "triple-mixed",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![Op::Insert(10)],
+            threads: vec![
+                vec![Op::Insert(11), Op::Remove(10)],
+                vec![Op::Contains(10), Op::Insert(12)],
+                vec![Op::Remove(11), Op::Contains(12)],
+            ],
+        },
+    ]
+}
+
+/// Explores every built-in scenario, splitting `budget` across them.
+/// Budget a small scenario exhausts without spending rolls over to the
+/// deeper trees, so the whole allowance turns into distinct interleavings.
+pub fn explore_all(budget: usize, mode: ExploreMode) -> Vec<ExploreReport> {
+    let all = scenarios();
+    let mut remaining = budget;
+    let mut reports = Vec::with_capacity(all.len());
+    for (i, sc) in all.iter().enumerate() {
+        let share = (remaining / (all.len() - i)).max(1);
+        let report = explore(sc, share, mode);
+        remaining = remaining.saturating_sub(report.executions);
+        reports.push(report);
+    }
+    reports
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-baseline history checks
+// ---------------------------------------------------------------------------
+
+/// Replays each shard's access ledger through a fresh sequential LRU of the
+/// same capacity; any diverging outcome is a violation. This is the exact
+/// (not envelope) check: the shard lock serialized the accesses, so the
+/// ledger order *is* a linearization and must reproduce bit-for-bit.
+pub fn check_sharded_ledgers(
+    shard_caps: &[usize],
+    ledgers: &[Vec<(PageId, Access)>],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, ledger) in ledgers.iter().enumerate() {
+        let mut twin = LruCache::new(shard_caps[i]);
+        for (at, &(page, outcome)) in ledger.iter().enumerate() {
+            let expect = twin.access(page);
+            if expect != outcome {
+                violations.push(format!(
+                    "shard {i} op {at}: page {} observed {outcome:?}, sequential replay says {expect:?}",
+                    page.0
+                ));
+                break;
+            }
+        }
+    }
+    violations
+}
+
+/// Outcome of one concurrent-cache stress cell.
+#[derive(Clone, Debug)]
+pub struct ConcurrentCell {
+    /// Total accesses performed.
+    pub ops: usize,
+    /// Aggregate misses observed across all threads.
+    pub misses: usize,
+    /// Violations from ledger replay and the hit/miss envelope.
+    pub violations: Vec<String>,
+}
+
+impl ConcurrentCell {
+    /// `true` when the cell is violation-free.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Hammers one [`ShardedLru`] from `threads` real OS threads and checks the
+/// history two ways: exact per-shard ledger replay, and an aggregate
+/// hit/miss envelope — total misses must be at least the cold-start floor
+/// (every distinct page faults once) and at most the sequential
+/// worst-case over any serialization (each thread's private trace run
+/// alone), mirroring the loose-guardrail style of `envelope.rs`.
+pub fn check_concurrent_cache(
+    threads: usize,
+    ops_per_thread: usize,
+    capacity: usize,
+    shards: usize,
+    seed: u64,
+) -> ConcurrentCell {
+    let cache = ShardedLru::with_shards(capacity, shards);
+    cache.set_ledger_recording(true);
+    let traces: Vec<Vec<PageId>> = (0..threads as u64)
+        .map(|t| {
+            let mut s = seed.wrapping_add(t).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..ops_per_thread)
+                .map(|_| PageId(xorshift(&mut s) % (2 * capacity.max(1)) as u64))
+                .collect()
+        })
+        .collect();
+    let miss_count = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for trace in &traces {
+            let (cache, miss_count) = (&cache, &miss_count);
+            s.spawn(move || {
+                for &page in trace {
+                    if !cache.access_shared(page).is_hit() {
+                        miss_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    let misses = miss_count.load(Ordering::SeqCst) as usize;
+    let mut violations = check_sharded_ledgers(&cache.shard_capacities(), &cache.take_ledgers());
+
+    let distinct: HashSet<PageId> = traces.iter().flatten().copied().collect();
+    if misses < distinct.len() {
+        violations.push(format!(
+            "envelope: {misses} misses below the cold-start floor of {} distinct pages",
+            distinct.len()
+        ));
+    }
+    // Upper envelope: interleaving can only *pollute* a shard relative to
+    // each thread running alone, never help every thread at once; the sum
+    // of solo-run misses bounds any serialization from above only loosely,
+    // so allow the full op count as the hard ceiling and flag crossings of
+    // the solo sum as suspicious only when they also exceed it.
+    let solo_sum: usize = traces
+        .iter()
+        .map(|trace| {
+            let mut solo = ShardedLru::with_shards(capacity, shards);
+            trace.iter().filter(|&&p| !solo.access(p).is_hit()).count()
+        })
+        .sum();
+    let ceiling = solo_sum.max(distinct.len()) + threads * ops_per_thread / 4;
+    if misses > ceiling {
+        violations.push(format!(
+            "envelope: {misses} misses exceed ceiling {ceiling} (solo sum {solo_sum})"
+        ));
+    }
+    ConcurrentCell {
+        ops: threads * ops_per_thread,
+        misses,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odometer_walks_the_tree_in_order() {
+        assert_eq!(next_plan(&[(0, 2), (1, 2)]), Some(vec![1]));
+        assert_eq!(next_plan(&[(0, 2), (0, 3)]), Some(vec![0, 1]));
+        assert_eq!(next_plan(&[(1, 2), (2, 3)]), None);
+        assert_eq!(next_plan(&[(0, 1)]), None);
+        assert_eq!(next_plan(&[]), None);
+    }
+
+    #[test]
+    fn linearizable_history_accepted() {
+        // T0: insert(1) true, overlapping T1: contains(1) — either result
+        // is linearizable while they overlap.
+        for observed in [true, false] {
+            let h = vec![
+                OpRecord {
+                    thread: 0,
+                    op: Op::Insert(1),
+                    result: true,
+                    invoked: 1,
+                    returned: 4,
+                },
+                OpRecord {
+                    thread: 1,
+                    op: Op::Contains(1),
+                    result: observed,
+                    invoked: 2,
+                    returned: 3,
+                },
+            ];
+            assert!(check_linearizable(&[], &h).is_ok(), "observed={observed}");
+        }
+    }
+
+    #[test]
+    fn non_linearizable_history_rejected() {
+        // contains(1) returned false strictly *after* insert(1) returned
+        // true: no legal order explains it.
+        let h = vec![
+            OpRecord {
+                thread: 0,
+                op: Op::Insert(1),
+                result: true,
+                invoked: 1,
+                returned: 2,
+            },
+            OpRecord {
+                thread: 1,
+                op: Op::Contains(1),
+                result: false,
+                invoked: 3,
+                returned: 4,
+            },
+        ];
+        assert!(check_linearizable(&[], &h).is_err());
+    }
+
+    #[test]
+    fn lost_update_history_rejected() {
+        // Both inserts of the same absent key report success with disjoint
+        // intervals — impossible for a set.
+        let h = vec![
+            OpRecord {
+                thread: 0,
+                op: Op::Insert(5),
+                result: true,
+                invoked: 1,
+                returned: 2,
+            },
+            OpRecord {
+                thread: 1,
+                op: Op::Insert(5),
+                result: true,
+                invoked: 3,
+                returned: 4,
+            },
+        ];
+        assert!(check_linearizable(&[], &h).is_err());
+    }
+
+    #[test]
+    fn exhaustive_exploration_of_a_small_scenario_is_clean() {
+        let sc = Scenario {
+            name: "tiny",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![],
+            threads: vec![vec![Op::Insert(1)], vec![Op::Insert(1)]],
+        };
+        let report = explore(&sc, 50_000, ExploreMode::Exhaustive);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.complete, "tiny scenario must exhaust");
+        assert!(report.distinct >= 2, "at least two interleavings exist");
+    }
+
+    #[test]
+    fn random_sampling_is_clean_and_deterministic() {
+        let sc = &scenarios()[1];
+        let a = explore(sc, 60, ExploreMode::Random { seed: 9 });
+        let b = explore(sc, 60, ExploreMode::Random { seed: 9 });
+        assert!(a.passed(), "{:?}", a.violations);
+        assert_eq!(a.distinct, b.distinct, "same seed, same walk");
+        assert!(
+            a.distinct > 10,
+            "sampling found only {} schedules",
+            a.distinct
+        );
+    }
+
+    #[test]
+    fn sharded_ledger_replay_flags_a_forged_history() {
+        let caps = vec![2];
+        let forged = vec![vec![
+            (PageId(1), Access::Miss),
+            (PageId(1), Access::Miss), // second access must be a hit
+        ]];
+        let v = check_sharded_ledgers(&caps, &forged);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("shard 0 op 1"), "{}", v[0]);
+    }
+
+    #[test]
+    fn concurrent_cache_cell_passes() {
+        let cell = check_concurrent_cache(4, 300, 64, 4, 42);
+        assert!(cell.passed(), "{:?}", cell.violations);
+        assert_eq!(cell.ops, 1200);
+        assert!(cell.misses >= 1, "a cold cache must miss");
+    }
+}

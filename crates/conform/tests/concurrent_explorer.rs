@@ -1,0 +1,58 @@
+//! Acceptance sweep for the schedule explorer: the built-in scenario suite
+//! must yield at least 10^4 distinct interleavings of the core list ops
+//! (insert / find / delete / resize) with zero linearization violations.
+
+use parapage_conform::{explore, explore_all, scenarios, ExploreMode};
+
+#[test]
+fn explorer_enumerates_ten_thousand_clean_interleavings() {
+    let reports = explore_all(12_000, ExploreMode::Exhaustive);
+    let mut distinct = 0usize;
+    for r in &reports {
+        assert!(
+            r.passed(),
+            "{}: {} violations, first: {}",
+            r.scenario,
+            r.violations.len(),
+            r.violations[0]
+        );
+        distinct += r.distinct;
+    }
+    assert!(
+        distinct >= 10_000,
+        "only {distinct} distinct interleavings across the suite"
+    );
+}
+
+#[test]
+fn random_sampling_scales_past_the_dfs_frontier() {
+    // The grow-fence scenario has three threads and a deep tree; random
+    // sampling must keep finding *new* schedules where DFS alone would
+    // crawl the left spine.
+    let sc = scenarios()
+        .into_iter()
+        .find(|s| s.name == "grow-fence")
+        .unwrap();
+    let r = explore(&sc, 300, ExploreMode::Random { seed: 1234 });
+    assert!(r.passed(), "{:?}", r.violations);
+    assert!(
+        r.distinct * 10 >= r.executions * 9,
+        "random walk collapsed: {} distinct in {} executions",
+        r.distinct,
+        r.executions
+    );
+}
+
+#[test]
+fn every_builtin_scenario_passes_a_bounded_exhaustive_sweep() {
+    for sc in scenarios() {
+        let r = explore(&sc, 500, ExploreMode::Exhaustive);
+        assert!(r.passed(), "{}: {:?}", r.scenario, r.violations);
+        assert!(
+            r.distinct >= 100,
+            "{}: only {} schedules",
+            r.scenario,
+            r.distinct
+        );
+    }
+}

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use parapage_cache::LruCache;
+use parapage_cache::{LruCache, ShardedLru};
 use parapage_conform::{boxed_policy, check_replay, check_resume, CONFORM_POLICIES};
 use parapage_core::ModelParams;
 use parapage_sched::{
@@ -228,6 +228,73 @@ proptest! {
         prop_assert!(
             trace_violations.is_empty(),
             "{} crash at tick {}/{}: {:?}",
+            policy, crash, baseline_ticks, trace_violations
+        );
+    }
+
+    /// The WAL resume equivalence extends to the *sharded* concurrent
+    /// cache: with every per-processor cache a 4-shard `ShardedLru`, a
+    /// crash-and-recover run under epoch WAL checkpoints reproduces the
+    /// uninterrupted sharded run byte-for-byte — the concatenated shard
+    /// snapshot travels through base + delta and back without loss.
+    #[test]
+    fn wal_resume_with_sharded_cache_is_equivalent(
+        p in 1usize..5,
+        kexp in 1u32..4,
+        len in 8usize..100,
+        seed in 0u64..1_000_000,
+        sel in 0usize..6,
+        crash_frac in 0.0f64..1.0,
+    ) {
+        let k = p.next_power_of_two() << kexp;
+        let params = ModelParams::new(p, k, 6);
+        let seqs = workload_for(p, k, len, 0, seed);
+        let policy = CONFORM_POLICIES[sel % CONFORM_POLICIES.len()];
+        let plan = FaultPlan::none();
+        let opts = EngineOpts::default();
+        let make_cache = |_| ShardedLru::with_shards(0, 4);
+
+        let mut alloc = boxed_policy(policy, &params, seed, false).unwrap();
+        let mut engine =
+            Engine::new(&mut *alloc, &seqs, &params, &opts, &plan, make_cache);
+        let mut baseline_trace = TraceRecorder::new();
+        loop {
+            match engine.step(&mut *alloc, &mut baseline_trace) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("engine errored: {e}"))),
+            }
+        }
+        let baseline_ticks = engine.ticks();
+        let baseline = engine.into_result(&*alloc);
+        let crash = ((baseline_ticks as f64 * crash_frac) as u64).clamp(1, baseline_ticks);
+
+        let sup_opts = SupervisorOpts {
+            epoch_ticks: 8,
+            max_retries: 3,
+            backoff_base: std::time::Duration::ZERO,
+            wal: true,
+            full_snapshot_every: 4,
+            ..SupervisorOpts::default()
+        };
+        let mut recovered_trace = TraceRecorder::new();
+        let report = Supervisor::new(sup_opts)
+            .run(
+                &seqs,
+                &params,
+                &opts,
+                &plan,
+                &CrashPlan::at_ticks(vec![crash]),
+                || boxed_policy(policy, &params, seed, false).unwrap(),
+                make_cache,
+                &mut recovered_trace,
+            )
+            .map_err(|e| TestCaseError::fail(format!("{policy}: sharded recovery failed: {e}")))?;
+        prop_assert_eq!(&report.result, &baseline, "{} diverged on sharded cache", policy);
+        let trace_violations = check_replay(baseline_trace.events(), recovered_trace.events());
+        prop_assert!(
+            trace_violations.is_empty(),
+            "{} sharded crash at tick {}/{}: {:?}",
             policy, crash, baseline_ticks, trace_violations
         );
     }

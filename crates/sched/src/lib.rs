@@ -54,8 +54,8 @@ pub mod trace;
 pub mod wal;
 
 pub use engine::{
-    run_engine, run_engine_faults, run_engine_traced, run_engine_with, run_engine_with_faults,
-    run_engine_with_faults_traced, Engine, EngineOpts, DEFAULT_MAX_TIME,
+    run_engine, run_engine_faults, run_engine_sharded, run_engine_traced, run_engine_with,
+    run_engine_with_faults, run_engine_with_faults_traced, Engine, EngineOpts, DEFAULT_MAX_TIME,
 };
 pub use error::EngineError;
 pub use fault::FaultPlan;

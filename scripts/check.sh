@@ -20,6 +20,9 @@ cargo test -q -p rayon
 echo "==> parapage conform --quick"
 cargo run -q -p parapage-cli --release -- conform --quick
 
+echo "==> parapage conform --concurrent --quick (schedule exploration)"
+cargo run -q -p parapage-cli --release -- conform --concurrent --quick
+
 echo "==> parapage chaos --quick (crash-recovery matrix)"
 cargo run -q -p parapage-cli --release -- chaos --quick
 
