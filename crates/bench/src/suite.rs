@@ -517,7 +517,10 @@ fn entry_concurrent_lockfree(quick: bool, seed: u64) -> EntryOut {
     for (u, (i, p, r)) in outs.iter().enumerate() {
         d.write(&format!("unit={u} inserted={i} present={p} removed={r}"));
     }
-    d.write(&format!("len={} buckets={}", map.len(), map.bucket_count()));
+    // bucket_count() stays out of the digest: grows trigger on transient
+    // global-size peaks, which are schedule-dependent across pool widths.
+    // len and the per-unit counters are fixed by the disjoint key ranges.
+    d.write(&format!("len={}", map.len()));
     EntryOut::plain(UNITS * per, d.finish())
 }
 

@@ -12,8 +12,10 @@
 //!
 //! * every operation **pins** the global epoch for its duration
 //!   ([`EpochGc::pin`] → [`EpochGuard`]);
-//! * an unlinked node's slot is **retired** into the limbo bin of the epoch
-//!   it was retired in ([`EpochGc::retire`]);
+//! * an unlinked node's slot is **retired** into the limbo bin of the
+//!   *global* epoch at retire time ([`EpochGc::retire`]) — not the
+//!   retirer's pinned epoch, which can lag the global by one, because pins
+//!   at the current epoch never block advancement;
 //! * a bin is handed back for reuse only once the global epoch has advanced
 //!   **two** steps past it — which requires every pinned operation to have
 //!   unpinned in between, so no live traversal can still hold the index.
@@ -28,9 +30,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Maximum simultaneously pinned operations. A claim beyond this many
-/// concurrent guards falls back to a "pinned forever" sentinel that simply
-/// blocks epoch advancement until contention drops — safe, merely slower to
-/// recycle.
+/// concurrent guards spins (with periodic OS yields) until one of the
+/// bounded in-flight operations drops its guard and frees a slot — an
+/// operation is never allowed to run unpinned, because the epoch could
+/// then advance twice under it and recycle indices it still holds.
 const PARTICIPANTS: usize = 128;
 
 /// Epoch-based slot-index reclamation domain; one per lock-free structure.
@@ -55,9 +58,7 @@ impl std::fmt::Debug for EpochGc {
 /// An active pin on the epoch; dropping it unpins.
 pub struct EpochGuard<'a> {
     gc: &'a EpochGc,
-    /// Index into `gc.slots`, or `usize::MAX` when no slot was free (the
-    /// overflow path: we pinned nothing, so we must have pinned *before*
-    /// claiming — see [`EpochGc::pin`]).
+    /// Index of the participant slot this guard occupies in `gc.slots`.
     slot: usize,
     /// The epoch this guard pinned.
     epoch: u64,
@@ -72,9 +73,7 @@ impl EpochGuard<'_> {
 
 impl Drop for EpochGuard<'_> {
     fn drop(&mut self) {
-        if self.slot != usize::MAX {
-            self.gc.slots[self.slot].store(0, Ordering::SeqCst);
-        }
+        self.gc.slots[self.slot].store(0, Ordering::SeqCst);
     }
 }
 
@@ -100,7 +99,14 @@ impl EpochGc {
     }
 
     /// Pins the current epoch for the duration of the returned guard.
+    ///
+    /// When all [`PARTICIPANTS`] slots are occupied this waits (spinning,
+    /// with periodic OS yields) for one to free rather than proceeding
+    /// unpinned: an unpinned operation would leave the epoch free to
+    /// advance twice mid-traversal and recycle indices it still holds.
+    /// Every guard belongs to a bounded operation, so a slot frees soon.
     pub fn pin(&self) -> EpochGuard<'_> {
+        let mut spins = 0u32;
         loop {
             let e = self.epoch.load(Ordering::SeqCst);
             // Claim the first free participant slot. The store must land
@@ -118,15 +124,13 @@ impl EpochGc {
                 }
             }
             if claimed == usize::MAX {
-                // All slots busy: run unpinned but conservatively — report
-                // the epoch we saw; with every slot occupied the epoch
-                // cannot advance two steps under us anyway, because those
-                // 128 pinned guards gate it.
-                return EpochGuard {
-                    gc: self,
-                    slot: usize::MAX,
-                    epoch: e,
-                };
+                spins = spins.wrapping_add(1);
+                if spins % 64 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
             }
             if self.epoch.load(Ordering::SeqCst) == e {
                 return EpochGuard {
@@ -141,9 +145,23 @@ impl EpochGc {
     }
 
     /// Retires `idx` under `guard`: the slot joins the limbo bin of the
-    /// guard's epoch and becomes recyclable two epochs later.
+    /// **current global** epoch and becomes recyclable two advances later.
+    ///
+    /// Binning by the global epoch rather than `guard`'s pinned epoch is
+    /// load-bearing: a pin can lag the global by one (pins at the current
+    /// epoch never block [`Self::try_advance`]). If a thread pinned at `E`
+    /// retired into bin `E` while the global was already `E+1`, the very
+    /// next advance — which a reader pinned at `E+1` does *not* block —
+    /// would hand the slot back while that reader may still hold the index
+    /// it read before the unlink. Binning at the global epoch instead puts
+    /// the slot a full two advances away from any such reader.
     pub fn retire(&self, guard: &EpochGuard<'_>, idx: u32) {
-        let bin = (guard.epoch() % 3) as usize;
+        let e = if super::sabotage::stale_epoch_retire() {
+            guard.epoch()
+        } else {
+            self.epoch.load(Ordering::SeqCst)
+        };
+        let bin = (e % 3) as usize;
         self.limbo[bin]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -219,6 +237,57 @@ mod tests {
         assert!(gc.try_advance().is_empty() && gc.current_epoch() == 1);
         drop(g);
         assert!(gc.try_advance().is_empty() && gc.current_epoch() == 2);
+    }
+
+    /// The review-pinning regression for retire binning: a pin can lag the
+    /// global epoch by one, and retiring into the *pin's* bin would let the
+    /// very next advance free the slot under a reader pinned at the newer
+    /// epoch. Retiring must bin by the global epoch instead.
+    #[test]
+    fn stale_pin_retire_bins_by_global_epoch() {
+        let gc = EpochGc::new();
+        // `stale` pins at epoch 0, but pins at the current epoch never
+        // block advancement: 0 -> 1.
+        let stale = gc.pin();
+        assert!(gc.try_advance().is_empty());
+        assert_eq!(gc.current_epoch(), 1);
+        // A reader pins at 1 and (conceptually) reads slot 7's index.
+        let reader = gc.pin();
+        assert_eq!(reader.epoch(), 1);
+        // The stale-pinned thread unlinks and retires slot 7 while the
+        // global is already 1. Binning by `stale.epoch()` (= 0) would park
+        // it in the bin the next advance frees.
+        gc.retire(&stale, 7);
+        drop(stale);
+        // Advance 1 -> 2 is NOT blocked by `reader` (pinned at current).
+        // Slot 7 must survive it: it was retired at global epoch 1.
+        assert!(gc.try_advance().is_empty());
+        assert_eq!(gc.current_epoch(), 2);
+        assert_eq!(gc.limbo_len(), 1, "slot freed under a live reader");
+        // And `reader` (now one epoch stale) blocks 2 -> 3 until dropped.
+        assert!(gc.try_advance().is_empty());
+        assert_eq!(gc.current_epoch(), 2);
+        drop(reader);
+        assert_eq!(gc.try_advance(), vec![7]);
+    }
+
+    /// Participant overflow must wait for a slot, not run unpinned.
+    #[test]
+    fn overflow_pin_waits_for_a_slot() {
+        let gc = EpochGc::new();
+        let mut held: Vec<EpochGuard<'_>> = (0..PARTICIPANTS).map(|_| gc.pin()).collect();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| gc.pin().epoch());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // With every slot occupied the 129th pin must still be parked;
+            // were it running unpinned it would have returned already.
+            assert!(!h.is_finished(), "pin returned without a slot");
+            held.pop();
+            assert_eq!(h.join().expect("pin thread panicked"), 0);
+        });
+        drop(held);
+        assert!(gc.try_advance().is_empty());
+        assert_eq!(gc.current_epoch(), 1);
     }
 
     #[test]

@@ -59,4 +59,25 @@ pub mod sabotage {
     pub fn resize_fence_dropped() -> bool {
         RESIZE_FENCE_BUG.load(Ordering::SeqCst)
     }
+
+    static STALE_EPOCH_RETIRE_BUG: AtomicBool = AtomicBool::new(false);
+
+    /// Enables/disables the *stale-pin retire* bug: [`super::EpochGc`]
+    /// bins a retired slot by the retiring guard's pinned epoch instead of
+    /// the current global epoch. A pin can lag the global by one (pins at
+    /// the current epoch never block advancement), so the slot lands one
+    /// bin too early and the very next advance recycles it while a reader
+    /// pinned at the newer epoch may still hold the index — the exact
+    /// stale-index/ABA hazard the epoch scheme exists to rule out.
+    ///
+    /// Process-global; same single-process discipline as
+    /// [`set_resize_fence_bug`].
+    pub fn set_stale_epoch_retire_bug(on: bool) {
+        STALE_EPOCH_RETIRE_BUG.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the seeded stale-pin retire bug is currently enabled.
+    pub fn stale_epoch_retire() -> bool {
+        STALE_EPOCH_RETIRE_BUG.load(Ordering::SeqCst)
+    }
 }

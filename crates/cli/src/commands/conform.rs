@@ -157,11 +157,13 @@ pub fn exec(args: &Args) -> Result<(), String> {
 /// 3. **Sharded stress cells** — real OS threads hammering a sharded LRU;
 ///    per-shard ledgers replayed exactly against the sequential policy,
 ///    aggregate misses checked against the hit/miss envelope.
-/// 4. **Sabotage self-check** — re-enables the seeded dropped-resize-fence
-///    bug and *requires* the explorer to catch it: a harness that cannot
-///    fail proves nothing.
+/// 4. **Sabotage self-checks** — re-enables the seeded
+///    dropped-resize-fence bug and *requires* the explorer to catch it,
+///    then re-enables the seeded stale-pin-retire bug and *requires* the
+///    deterministic epoch drive to expose the slot recycled under a live
+///    reader: a harness that cannot fail proves nothing.
 fn exec_concurrent(args: &Args) -> Result<(), String> {
-    use parapage::cache::concurrent::sabotage;
+    use parapage::cache::concurrent::{sabotage, EpochGc};
 
     let quick = args.flag("quick");
     let budget: usize = args.get("budget", if quick { 4_000 } else { 24_000 })?;
@@ -265,6 +267,40 @@ fn exec_concurrent(args: &Args) -> Result<(), String> {
              of {} executions)",
             sabotaged.violations.len().min(sabotaged.executions),
             sabotaged.executions
+        );
+    }
+
+    // 4b. Stale-pin retire self-check: with the seeded bug on, a retire
+    // under a pin that lags the global epoch by one must hand the slot
+    // back on the very next advance, while a reader pinned at the newer
+    // epoch is still live; with the bug off the slot must stay in limbo.
+    let stale_retire_drive = || {
+        let gc = EpochGc::new();
+        let stale = gc.pin();
+        let _ = gc.try_advance(); // 0 -> 1: pins at current never block
+        let reader = gc.pin(); // pinned at 1, "holds" slot 7's index
+        gc.retire(&stale, 7);
+        drop(stale);
+        let freed = gc.try_advance(); // 1 -> 2: not blocked by `reader`
+        drop(reader);
+        freed.contains(&7)
+    };
+    sabotage::set_stale_epoch_retire_bug(true);
+    let buggy_freed_early = stale_retire_drive();
+    sabotage::set_stale_epoch_retire_bug(false);
+    let fixed_freed_early = stale_retire_drive();
+    if !buggy_freed_early || fixed_freed_early {
+        failures += 1;
+        details.push(format!(
+            "stale-retire self-check: seeded bug freed early = \
+             {buggy_freed_early} (want true), fixed binning freed early = \
+             {fixed_freed_early} (want false)"
+        ));
+        println!("stale-retire self-check: FAIL");
+    } else {
+        println!(
+            "stale-retire self-check: pass (seeded stale-pin retire recycles \
+             under a live reader; global-epoch binning does not)"
         );
     }
 

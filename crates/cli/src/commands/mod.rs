@@ -50,8 +50,8 @@ COMMANDS:
                  --concurrent switches to the concurrent-substrate sweep:
                  schedule exploration (exhaustive + random) over the
                  lock-free list ops with linearization checking, sharded
-                 stress cells with exact ledger replay, and a sabotage
-                 self-check that must catch a seeded concurrency bug:
+                 stress cells with exact ledger replay, and sabotage
+                 self-checks that must catch two seeded concurrency bugs:
                  [--budget N] [--quick] [--seed N]
   chaos        crash-recovery matrix: every policy x fault scenario x
                  deterministic crashpoint, run under the checkpointing

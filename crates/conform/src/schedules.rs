@@ -294,9 +294,11 @@ pub fn run_schedule(
                     None => 0,
                 }
             };
-            if !livelock {
-                taken.push((pick, runnable.len()));
-            }
+            // Record every decision, including round-robin picks after the
+            // livelock fallback engages: exhaustive mode's next_plan() does
+            // odometer arithmetic on this trace and Random mode dedups on
+            // it, and both mis-count on a truncated prefix.
+            taken.push((pick, runnable.len()));
             sched.grant(runnable[pick]);
         }
     });
@@ -556,6 +558,24 @@ pub fn scenarios() -> Vec<Scenario> {
                 vec![Op::Insert(5), Op::Contains(3)],
                 vec![Op::Grow, Op::Contains(1), Op::Contains(2)],
                 vec![Op::Contains(4), Op::Remove(2)],
+            ],
+        },
+        // Forces retire-under-a-lagging-pin interleavings: the remover can
+        // pin, lose the token while the churn thread's allocations advance
+        // the global epoch (and drain limbo into the free stack), then
+        // unlink + retire with its pin one epoch stale — all while the
+        // reader thread is parked mid-walk holding the victim's slot index.
+        // In split-order, 4 precedes 2 precedes 1 (reversed-bit keys), so a
+        // recycled node(4) slot mid-walk can derail Contains(2)/Contains(1).
+        Scenario {
+            name: "reclaim-churn",
+            initial_buckets: 1,
+            load_factor: 1 << 20,
+            setup: vec![Op::Insert(4), Op::Insert(2), Op::Insert(1)],
+            threads: vec![
+                vec![Op::Remove(4)],
+                vec![Op::Insert(3), Op::Insert(5)],
+                vec![Op::Contains(2), Op::Contains(1)],
             ],
         },
         Scenario {

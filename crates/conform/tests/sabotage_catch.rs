@@ -7,15 +7,23 @@
 //! process-global: flipping it next to concurrently running explorer tests
 //! would poison them.
 
-use parapage_cache::concurrent::sabotage;
+use std::sync::Mutex;
+
+use parapage_cache::concurrent::{sabotage, EpochGc};
 use parapage_cache::{PageId, SplitOrderedMap};
 use parapage_conform::{explore, scenarios, ExploreMode};
+
+/// Serializes this binary's tests: the sabotage switches are process-global
+/// and the default test harness runs `#[test]`s on parallel threads, so a
+/// clean sweep racing a flipped switch would be poisoned.
+static SABOTAGE_LOCK: Mutex<()> = Mutex::new(());
 
 /// With the fence dropped, a grow makes previously inserted keys (the ones
 /// whose hash routes to a freshly materialized bucket) unreachable: even a
 /// fully sequential drive loses updates.
 #[test]
 fn dropped_resize_fence_loses_updates_sequentially() {
+    let _serial = SABOTAGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     sabotage::set_resize_fence_bug(true);
     let map = SplitOrderedMap::with_config(1, 1 << 20);
     for k in 0..32u64 {
@@ -37,6 +45,7 @@ fn dropped_resize_fence_loses_updates_sequentially() {
 /// demonstrably distinguishes a buggy substrate from a correct one.
 #[test]
 fn explorer_catches_the_seeded_resize_fence_bug() {
+    let _serial = SABOTAGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let grow_fence = scenarios()
         .into_iter()
         .find(|s| s.name == "grow-fence")
@@ -65,4 +74,65 @@ fn explorer_catches_the_seeded_resize_fence_bug() {
         "violation must name the scenario and the reproducing choice \
          sequence, got: {v}"
     );
+}
+
+/// The seeded *stale-pin retire* bug (retire bins by the guard's pinned
+/// epoch instead of the current global epoch) hands a retired slot back
+/// while a reader pinned at the newer epoch still holds its index; the
+/// fixed binning keeps it in limbo until that reader unpins. Exercised
+/// here at the [`EpochGc`] level because the hazard window is exactly one
+/// epoch advance, which this drive reproduces deterministically.
+#[test]
+fn stale_epoch_retire_bug_frees_slots_under_live_readers() {
+    let _serial = SABOTAGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Build the lag: a thread pins at epoch 0, the epoch advances to 1
+    // (pins at the current epoch never block try_advance), and a reader
+    // pins at 1 — conceptually holding slot 7's index read pre-unlink.
+    let drive = |gc: &EpochGc| {
+        let stale = gc.pin();
+        assert!(gc.try_advance().is_empty());
+        assert_eq!(gc.current_epoch(), 1);
+        let reader = gc.pin();
+        gc.retire(&stale, 7);
+        drop(stale);
+        // The next advance is NOT blocked by `reader` (pinned at current).
+        let freed = gc.try_advance();
+        drop(reader);
+        freed
+    };
+
+    sabotage::set_stale_epoch_retire_bug(true);
+    let freed_buggy = drive(&EpochGc::new());
+    sabotage::set_stale_epoch_retire_bug(false);
+    assert_eq!(
+        freed_buggy,
+        vec![7],
+        "the seeded bug failed to recycle the slot under a live reader — \
+         the sabotage switch is dead and the harness self-check proves \
+         nothing"
+    );
+
+    // Fixed binning: the same drive must keep the slot parked until the
+    // reader unpins.
+    let gc = EpochGc::new();
+    assert!(drive(&gc).is_empty(), "fixed retire freed under a live pin");
+    assert_eq!(gc.limbo_len(), 1);
+    assert_eq!(gc.try_advance(), vec![7]);
+}
+
+/// The reclaim-churn scenario drives the full stale-pin shape through the
+/// real map — remover parked mid-operation, churn inserts advancing the
+/// epoch and draining limbo, a reader parked mid-walk — so the explorer
+/// sweeps retire-under-a-lagging-pin interleavings. With the fixed binning
+/// every enumerated schedule must linearize.
+#[test]
+fn reclaim_churn_scenario_sweeps_clean_with_fixed_binning() {
+    let _serial = SABOTAGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sc = scenarios()
+        .into_iter()
+        .find(|s| s.name == "reclaim-churn")
+        .expect("built-in scenario");
+    let r = explore(&sc, 2_000, ExploreMode::Exhaustive);
+    assert!(r.passed(), "{:?}", r.violations);
+    assert!(r.distinct >= 1_000, "only {} schedules", r.distinct);
 }
