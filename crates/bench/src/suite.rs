@@ -23,6 +23,7 @@
 //! | `sweep/envelope`      | Theorem-4 competitive-ratio guardrails     |
 //! | `checkpoint/full-snapshot` | per-epoch full-snapshot encoding cost |
 //! | `checkpoint/wal-delta`| per-epoch incremental WAL delta cost       |
+//! | `server/wire-codec`   | serve protocol frame encode/verify/decode  |
 //! | `concurrent/sharded-access` | pool workers on one shared sharded LRU |
 //! | `concurrent/lockfree-index` | pool workers on one shared lock-free map |
 //!
@@ -438,7 +439,52 @@ fn entry_ckpt_wal(quick: bool, seed: u64) -> EntryOut {
     checkpoint_cost(quick, seed, true)
 }
 
-/// Entry 8: concurrent sharded-cache access. Pool workers hammer one
+/// Entry 8: the serve wire codec — frame encode + digest-chain + decode of
+/// a realistic request/reply mix (Batch frames dominating, as in a drive
+/// run). Single-threaded: it measures codec throughput, not pool scaling,
+/// so it stays out of the speedup aggregate.
+fn entry_wire_codec(quick: bool, seed: u64) -> EntryOut {
+    use parapage_server::protocol::{c2s_chain_seed, Frame, WireState};
+    let frames = if quick { 2_000 } else { 10_000 };
+    let mut tx = WireState::new(c2s_chain_seed());
+    let mut rx = WireState::new(c2s_chain_seed());
+    let mut d = Digest::new();
+    let mut x = seed | 1;
+    for i in 0..frames as u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let frame = match i % 4 {
+            0..=2 => Frame::Batch {
+                batch: i,
+                seqs: (0..4)
+                    .map(|p| {
+                        (0..32)
+                            .map(|j| PageId((x >> 17) ^ ((p * 131 + j) % 256)))
+                            .collect()
+                    })
+                    .collect(),
+            },
+            _ => Frame::BatchDone {
+                batch: i,
+                makespan: x >> 40,
+                hits: x & 0xffff,
+                misses: (x >> 16) & 0xffff,
+                grants: i,
+                digest: x,
+                chain: x.rotate_left(17),
+            },
+        };
+        let mut buf = Vec::new();
+        tx.write_frame(&mut buf, &frame).expect("bench wire write");
+        let back = rx.read_frame(&mut &buf[..]).expect("bench wire read");
+        assert_eq!(back, frame);
+        d.write(&format!("i={i} len={}", buf.len()));
+    }
+    EntryOut::plain(frames, d.finish())
+}
+
+/// Entry 9: concurrent sharded-cache access. Pool workers hammer one
 /// *shared* [`ShardedLru`]; each work unit owns the shards whose index
 /// matches its own (pages are rejection-sampled onto owned shards), so
 /// per-unit hit/miss counts are independent of interleaving and the
@@ -482,7 +528,7 @@ fn entry_concurrent_sharded(quick: bool, seed: u64) -> EntryOut {
     EntryOut::plain(UNITS * per, d.finish())
 }
 
-/// Entry 9: the lock-free split-ordered index under pool-wide churn. Every
+/// Entry 10: the lock-free split-ordered index under pool-wide churn. Every
 /// worker insert/probe/removes over its own disjoint key range of one
 /// shared [`SplitOrderedMap`], so the CAS paths, bucket splits, and epoch
 /// reclamation all see real contention while each unit's observable
@@ -536,6 +582,7 @@ pub fn run_suite(quick: bool, seed: u64, threads_par: usize) -> SuiteReport {
         ("sweep/envelope", true, entry_envelope),
         ("checkpoint/full-snapshot", false, entry_ckpt_full),
         ("checkpoint/wal-delta", false, entry_ckpt_wal),
+        ("server/wire-codec", false, entry_wire_codec),
         ("concurrent/sharded-access", true, entry_concurrent_sharded),
         ("concurrent/lockfree-index", true, entry_concurrent_lockfree),
     ];

@@ -7,11 +7,13 @@ pub mod bench;
 pub mod chaos;
 pub mod compare;
 pub mod conform;
+pub mod drive;
 pub mod faults;
 pub mod gen;
 pub mod green;
 pub mod profile;
 pub mod run;
+pub mod serve;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -68,5 +70,21 @@ COMMANDS:
   analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]
   gen          generate a workload and write it as a trace:
                  --workload NAME --out FILE [--p N --k N --len N --seed N]
+  serve        long-lived multi-tenant paging daemon: tenants stream
+                 page-request batches over a digest-framed wire protocol,
+                 each batch runs under the WAL-checkpointing supervisor
+                 (a tenant crash never takes down the process; migration
+                 and kill orders are absorbed with byte-identical replies):
+                 [--addr 127.0.0.1:7717] [--max-tenants N] [--budget N]
+                 [--epoch-ticks N] [--max-retries N]
+                 (runs until a client sends Shutdown)
+  drive        load driver: replay deterministic request batches from many
+                 concurrent tenants and report throughput and latency
+                 percentiles; spawns an in-process server when --addr is
+                 absent: [--addr HOST:PORT] [--requests N] [--tenants N]
+                 [--batches N] [--p N --k N --s N] [--policy NAME]
+                 [--seed N] [--shards N] [--expect-clean]
+                 (--expect-clean exits non-zero on any protocol error or
+                 tenant restart — the CI serve-smoke gate)
   help         this text
 ";

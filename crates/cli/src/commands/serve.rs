@@ -1,0 +1,49 @@
+//! `parapage serve`: the long-lived multi-tenant paging daemon.
+//!
+//! Binds a TCP listener and serves the digest-framed wire protocol: each
+//! connected tenant streams page-request batches through its own
+//! supervised, WAL-checkpointed engine. Runs until a client sends
+//! `Shutdown`, then prints the final operational counters.
+//!
+//! Flags: `--addr HOST:PORT` (default `127.0.0.1:7717`), `--max-tenants N`,
+//! `--budget N` (per-tenant cumulative request budget, default unlimited),
+//! `--epoch-ticks N` (WAL checkpoint cadence), `--max-retries N` (crash
+//! budget per batch).
+
+use parapage_server::server::{serve, ServeOpts};
+
+use crate::args::Args;
+
+/// Executes the subcommand.
+pub fn exec(args: &Args) -> Result<(), String> {
+    let addr = args
+        .opt("addr")
+        .unwrap_or_else(|| "127.0.0.1:7717".to_string());
+    let defaults = ServeOpts::default();
+    let opts = ServeOpts {
+        max_tenants: args.get("max-tenants", defaults.max_tenants)?,
+        request_budget: args.get("budget", defaults.request_budget)?,
+        epoch_ticks: args.get("epoch-ticks", defaults.epoch_ticks)?,
+        max_retries: args.get("max-retries", defaults.max_retries)?,
+    };
+    let handle = serve(addr.as_str(), opts).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "parapage serve: listening on {} (max {} tenants, epoch every {} ticks)",
+        handle.addr(),
+        opts.max_tenants,
+        opts.epoch_ticks
+    );
+    let stats = handle.join();
+    println!(
+        "parapage serve: shut down | {} tenants, {} batches, {} requests, \
+         {} restarts, {} migrations, {} WAL records, {} checkpoint bytes",
+        stats.tenants,
+        stats.batches,
+        stats.requests,
+        stats.restarts,
+        stats.migrations,
+        stats.wal_records,
+        stats.checkpoint_bytes
+    );
+    Ok(())
+}

@@ -9,6 +9,8 @@
 //! parapage green       --p 8 --k 64 --workload mixed [--seeds 8]
 //! parapage analyze     --trace FILE [--max-cap 256]
 //! parapage gen         --workload mixed --p 8 --k 128 --out FILE
+//! parapage serve       [--addr 127.0.0.1:7717] [--max-tenants 64]
+//! parapage drive       [--requests 100000] [--tenants 4] [--expect-clean]
 //! ```
 //!
 //! Every subcommand prints an aligned table; see `parapage help` for flags.
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
         "faults" => commands::faults::exec(&parsed),
         "green" => commands::green::exec(&parsed),
         "profile" => commands::profile::exec(&parsed),
+        "serve" => commands::serve::exec(&parsed),
+        "drive" => commands::drive::exec(&parsed),
         "analyze" => commands::analyze::exec(&parsed),
         "gen" => commands::gen::exec(&parsed),
         "help" | "--help" | "-h" => {

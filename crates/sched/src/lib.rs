@@ -63,7 +63,10 @@ pub use interleaved::{run_interleaved_partition, run_interleaved_shared, Interle
 pub use metrics::RunResult;
 pub use shared::{run_shared_lru, run_shared_lru_bandwidth};
 pub use snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
-pub use supervisor::{CrashPlan, RecoveryReport, Supervisor, SupervisorError, SupervisorOpts};
+pub use supervisor::{
+    CrashPlan, EpochControl, EpochStatus, RecoveryReport, Supervisor, SupervisorError,
+    SupervisorOpts,
+};
 pub use trace::{DigestSink, NullSink, TraceEvent, TraceRecorder, TraceSink};
 pub use wal::{
     recover, CheckpointStore, MemStore, WalCursor, WalDelta, WalRecovery, WalTruncation,

@@ -168,6 +168,30 @@ impl From<SnapshotError> for SupervisorError {
     }
 }
 
+/// A snapshot of the supervised run's progress, handed to the epoch
+/// control callback of [`Supervisor::run_controlled`] at each epoch
+/// boundary (immediately after that epoch's checkpoint reached the store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochStatus {
+    /// Epochs completed so far (= checkpoints taken), including this one.
+    pub epochs: u64,
+    /// Engine ticks executed so far.
+    pub ticks: u64,
+}
+
+/// What the epoch control callback tells the supervisor to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochControl {
+    /// Keep stepping the current engine.
+    Continue,
+    /// Tear the current engine and policy down and rebuild them from the
+    /// checkpoint just written — a live migration onto a fresh engine via
+    /// the `snapshot()/restore()` path. Not counted as a crash; recovery
+    /// determinism makes the migrated run byte-identical to an
+    /// unmigrated one.
+    Migrate,
+}
+
 /// The outcome of a supervised run that eventually completed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RecoveryReport {
@@ -192,6 +216,10 @@ pub struct RecoveryReport {
     /// (resumed from the last intact record) or an unusable base snapshot
     /// (restarted from scratch).
     pub wal_truncations: u32,
+    /// Live migrations performed: epoch boundaries at which the control
+    /// callback returned [`EpochControl::Migrate`] and the run moved onto
+    /// a freshly built engine restored from the checkpoint just written.
+    pub migrations: u64,
 }
 
 impl RecoveryReport {
@@ -199,12 +227,13 @@ impl RecoveryReport {
     pub fn summary_line(&self) -> String {
         format!(
             "{} | {} ticks, {} epochs, {} crashes ({} resumed), \
-             {} ckpt bytes ({} wal records, {} truncations)",
+             {} migrations, {} ckpt bytes ({} wal records, {} truncations)",
             self.result.summary_line(),
             self.ticks,
             self.epochs,
             self.crashes,
             self.resumes,
+            self.migrations,
             self.checkpoint_bytes,
             self.wal_records,
             self.wal_truncations
@@ -361,10 +390,48 @@ impl Supervisor {
         opts: &EngineOpts,
         faults: &FaultPlan,
         crash_plan: &CrashPlan,
+        policy_factory: impl FnMut() -> Box<dyn BoxAllocator>,
+        cache_factory: impl FnMut(usize) -> C,
+        sink: &mut impl TraceSink,
+        store: &mut dyn CheckpointStore,
+    ) -> Result<RecoveryReport, SupervisorError> {
+        self.run_controlled(
+            seqs,
+            params,
+            opts,
+            faults,
+            crash_plan,
+            policy_factory,
+            cache_factory,
+            sink,
+            store,
+            |_| EpochControl::Continue,
+        )
+    }
+
+    /// Like [`Supervisor::run_with_store`], with an epoch control callback:
+    /// at every epoch boundary, immediately *after* that epoch's checkpoint
+    /// reached the store, `control` inspects the run's [`EpochStatus`] and
+    /// may order [`EpochControl::Migrate`] — the supervisor then discards
+    /// the live engine and policy wholesale and rebuilds both from the
+    /// checkpoint just written, exactly the `snapshot()/restore()` recovery
+    /// path, without burning a retry. This is the live-migration seam the
+    /// `parapage serve` tenant sessions use to move a tenant onto a fresh
+    /// engine mid-run; recovery determinism keeps the migrated run's result
+    /// and trace byte-identical to an unmigrated one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_controlled<C: Cache + Checkpoint>(
+        &self,
+        seqs: &[Vec<PageId>],
+        params: &ModelParams,
+        opts: &EngineOpts,
+        faults: &FaultPlan,
+        crash_plan: &CrashPlan,
         mut policy_factory: impl FnMut() -> Box<dyn BoxAllocator>,
         mut cache_factory: impl FnMut(usize) -> C,
         sink: &mut impl TraceSink,
         store: &mut dyn CheckpointStore,
+        mut control: impl FnMut(EpochStatus) -> EpochControl,
     ) -> Result<RecoveryReport, SupervisorError> {
         let _hook = HookGuard::install(self.opts.silence_panics);
         let mut gate = GatedSink::new(sink);
@@ -375,6 +442,11 @@ impl Supervisor {
         let mut checkpoint_bytes = 0u64;
         let mut wal_records = 0u64;
         let mut wal_truncations = 0u32;
+        let mut migrations = 0u64;
+        // Whether the next attempt follows a crash (and a successful
+        // restore should count as a resume) rather than a migration or the
+        // initial entry.
+        let mut resuming_from_crash = false;
 
         'attempt: loop {
             let mut alloc = policy_factory();
@@ -399,9 +471,10 @@ impl Supervisor {
                     }
                 }
             }
-            if restored && crashes > 0 {
+            if restored && resuming_from_crash {
                 resumes += 1;
             }
+            resuming_from_crash = false;
             // Always re-base after an attempt starts: the first epoch
             // boundary below installs a fresh full snapshot, so records are
             // never appended after a (possibly torn) old log tail.
@@ -451,6 +524,7 @@ impl Supervisor {
                             checkpoint_bytes,
                             wal_records,
                             wal_truncations,
+                            migrations,
                         });
                     }
                     Ok(Ok(Stretch::EpochBoundary)) => {
@@ -475,6 +549,18 @@ impl Supervisor {
                             store.install_base(bytes);
                             engine.reset_wal_mark();
                             epochs_since_base = 0;
+                        }
+                        // The checkpoint for this epoch is durable; let the
+                        // controller migrate onto a fresh engine restored
+                        // from it. Not a crash: no retry burned, no resume
+                        // counted, no backoff slept.
+                        if control(EpochStatus {
+                            epochs,
+                            ticks: engine.ticks(),
+                        }) == EpochControl::Migrate
+                        {
+                            migrations += 1;
+                            continue 'attempt;
                         }
                         continue;
                     }
@@ -503,6 +589,7 @@ impl Supervisor {
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
+                resuming_from_crash = true;
                 continue 'attempt;
             }
         }
@@ -706,6 +793,85 @@ mod tests {
             want_trace,
             "dedup across two crash boundaries must be exact"
         );
+    }
+
+    #[test]
+    fn migration_at_every_epoch_is_byte_identical() {
+        // Satellite for the serve layer: a controller that orders a
+        // migration at every epoch boundary forces the run through the
+        // snapshot()/restore() path dozens of times. Result and trace must
+        // match the uninterrupted run exactly, no crash or resume counted.
+        let seqs = seqs();
+        let (want, want_trace) = uninterrupted(&seqs, &FaultPlan::none());
+        let mut rec = TraceRecorder::new();
+        let mut store = MemStore::new();
+        // Runs are only a few dozen ticks long (a tick is one event, and a
+        // grant window serves many requests), so cut epochs every 4 ticks
+        // to force several migration points.
+        let opts = SupervisorOpts {
+            epoch_ticks: 4,
+            ..tiny_opts()
+        };
+        let report = Supervisor::new(opts)
+            .run_controlled(
+                &seqs,
+                &params(),
+                &EngineOpts::default(),
+                &FaultPlan::none(),
+                &CrashPlan::none(),
+                || Box::new(DetPar::new(&params())),
+                |_| LruCache::new(0),
+                &mut rec,
+                &mut store,
+                |_| EpochControl::Migrate,
+            )
+            .expect("migrated run");
+        assert!(report.migrations > 2, "premise: several epoch boundaries");
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.resumes, 0);
+        assert_eq!(report.result, want, "migrated result must be identical");
+        assert_eq!(rec.into_events(), want_trace, "no duplicate events");
+    }
+
+    #[test]
+    fn migration_composes_with_injected_crashes() {
+        // Migrations and crashes in the same run: the controller migrates
+        // at the second epoch boundary while the crash plan panics nearby.
+        // Both paths rebuild through recovery, so the run stays exact.
+        let seqs = seqs();
+        let (want, want_trace) = uninterrupted(&seqs, &FaultPlan::none());
+        let mut rec = TraceRecorder::new();
+        let mut store = MemStore::new();
+        let mut boundaries = 0u64;
+        let opts = SupervisorOpts {
+            epoch_ticks: 4,
+            ..tiny_opts()
+        };
+        let report = Supervisor::new(opts)
+            .run_controlled(
+                &seqs,
+                &params(),
+                &EngineOpts::default(),
+                &FaultPlan::none(),
+                &CrashPlan::at_ticks(vec![10, 21]),
+                || Box::new(DetPar::new(&params())),
+                |_| LruCache::new(0),
+                &mut rec,
+                &mut store,
+                |_| {
+                    boundaries += 1;
+                    if boundaries == 2 {
+                        EpochControl::Migrate
+                    } else {
+                        EpochControl::Continue
+                    }
+                },
+            )
+            .expect("migrated+crashed run");
+        assert_eq!(report.migrations, 1);
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.result, want);
+        assert_eq!(rec.into_events(), want_trace);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! A blocking protocol client: one TCP connection speaking the framed
+//! request/reply stream, used by the load driver and the protocol tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    c2s_chain_seed, s2c_chain_seed, Frame, TenantConfig, WireError, WireState, PROTO_VERSION,
+};
+
+/// One connection to a `parapage serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    send: WireState,
+    recv: WireState,
+}
+
+impl Client {
+    /// Connects without opening a session (send `Hello` via [`Client::hello`]).
+    ///
+    /// # Errors
+    /// Connection failures, verbatim.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            send: WireState::new(c2s_chain_seed()),
+            recv: WireState::new(s2c_chain_seed()),
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    /// Transport or encode failures as [`WireError`].
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.send.write_frame(&mut self.stream, frame)
+    }
+
+    /// Receives one frame.
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failures as [`WireError`].
+    pub fn recv(&mut self) -> Result<Frame, WireError> {
+        self.recv.read_frame(&mut self.stream)
+    }
+
+    /// Sends a frame and returns the server's reply (the protocol is
+    /// strictly request/reply per connection).
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failures as [`WireError`].
+    pub fn call(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Opens (or re-attaches to) a tenant session; returns the server's
+    /// reply — `HelloAck` on admission, `Error` on rejection.
+    ///
+    /// # Errors
+    /// Transport, framing, or decode failures as [`WireError`].
+    pub fn hello(&mut self, config: TenantConfig) -> Result<Frame, WireError> {
+        self.call(&Frame::Hello {
+            proto: PROTO_VERSION,
+            config,
+        })
+    }
+}

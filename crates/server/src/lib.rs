@@ -1,0 +1,36 @@
+//! Long-lived multi-tenant paging server for the parallel-paging engine.
+//!
+//! This crate turns the single-shot simulation engine into a service:
+//!
+//! - [`protocol`] — the length-prefixed, digest-chained wire format
+//!   (`b"ppwf"` frames in the mould of the WAL checkpoint log), with
+//!   allocation-disciplined decoding that maps every malformed input onto
+//!   a typed error.
+//! - [`tenant`] — per-tenant sessions: each batch runs under the existing
+//!   [`Supervisor`](parapage::sched::Supervisor) with per-epoch WAL
+//!   checkpoints, so injected kills are absorbed and live migration rides
+//!   the `snapshot()/restore()` path — with byte-identical replies either
+//!   way.
+//! - [`server`] — the `parapage serve` daemon: TCP accept loop, admission
+//!   control (tenant cap, request budgets), per-connection session
+//!   threads.
+//! - [`client`] — a blocking protocol client.
+//! - [`drive`] — the `parapage drive` load driver: concurrent tenants,
+//!   deterministic workloads, throughput and latency percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod drive;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use client::Client;
+pub use drive::{drive, DriveCfg, DriveReport, LatencyUs};
+pub use protocol::{
+    error_code, Frame, ServerStats, TenantConfig, WireError, WireState, MAX_FRAME, PROTO_VERSION,
+};
+pub use server::{serve, ServeOpts, ServerHandle};
+pub use tenant::{policy_known, TenantOpts, TenantSession};

@@ -1,0 +1,333 @@
+//! The `parapage serve` daemon: a TCP accept loop handing each connection
+//! to a session thread that speaks the [`crate::protocol`] frame stream.
+//!
+//! Sessions are keyed by tenant name: a `Hello` either admits a new tenant
+//! (subject to the `max_tenants` cap) or re-attaches to an existing one
+//! (the declared configuration must match — this is what a client does
+//! after reconnecting, and what lets several connections feed one tenant).
+//! Each tenant's engine work runs under the per-batch [`Supervisor`] in
+//! [`crate::tenant`], so a tenant's crash — injected via `Kill` or genuine
+//! — is absorbed inside its own session and never takes down the process
+//! or perturbs any other tenant's replies.
+//!
+//! Backpressure is the transport itself: the protocol is strictly
+//! request/reply per connection and frames are bounded by
+//! [`crate::protocol::MAX_FRAME`], so a slow reader throttles only its own
+//! TCP window while the server holds at most one in-flight batch per
+//! connection thread.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::protocol::{
+    c2s_chain_seed, error_code, s2c_chain_seed, Frame, ServerStats, TenantConfig, WireError,
+    WireState, MAX_FRAME, MAX_TENANT_NAME, PROTO_VERSION,
+};
+use crate::tenant::{policy_known, TenantOpts, TenantSession};
+
+/// Server-wide knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOpts {
+    /// Admission control: tenants admitted concurrently.
+    pub max_tenants: usize,
+    /// Admission control: cumulative page-request budget per tenant.
+    pub request_budget: u64,
+    /// WAL checkpoint cadence of tenant engine runs (engine events per
+    /// supervisor epoch).
+    pub epoch_ticks: u64,
+    /// Crash budget per tenant batch.
+    pub max_retries: u32,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            max_tenants: 64,
+            request_budget: u64::MAX,
+            epoch_ticks: 8,
+            max_retries: 8,
+        }
+    }
+}
+
+/// Shared server state.
+struct ServerState {
+    opts: ServeOpts,
+    addr: SocketAddr,
+    tenants: Mutex<HashMap<String, Arc<Mutex<TenantSession>>>>,
+    /// Clones of every live connection's stream, so shutdown can unblock
+    /// handlers parked in a read.
+    conns: Mutex<Vec<TcpStream>>,
+    admitted: AtomicU64,
+    next_session: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServerStats {
+        let tenants = self.tenants.lock().expect("tenant table poisoned");
+        let mut s = ServerStats {
+            tenants: self.admitted.load(Ordering::SeqCst),
+            ..ServerStats::default()
+        };
+        for session in tenants.values() {
+            let c = session.lock().expect("tenant session poisoned").counters();
+            s.batches += c.batches;
+            s.requests += c.requests;
+            s.restarts += c.restarts;
+            s.migrations += c.migrations;
+            s.wal_records += c.wal_records;
+            s.checkpoint_bytes += c.checkpoint_bytes;
+        }
+        s
+    }
+}
+
+/// A running server: its bound address and the accept thread.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the OS-assigned port
+    /// when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Current server-wide operational counters (what `Stats` returns on
+    /// the wire).
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// Blocks until the accept loop exits (a client sent `Shutdown`) and
+    /// every session thread has drained; returns the final counters.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.state.stats()
+    }
+}
+
+/// Binds `addr` and starts the accept loop on its own thread.
+///
+/// # Errors
+/// Any bind failure, verbatim.
+pub fn serve(addr: impl ToSocketAddrs, opts: ServeOpts) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        opts,
+        addr,
+        tenants: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        admitted: AtomicU64::new(0),
+        next_session: AtomicU64::new(1),
+        shutting_down: AtomicBool::new(false),
+    });
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+    Ok(ServerHandle {
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().expect("conn table poisoned").push(clone);
+        }
+        let conn_state = Arc::clone(&state);
+        sessions.push(std::thread::spawn(move || {
+            // A connection thread owns its stream; any transport or
+            // protocol failure ends only this session.
+            let _ = handle_connection(stream, conn_state);
+        }));
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// Wakes the blocking `accept` so the loop observes the shutdown flag, and
+/// closes every live connection so handlers parked in a read drain too —
+/// a shutdown must not wait on clients that never hang up.
+fn begin_shutdown(state: &ServerState) {
+    for conn in state.conns.lock().expect("conn table poisoned").drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) -> Result<(), WireError> {
+    let mut rx = WireState::new(c2s_chain_seed());
+    let mut tx = WireState::new(s2c_chain_seed());
+    // The tenant this connection attached to via Hello.
+    let mut attached: Option<Arc<Mutex<TenantSession>>> = None;
+
+    loop {
+        let frame = match rx.read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(WireError::Closed) => return Ok(()),
+            Err(WireError::Codec(e)) => {
+                // Malformed input: report the typed reason, then close —
+                // the receive chain is broken, nothing after it can
+                // verify.
+                let _ = tx.write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        code: error_code::BAD_FRAME,
+                        message: format!("{e}"),
+                    },
+                );
+                return Err(WireError::Codec(e));
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match frame {
+            Frame::Hello { proto, config } => match admit(&state, proto, config) {
+                Ok((session, budget_left)) => Frame::HelloAck {
+                    session: {
+                        attached = Some(session.1);
+                        session.0
+                    },
+                    max_frame: MAX_FRAME as u64,
+                    budget_left,
+                },
+                Err((code, message)) => Frame::Error { code, message },
+            },
+            Frame::Batch { batch, seqs } => match &attached {
+                None => no_session(),
+                Some(tenant) => {
+                    let mut t = tenant.lock().expect("tenant session poisoned");
+                    match t.run_batch(batch, &seqs) {
+                        Ok(done) => done,
+                        Err((code, message)) => Frame::Error { code, message },
+                    }
+                }
+            },
+            Frame::Migrate { batch, at_tick } => match &attached {
+                None => no_session(),
+                Some(tenant) => Frame::MigrateAck {
+                    pending: tenant
+                        .lock()
+                        .expect("tenant session poisoned")
+                        .queue_migration(batch, at_tick),
+                },
+            },
+            Frame::Kill { batch, at_tick } => match &attached {
+                None => no_session(),
+                Some(tenant) => Frame::KillAck {
+                    pending: tenant
+                        .lock()
+                        .expect("tenant session poisoned")
+                        .queue_kill(batch, at_tick),
+                },
+            },
+            Frame::Stats => Frame::StatsReply {
+                stats: state.stats(),
+            },
+            Frame::Goodbye => {
+                tx.write_frame(&mut stream, &Frame::GoodbyeAck)?;
+                return Ok(());
+            }
+            Frame::Shutdown => {
+                state.shutting_down.store(true, Ordering::SeqCst);
+                tx.write_frame(&mut stream, &Frame::ShutdownAck)?;
+                begin_shutdown(&state);
+                return Ok(());
+            }
+            // Server-to-client frames arriving at the server are a state
+            // violation, not a codec one: the bytes were well-formed.
+            _ => Frame::Error {
+                code: error_code::BAD_STATE,
+                message: "unexpected frame direction".into(),
+            },
+        };
+        tx.write_frame(&mut stream, &reply)?;
+    }
+}
+
+fn no_session() -> Frame {
+    Frame::Error {
+        code: error_code::BAD_STATE,
+        message: "no session: send Hello first".into(),
+    }
+}
+
+type Admitted = ((u64, Arc<Mutex<TenantSession>>), u64);
+
+/// Validates a `Hello` and admits (or re-attaches) the tenant.
+fn admit(state: &ServerState, proto: u16, config: TenantConfig) -> Result<Admitted, (u16, String)> {
+    if proto != PROTO_VERSION {
+        return Err((
+            error_code::BAD_VERSION,
+            format!("protocol {proto} not supported (server speaks {PROTO_VERSION})"),
+        ));
+    }
+    if config.tenant.is_empty() || config.tenant.len() > MAX_TENANT_NAME {
+        return Err((error_code::BAD_FRAME, "invalid tenant name".into()));
+    }
+    if !policy_known(&config.policy) {
+        return Err((
+            error_code::BAD_FRAME,
+            format!("unknown or unservable policy `{}`", config.policy),
+        ));
+    }
+    if config.p == 0 || config.k < config.p || config.s < 2 {
+        return Err((
+            error_code::BAD_FRAME,
+            format!(
+                "invalid model: p={} k={} s={} (need p>0, k>=p, s>=2)",
+                config.p, config.k, config.s
+            ),
+        ));
+    }
+    if config.shards == 0 {
+        return Err((error_code::BAD_FRAME, "shards must be positive".into()));
+    }
+    let mut tenants = state.tenants.lock().expect("tenant table poisoned");
+    if let Some(existing) = tenants.get(&config.tenant) {
+        let session = Arc::clone(existing);
+        let guard = session.lock().expect("tenant session poisoned");
+        if *guard.config() != config {
+            return Err((
+                error_code::CONFIG_MISMATCH,
+                format!("tenant `{}` exists with a different config", config.tenant),
+            ));
+        }
+        let budget = guard.budget_left();
+        drop(guard);
+        let id = state.next_session.fetch_add(1, Ordering::SeqCst);
+        return Ok(((id, session), budget));
+    }
+    if tenants.len() >= state.opts.max_tenants {
+        return Err((
+            error_code::TENANTS_FULL,
+            format!("tenant table full ({} tenants)", state.opts.max_tenants),
+        ));
+    }
+    let opts = TenantOpts {
+        epoch_ticks: state.opts.epoch_ticks,
+        max_retries: state.opts.max_retries,
+        request_budget: state.opts.request_budget,
+    };
+    let budget = opts.request_budget;
+    let session = Arc::new(Mutex::new(TenantSession::new(config.clone(), opts)));
+    tenants.insert(config.tenant, Arc::clone(&session));
+    state.admitted.fetch_add(1, Ordering::SeqCst);
+    let id = state.next_session.fetch_add(1, Ordering::SeqCst);
+    Ok(((id, session), budget))
+}

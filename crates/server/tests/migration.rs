@@ -1,0 +1,158 @@
+//! Live migration equivalence: a tenant is migrated onto a fresh engine —
+//! via the supervisor's snapshot/restore path at an epoch boundary —
+//! mid-batch, mid-stream. Its full reply stream must be byte-identical to
+//! an unmigrated run, with zero crashes or restarts involved.
+
+use parapage::cache::PageId;
+use parapage::workloads::{build_workload, SeqSpec};
+use parapage_server::protocol::{Frame, ServerStats};
+use parapage_server::server::{serve, ServeOpts};
+use parapage_server::Client;
+
+const BATCHES: u64 = 3;
+const P: usize = 4;
+const K: usize = 64;
+
+fn config() -> parapage_server::TenantConfig {
+    parapage_server::TenantConfig {
+        tenant: "mover".into(),
+        p: P,
+        k: K,
+        s: 16,
+        policy: "rand-par".into(),
+        seed: 99,
+        shards: 4,
+    }
+}
+
+fn workload_for(batch: u64) -> Vec<Vec<PageId>> {
+    let specs: Vec<SeqSpec> = (0..P)
+        .map(|x| match x % 2 {
+            0 => SeqSpec::Cyclic {
+                width: (K / 8).max(2),
+                len: 400,
+            },
+            _ => SeqSpec::Phased {
+                phases: vec![((K / 16).max(2), 200), (K / 2, 200)],
+            },
+        })
+        .collect();
+    build_workload(&specs, 5000 + batch).seqs().to_vec()
+}
+
+/// Serves all batches, migrating at the given `(batch, tick)` points.
+fn run_tenant(migrations: &[(u64, u64)]) -> (Vec<Frame>, ServerStats) {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeOpts {
+            epoch_ticks: 4,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let hello = client.hello(config()).expect("hello");
+    assert!(matches!(hello, Frame::HelloAck { .. }), "{hello:?}");
+
+    let mut stream = Vec::new();
+    for batch in 0..BATCHES {
+        for &(mb, tick) in migrations.iter().filter(|&&(mb, _)| mb == batch) {
+            let ack = client
+                .call(&Frame::Migrate {
+                    batch: mb,
+                    at_tick: tick,
+                })
+                .expect("migrate");
+            assert!(matches!(ack, Frame::MigrateAck { .. }), "{ack:?}");
+        }
+        let reply = client
+            .call(&Frame::Batch {
+                batch,
+                seqs: workload_for(batch),
+            })
+            .expect("batch");
+        assert!(
+            matches!(reply, Frame::BatchDone { .. }),
+            "batch {batch}: {reply:?}"
+        );
+        stream.push(reply);
+    }
+
+    let stats = match client.call(&Frame::Stats).expect("stats") {
+        Frame::StatsReply { stats } => stats,
+        other => panic!("stats reply: {other:?}"),
+    };
+    assert_eq!(
+        client.call(&Frame::Shutdown).expect("shutdown"),
+        Frame::ShutdownAck
+    );
+    handle.join();
+    (stream, stats)
+}
+
+#[test]
+fn migrating_mid_stream_is_byte_identical_and_crash_free() {
+    let (stay, stay_stats) = run_tenant(&[]);
+    // Migrate twice in batch 1 (ticks 8 and 16) and once in batch 2.
+    let (moved, moved_stats) = run_tenant(&[(1, 8), (1, 16), (2, 8)]);
+
+    assert_eq!(stay_stats.migrations, 0);
+    assert!(
+        moved_stats.migrations >= 3,
+        "migrations did not land: {moved_stats:?}"
+    );
+    // Migration is not a crash: the snapshot/restore handoff must not
+    // touch the restart counter in either run.
+    assert_eq!(stay_stats.restarts, 0);
+    assert_eq!(moved_stats.restarts, 0, "{moved_stats:?}");
+
+    // The reply stream — every makespan, digest, and chain value — is
+    // identical whether or not the engine was torn down and rebuilt
+    // mid-batch.
+    assert_eq!(stay, moved, "migration changed the reply stream");
+}
+
+#[test]
+fn migration_composes_with_a_kill_in_the_same_batch() {
+    // A kill and a migration in the same batch still converge on the same
+    // replies as an undisturbed run.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeOpts {
+            epoch_ticks: 4,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert!(matches!(
+        client.hello(config()).expect("hello"),
+        Frame::HelloAck { .. }
+    ));
+    client
+        .call(&Frame::Migrate {
+            batch: 0,
+            at_tick: 8,
+        })
+        .expect("migrate");
+    client
+        .call(&Frame::Kill {
+            batch: 0,
+            at_tick: 14,
+        })
+        .expect("kill");
+    let disturbed = client
+        .call(&Frame::Batch {
+            batch: 0,
+            seqs: workload_for(0),
+        })
+        .expect("batch");
+    assert_eq!(
+        client.call(&Frame::Shutdown).expect("shutdown"),
+        Frame::ShutdownAck
+    );
+    handle.join();
+
+    let (clean, _) = run_tenant(&[]);
+    assert_eq!(disturbed, clean[0], "kill+migrate diverged from clean run");
+}

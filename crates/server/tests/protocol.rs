@@ -1,0 +1,349 @@
+//! Protocol conformance: every frame type round-trips through the payload
+//! codec and the framed wire stream, and every malformed input — truncated,
+//! oversized, bit-flipped, reordered, or plain garbage — decodes to a typed
+//! error without panicking or over-allocating.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use parapage::cache::{CodecError, PageId};
+use parapage_server::protocol::{
+    c2s_chain_seed, frame_wire, parse_wire, s2c_chain_seed, Frame, ServerStats, TenantConfig,
+    WireError, WireState, MAX_FRAME, WIRE_MAGIC,
+};
+
+fn sample_config() -> TenantConfig {
+    TenantConfig {
+        tenant: "tenant-a".into(),
+        p: 4,
+        k: 64,
+        s: 16,
+        policy: "det-par".into(),
+        seed: 42,
+        shards: 4,
+    }
+}
+
+/// One instance of every frame variant the protocol defines.
+fn all_frames() -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            proto: 1,
+            config: sample_config(),
+        },
+        Frame::HelloAck {
+            session: 7,
+            max_frame: MAX_FRAME as u64,
+            budget_left: 1_000_000,
+        },
+        Frame::Batch {
+            batch: 3,
+            seqs: vec![
+                vec![PageId(1), PageId(2), PageId(3)],
+                vec![],
+                vec![PageId(9)],
+            ],
+        },
+        Frame::BatchDone {
+            batch: 3,
+            makespan: 512,
+            hits: 100,
+            misses: 28,
+            grants: 12,
+            digest: 0xdead_beef,
+            chain: 0xfeed_face,
+        },
+        Frame::Migrate {
+            batch: 1,
+            at_tick: 9,
+        },
+        Frame::MigrateAck { pending: 1 },
+        Frame::Kill {
+            batch: 2,
+            at_tick: 10,
+        },
+        Frame::KillAck { pending: 2 },
+        Frame::Stats,
+        Frame::StatsReply {
+            stats: ServerStats {
+                tenants: 3,
+                batches: 12,
+                requests: 4800,
+                restarts: 1,
+                migrations: 2,
+                wal_records: 40,
+                checkpoint_bytes: 65536,
+            },
+        },
+        Frame::Goodbye,
+        Frame::GoodbyeAck,
+        Frame::Shutdown,
+        Frame::ShutdownAck,
+        Frame::Error {
+            code: 5,
+            message: "malformed frame".into(),
+        },
+    ]
+}
+
+#[test]
+fn every_frame_round_trips_through_the_payload_codec() {
+    for frame in all_frames() {
+        let payload = frame.encode_payload();
+        let back = Frame::decode_payload(&payload)
+            .unwrap_or_else(|e| panic!("decode of {frame:?} failed: {e}"));
+        assert_eq!(back, frame);
+    }
+}
+
+#[test]
+fn every_frame_round_trips_through_the_framed_stream() {
+    // Write all frames in one direction, read them back: sequence numbers
+    // and digest chains must line up end to end.
+    let mut tx = WireState::new(c2s_chain_seed());
+    let mut buf = Vec::new();
+    let frames = all_frames();
+    for frame in &frames {
+        tx.write_frame(&mut buf, frame).expect("write");
+    }
+    let mut rx = WireState::new(c2s_chain_seed());
+    let mut cursor = Cursor::new(buf);
+    for frame in &frames {
+        let got = rx.read_frame(&mut cursor).expect("read");
+        assert_eq!(&got, frame);
+    }
+    // The stream then ends cleanly at a frame boundary.
+    assert!(matches!(rx.read_frame(&mut cursor), Err(WireError::Closed)));
+}
+
+#[test]
+fn directions_are_chain_separated() {
+    // A server reply stream cannot be read with the client-direction
+    // chain seed: the very first digest check fails.
+    let mut tx = WireState::new(s2c_chain_seed());
+    let mut buf = Vec::new();
+    tx.write_frame(&mut buf, &Frame::GoodbyeAck).expect("write");
+    let mut rx = WireState::new(c2s_chain_seed());
+    assert!(matches!(
+        rx.read_frame(&mut Cursor::new(buf)),
+        Err(WireError::Codec(CodecError::DigestMismatch { .. }))
+    ));
+}
+
+#[test]
+fn replayed_and_reordered_frames_break_the_chain() {
+    let mut tx = WireState::new(c2s_chain_seed());
+    let mut first = Vec::new();
+    tx.write_frame(&mut first, &Frame::Stats).expect("write");
+    let mut second = Vec::new();
+    tx.write_frame(&mut second, &Frame::Goodbye).expect("write");
+
+    // Replay: the same frame twice fails the second read (seq + chain).
+    let mut replay = first.clone();
+    replay.extend_from_slice(&first);
+    let mut rx = WireState::new(c2s_chain_seed());
+    let mut cursor = Cursor::new(replay);
+    rx.read_frame(&mut cursor).expect("first copy is valid");
+    assert!(matches!(
+        rx.read_frame(&mut cursor),
+        Err(WireError::Codec(_))
+    ));
+
+    // Reorder: the second frame first fails immediately.
+    let mut reordered = second;
+    reordered.extend_from_slice(&first);
+    let mut rx = WireState::new(c2s_chain_seed());
+    assert!(matches!(
+        rx.read_frame(&mut Cursor::new(reordered)),
+        Err(WireError::Codec(_))
+    ));
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let payload = Frame::Hello {
+        proto: 1,
+        config: sample_config(),
+    }
+    .encode_payload();
+    let (bytes, _) = frame_wire(0, c2s_chain_seed(), &payload);
+    for cut in 0..bytes.len() {
+        let err = parse_wire(&bytes[..cut], c2s_chain_seed(), 0)
+            .expect_err("truncated frame must not parse");
+        assert!(
+            matches!(err, CodecError::UnexpectedEof),
+            "cut at {cut}: {err}"
+        );
+    }
+    // The untruncated frame parses.
+    assert!(parse_wire(&bytes, c2s_chain_seed(), 0).is_ok());
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_before_allocation() {
+    // A header declaring a payload beyond MAX_FRAME must be rejected from
+    // the 16 header bytes alone — parse_wire never sees (or reserves) the
+    // phantom gigabytes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&WIRE_MAGIC);
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = parse_wire(&bytes, c2s_chain_seed(), 0).expect_err("oversized");
+    assert!(matches!(err, CodecError::Invalid(_)), "{err}");
+
+    // Same on the streaming read path.
+    let mut rx = WireState::new(c2s_chain_seed());
+    let err = rx
+        .read_frame(&mut Cursor::new(bytes))
+        .expect_err("oversized");
+    assert!(
+        matches!(err, WireError::Codec(CodecError::Invalid(_))),
+        "{err}"
+    );
+}
+
+#[test]
+fn hostile_page_count_is_rejected_before_allocation() {
+    // A Batch payload declaring 2^40 pages in 10 actual bytes: the decoder
+    // must bound the count by the bytes present before reserving.
+    use parapage::cache::SnapWriter;
+    let mut w = SnapWriter::new();
+    w.put_u8(3); // BATCH tag
+    w.put_u64(0); // batch
+    w.put_len(1); // one sequence
+    w.put_len((1u64 << 40) as usize); // claiming 2^40 pages
+    let err = Frame::decode_payload(&w.into_bytes()).expect_err("hostile count");
+    assert!(matches!(err, CodecError::Invalid(_)), "{err}");
+}
+
+#[test]
+fn unknown_tag_and_trailing_bytes_are_rejected() {
+    assert!(matches!(
+        Frame::decode_payload(&[200]),
+        Err(CodecError::Invalid(_))
+    ));
+    let mut payload = Frame::Stats.encode_payload();
+    payload.push(0);
+    assert!(matches!(
+        Frame::decode_payload(&payload),
+        Err(CodecError::Invalid(_))
+    ));
+    assert!(matches!(
+        Frame::decode_payload(&[]),
+        Err(CodecError::UnexpectedEof)
+    ));
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let payload = Frame::Stats.encode_payload();
+    let (mut bytes, _) = frame_wire(0, c2s_chain_seed(), &payload);
+    bytes[0] ^= 0xff;
+    assert!(matches!(
+        parse_wire(&bytes, c2s_chain_seed(), 0),
+        Err(CodecError::BadMagic)
+    ));
+}
+
+#[test]
+fn clean_eof_is_closed_but_mid_frame_eof_is_not() {
+    let mut rx = WireState::new(c2s_chain_seed());
+    assert!(matches!(
+        rx.read_frame(&mut Cursor::new(Vec::new())),
+        Err(WireError::Closed)
+    ));
+    // One byte of a header is a broken peer, not a clean close.
+    let mut rx = WireState::new(c2s_chain_seed());
+    assert!(matches!(
+        rx.read_frame(&mut Cursor::new(vec![b'p'])),
+        Err(WireError::Codec(CodecError::UnexpectedEof))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage never panics the payload decoder and never
+    /// round-trips by accident into a different encoding.
+    #[test]
+    fn garbage_payloads_decode_to_typed_errors_or_canonical_frames(
+        bytes in prop::collection::vec(any::<u8>(), 0..256)
+    ) {
+        // A canonical decode must re-encode to exactly the input (the
+        // codec is a bijection on its valid domain); a typed error is
+        // the only other acceptable outcome.
+        if let Ok(frame) = Frame::decode_payload(&bytes) {
+            prop_assert_eq!(frame.encode_payload(), bytes);
+        }
+    }
+
+    /// Any single bit flip anywhere in a framed message is caught.
+    #[test]
+    fn single_bit_flips_never_pass_verification(
+        batch in 0u64..1000,
+        seq_pages in prop::collection::vec(0u64..512, 0..40),
+        flip_byte in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let frame = Frame::Batch {
+            batch,
+            seqs: vec![seq_pages.into_iter().map(PageId).collect()],
+        };
+        let payload = frame.encode_payload();
+        let (mut bytes, _) = frame_wire(0, c2s_chain_seed(), &payload);
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        // Whatever was flipped — magic, seq, length, payload, digest —
+        // the parse must fail with a typed error, never a panic.
+        prop_assert!(parse_wire(&bytes, c2s_chain_seed(), 0).is_err());
+    }
+
+    /// Random Batch frames round-trip exactly through payload and wire.
+    #[test]
+    fn random_batches_round_trip(
+        batch in any::<u64>(),
+        seqs in prop::collection::vec(
+            prop::collection::vec(any::<u64>().prop_map(PageId), 0..20),
+            0..6,
+        ),
+    ) {
+        let frame = Frame::Batch { batch, seqs };
+        prop_assert_eq!(
+            Frame::decode_payload(&frame.encode_payload()).unwrap(),
+            frame.clone()
+        );
+        let mut tx = WireState::new(s2c_chain_seed());
+        let mut buf = Vec::new();
+        tx.write_frame(&mut buf, &frame).unwrap();
+        let mut rx = WireState::new(s2c_chain_seed());
+        prop_assert_eq!(rx.read_frame(&mut Cursor::new(buf)).unwrap(), frame);
+    }
+
+    /// Random Error frames (arbitrary code and UTF-8 message) round-trip.
+    #[test]
+    fn random_errors_round_trip(code in any::<u16>(), message in ".{0,80}") {
+        let frame = Frame::Error { code, message };
+        prop_assert_eq!(
+            Frame::decode_payload(&frame.encode_payload()).unwrap(),
+            frame
+        );
+    }
+
+    /// Truncating a framed stream at any point yields a typed error from
+    /// the streaming reader too (never a panic, never Closed mid-frame).
+    #[test]
+    fn stream_truncation_is_typed(cut_frac in 0.0f64..1.0) {
+        let frame = Frame::Hello { proto: 1, config: sample_config() };
+        let mut tx = WireState::new(c2s_chain_seed());
+        let mut buf = Vec::new();
+        tx.write_frame(&mut buf, &frame).unwrap();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let mut rx = WireState::new(c2s_chain_seed());
+        match rx.read_frame(&mut Cursor::new(buf[..cut].to_vec())) {
+            Ok(_) => prop_assert!(false, "truncated frame parsed"),
+            Err(WireError::Closed) => prop_assert!(cut == 0, "Closed mid-frame at {cut}"),
+            Err(WireError::Codec(_)) | Err(WireError::Io(_)) => {}
+        }
+    }
+}
