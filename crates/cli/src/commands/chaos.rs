@@ -18,12 +18,17 @@
 //! runs only the cells whose `policy/scenario` or `policy/corruption`
 //! label contains one of the given substrings; `--wal` skips the resume
 //! and snapshot-corruption sections and runs the WAL matrix alone (the CI
-//! smoke job's configuration).
+//! smoke job's configuration); `--net` runs the network chaos matrix
+//! instead — every transport fault kind × cut point × tenant count
+//! against a live server, each cell required to produce reply streams
+//! byte-identical to a clean run after retries, plus the idle-expiry and
+//! load-shedding cells (`--quick` reduces the grid for CI).
 //!
 //! Exits non-zero on any divergence, failed recovery, or accepted
 //! corruption.
 
 use parapage::prelude::*;
+use parapage_server::netchaos::{net_chaos_matrix, NetChaosOpts};
 
 use crate::args::Args;
 
@@ -55,6 +60,67 @@ fn specs_for(p: usize, k: usize, len: usize) -> Vec<SeqSpec> {
         .collect()
 }
 
+/// The `--net` section: the transport-fault matrix against a live server.
+fn exec_net(seed: u64, quick: bool, filters: Vec<String>) -> Result<(), String> {
+    let opts = NetChaosOpts {
+        seed,
+        quick,
+        filters,
+        ..NetChaosOpts::default()
+    };
+    println!(
+        "net chaos matrix: fault kind x cut point x tenant count{} \
+         (bar: reply streams byte-identical to a clean run after retries)\n",
+        if quick { " [quick]" } else { "" }
+    );
+    let report = net_chaos_matrix(&opts)?;
+    let mut t = Table::new([
+        "cell", "reconn", "retry", "replay", "shed", "t/o", "verdict",
+    ]);
+    let mut details: Vec<String> = Vec::new();
+    for cell in &report.cells {
+        let verdict = if cell.passed {
+            "pass".to_string()
+        } else {
+            details.push(format!("{}: {}", cell.label, cell.detail));
+            "FAIL".to_string()
+        };
+        t.row([
+            cell.label.clone(),
+            cell.retry.reconnects.to_string(),
+            cell.retry.retries.to_string(),
+            cell.retry.replays.to_string(),
+            cell.retry.sheds.to_string(),
+            cell.retry.timeouts.to_string(),
+            verdict,
+        ]);
+    }
+    println!("{t}");
+    for d in &details {
+        println!("  violation: {d}");
+    }
+    if report.failures() > 0 {
+        return Err(format!(
+            "net chaos matrix FAILED: {} of {} cells",
+            report.failures(),
+            report.cells.len()
+        ));
+    }
+    if report.cells.is_empty() {
+        return Err("--cells matched no net chaos cells".into());
+    }
+    println!(
+        "\nnet chaos matrix passed: {} cells byte-identical after recovery{}",
+        report.cells.len(),
+        if report.skipped > 0 {
+            format!(" ({} filtered out by --cells)", report.skipped)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 /// Executes the subcommand.
 pub fn exec(args: &Args) -> Result<(), String> {
     let quick = args.flag("quick");
@@ -76,6 +142,9 @@ pub fn exec(args: &Args) -> Result<(), String> {
                 .collect()
         })
         .unwrap_or_default();
+    if args.flag("net") {
+        return exec_net(seed, quick, filters);
+    }
     let keep = |label: &str| {
         filters.is_empty()
             || filters

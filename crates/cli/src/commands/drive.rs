@@ -9,9 +9,14 @@
 //!
 //! Flags: `--requests N` (total, default 100000), `--tenants N`,
 //! `--batches N` (per tenant), `--p/--k/--s`, `--policy NAME`, `--seed N`,
-//! `--shards N`, `--expect-clean` (exit non-zero on any protocol error or
-//! tenant restart — the serve-smoke gate).
+//! `--shards N`, `--fault KIND` (inject a deterministic transport fault —
+//! `partial-writes`, `write-stall`, `read-stall`, `cut-send`, `cut-recv`,
+//! `trickle` — into every tenant's first connection; the resilient client
+//! must absorb it), `--fault-at N` (fault byte offset), `--expect-clean`
+//! (exit non-zero on any *unrecovered* error or tenant restart — the
+//! serve-smoke gate; recovered retries are reported but fine).
 
+use parapage::conform::NetFaultKind;
 use parapage_server::drive::{drive, DriveCfg};
 use parapage_server::server::{serve, ServeOpts};
 
@@ -20,6 +25,19 @@ use crate::args::Args;
 /// Executes the subcommand.
 pub fn exec(args: &Args) -> Result<(), String> {
     let defaults = DriveCfg::default();
+    let fault = match args.opt("fault") {
+        Some(name) => Some(NetFaultKind::parse(&name).ok_or_else(|| {
+            format!(
+                "--fault {name}: unknown kind (expected one of {})",
+                NetFaultKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?),
+        None => None,
+    };
     let mut cfg = DriveCfg {
         tenants: args.get("tenants", defaults.tenants)?,
         batches: args.get("batches", defaults.batches)?,
@@ -32,6 +50,8 @@ pub fn exec(args: &Args) -> Result<(), String> {
             .unwrap_or_else(|| defaults.policy.clone()),
         seed: args.get("seed", defaults.seed)?,
         shards: args.get("shards", defaults.shards)?,
+        fault,
+        fault_at: args.get("fault-at", defaults.fault_at)?,
         ..defaults
     };
     let expect_clean = args.flag("expect-clean");
@@ -74,17 +94,21 @@ pub fn exec(args: &Args) -> Result<(), String> {
         handle.join();
     }
     println!("{}", report.summary_line());
+    println!("{}", report.retry_line());
     if let Some(stats) = report.stats {
         println!(
             "server: {} tenants, {} batches, {} requests, {} restarts, \
-             {} migrations, {} WAL records, {} checkpoint bytes",
+             {} migrations, {} WAL records, {} checkpoint bytes, \
+             {} idle expiries, {} shed connections",
             stats.tenants,
             stats.batches,
             stats.requests,
             stats.restarts,
             stats.migrations,
             stats.wal_records,
-            stats.checkpoint_bytes
+            stats.checkpoint_bytes,
+            stats.expiries,
+            stats.shed
         );
     }
 

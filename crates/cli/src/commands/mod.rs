@@ -65,6 +65,14 @@ COMMANDS:
                  [--quick] [--p N --k N --s N --len N] [--seed N]
                  [--cells SUBSTR[,SUBSTR..]] [--wal]
                  (exits non-zero on any divergence or failed recovery)
+                 --net switches to the network chaos matrix: every
+                 transport fault kind (partial-writes, write-stall,
+                 read-stall, cut-send, cut-recv, trickle) x cut point x
+                 tenant count against a live server — after retries every
+                 reply stream must be byte-identical to a clean run —
+                 plus idle-expiry (checkpointed tenant state restored on
+                 re-attach) and load-shedding (typed Busy) cells:
+                 [--quick] [--seed N] [--cells SUBSTR[,SUBSTR..]]
   profile      visualize green box profiles (OPT vs RAND-GREEN):
                  --p N --k N [--seed N] [--width N]
   analyze      miss-ratio curves of a trace file: --trace FILE [--max-cap N]
@@ -76,15 +84,24 @@ COMMANDS:
                  (a tenant crash never takes down the process; migration
                  and kill orders are absorbed with byte-identical replies):
                  [--addr 127.0.0.1:7717] [--max-tenants N] [--budget N]
-                 [--epoch-ticks N] [--max-retries N]
-                 (runs until a client sends Shutdown)
+                 [--epoch-ticks N] [--max-retries N] [--read-timeout-ms N]
+                 [--idle-ttl-ms N] [--max-conns N]
+                 (runs until a client sends Shutdown; idle tenants past
+                 the TTL are retired to checkpointed state and restored
+                 on re-attach; connections beyond the cap are shed with
+                 a typed Busy)
   drive        load driver: replay deterministic request batches from many
                  concurrent tenants and report throughput and latency
                  percentiles; spawns an in-process server when --addr is
                  absent: [--addr HOST:PORT] [--requests N] [--tenants N]
                  [--batches N] [--p N --k N --s N] [--policy NAME]
-                 [--seed N] [--shards N] [--expect-clean]
-                 (--expect-clean exits non-zero on any protocol error or
-                 tenant restart — the CI serve-smoke gate)
+                 [--seed N] [--shards N] [--fault KIND] [--fault-at N]
+                 [--expect-clean]
+                 (tenants drive through the resilient client — reconnect,
+                 re-attach, replay — and report recovery counters;
+                 --fault injects a deterministic transport fault that the
+                 retries must absorb; --expect-clean exits non-zero on
+                 any unrecovered error or tenant restart — the CI
+                 serve-smoke gate)
   help         this text
 ";

@@ -50,6 +50,7 @@
 
 pub mod checkers;
 pub mod envelope;
+pub mod netfault;
 pub mod oracle;
 pub mod reference;
 pub mod resume;
@@ -61,6 +62,7 @@ pub use checkers::{
     check_run_consistency, check_stream_order, merge_phases,
 };
 pub use envelope::{competitive_envelope, EnvelopeEntry, EnvelopeReport};
+pub use netfault::{net_cells, NetCell, NetFaultKind, NetFaultPlan};
 pub use oracle::{
     conform_matrix, conform_run, differential_sweep, memory_envelope, outcome_divergence,
     run_reference_named, run_traced, ConformReport, DiffReport, Divergence, TracedRun,

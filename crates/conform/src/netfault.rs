@@ -1,0 +1,304 @@
+//! Deterministic network-fault model: *what* goes wrong on a transport,
+//! decided as a pure function of `(seed, connection, byte offset)`.
+//!
+//! The model is deliberately I/O-free. This module only answers questions
+//! — "how many bytes may this write move?", "how long does this read
+//! stall?", "does the connection die at this offset?" — from nothing but
+//! the plan's seed, the connection index, and the cumulative byte offset
+//! on the faulted direction. The server crate's `FaultyTransport` wraps a
+//! real stream around these answers; because the answers are pure, two
+//! runs with the same plan inflict byte-for-byte the same fault schedule,
+//! which is what lets `parapage chaos --net` demand byte-identical
+//! recovery instead of "mostly recovered".
+//!
+//! Fault kinds (the `--net` matrix's first axis):
+//!
+//! | kind             | effect                                            |
+//! |------------------|---------------------------------------------------|
+//! | `partial-writes` | every write moves a short, seeded chunk           |
+//! | `write-stall`    | seeded pauses injected while sending              |
+//! | `read-stall`     | seeded pauses injected while receiving            |
+//! | `cut-send`       | connection dies mid-frame while sending           |
+//! | `cut-recv`       | connection dies mid-frame while receiving         |
+//! | `trickle`        | slow-loris: one long mid-frame pause, then        |
+//! |                  | byte-at-a-time writes (trips server read deadline)|
+
+use std::time::Duration;
+
+use parapage_cache::fnv1a64_seeded;
+
+/// The kinds of transport fault the model can inflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Writes are split into short, seeded chunks (1–8 bytes), so frames
+    /// cross the wire maximally fragmented.
+    PartialWrites,
+    /// Seeded pauses before some writes.
+    WriteStall,
+    /// Seeded pauses before some reads.
+    ReadStall,
+    /// The connection is severed once the *send* offset crosses the cut
+    /// point — typically mid-frame from the peer's point of view.
+    CutSend,
+    /// The connection is severed once the *receive* offset crosses the cut
+    /// point — the local reader loses the tail of a frame in flight.
+    CutRecv,
+    /// Slow-loris: one long pause at the cut point (sized to exceed a
+    /// server's per-session read deadline), then byte-at-a-time writes.
+    Trickle,
+}
+
+impl NetFaultKind {
+    /// Every kind, in matrix order.
+    pub const ALL: &'static [NetFaultKind] = &[
+        NetFaultKind::PartialWrites,
+        NetFaultKind::WriteStall,
+        NetFaultKind::ReadStall,
+        NetFaultKind::CutSend,
+        NetFaultKind::CutRecv,
+        NetFaultKind::Trickle,
+    ];
+
+    /// Stable cell-label name (what `--cells` matches on).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::PartialWrites => "partial-writes",
+            NetFaultKind::WriteStall => "write-stall",
+            NetFaultKind::ReadStall => "read-stall",
+            NetFaultKind::CutSend => "cut-send",
+            NetFaultKind::CutRecv => "cut-recv",
+            NetFaultKind::Trickle => "trickle",
+        }
+    }
+
+    /// Parses a name produced by [`NetFaultKind::name`].
+    pub fn parse(name: &str) -> Option<NetFaultKind> {
+        NetFaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Whether this kind severs the connection (and therefore demands a
+    /// reconnect + re-attach to recover, rather than mere patience).
+    pub fn severs(self) -> bool {
+        matches!(self, NetFaultKind::CutSend | NetFaultKind::CutRecv)
+    }
+
+    /// Whether the fault acts on the receive direction — its offsets (and
+    /// matrix cut points) are measured in *received* bytes rather than
+    /// sent ones.
+    pub fn on_recv(self) -> bool {
+        matches!(self, NetFaultKind::ReadStall | NetFaultKind::CutRecv)
+    }
+}
+
+impl std::fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One connection's fault schedule. Everything the plan decides is a pure
+/// function of `(seed, conn, byte offset)` — no clocks, no RNG state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// What goes wrong.
+    pub kind: NetFaultKind,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Which connection (by the client's 0-based reconnect index) the plan
+    /// applies to. A resilient client's later connections are clean, so a
+    /// faulted exchange always terminates.
+    pub conn: u64,
+    /// Byte offset on the faulted direction at which cuts and the trickle
+    /// pause fire.
+    pub cut_at: u64,
+    /// Short stall length for the stall kinds.
+    pub stall: Duration,
+    /// Long (deadline-exceeding) pause for the trickle kind.
+    pub long_stall: Duration,
+}
+
+impl NetFaultPlan {
+    /// A plan for `kind` on connection `conn`, cutting (or pausing) at
+    /// byte offset `cut_at`, with test-friendly default stall lengths.
+    pub fn new(kind: NetFaultKind, seed: u64, conn: u64, cut_at: u64) -> Self {
+        NetFaultPlan {
+            kind,
+            seed,
+            conn,
+            cut_at: cut_at.max(1),
+            stall: Duration::from_micros(300),
+            long_stall: Duration::from_millis(120),
+        }
+    }
+
+    /// The seeded decision word at `offset` — the single source of every
+    /// per-offset choice below.
+    fn mix(&self, offset: u64) -> u64 {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&self.conn.to_le_bytes());
+        bytes[8..].copy_from_slice(&offset.to_le_bytes());
+        fnv1a64_seeded(self.seed, &bytes)
+    }
+
+    /// Most bytes a write starting at `offset` may move. Unbounded for
+    /// kinds that do not fragment.
+    pub fn write_chunk(&self, offset: u64) -> usize {
+        match self.kind {
+            NetFaultKind::PartialWrites => 1 + (self.mix(offset) % 8) as usize,
+            NetFaultKind::Trickle if offset >= self.cut_at => 1,
+            _ => usize::MAX,
+        }
+    }
+
+    /// Pause to take before a write whose first byte is `offset`.
+    pub fn write_pause(&self, offset: u64) -> Option<Duration> {
+        match self.kind {
+            NetFaultKind::WriteStall if self.mix(offset) % 5 == 0 => Some(self.stall),
+            // The slow-loris pause fires exactly once, at the cut point.
+            NetFaultKind::Trickle if offset == self.cut_at => Some(self.long_stall),
+            _ => None,
+        }
+    }
+
+    /// Pause to take before a read whose first byte is `offset`.
+    pub fn read_pause(&self, offset: u64) -> Option<Duration> {
+        match self.kind {
+            NetFaultKind::ReadStall if self.mix(offset) % 5 == 0 => Some(self.stall),
+            _ => None,
+        }
+    }
+
+    /// Whether the connection dies at send offset `offset`.
+    pub fn cuts_send(&self, offset: u64) -> bool {
+        self.kind == NetFaultKind::CutSend && offset >= self.cut_at
+    }
+
+    /// Whether the connection dies at receive offset `offset`.
+    pub fn cuts_recv(&self, offset: u64) -> bool {
+        self.kind == NetFaultKind::CutRecv && offset >= self.cut_at
+    }
+}
+
+/// One cell of the `chaos --net` matrix: a fault kind, the kill-point as
+/// a fraction of the faulted direction's clean-run traffic, and how many
+/// concurrent tenants share the server while the fault plays out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetCell {
+    /// What goes wrong.
+    pub kind: NetFaultKind,
+    /// Kill-point: where in the connection's clean-run byte stream the
+    /// fault fires, as a fraction in `(0, 1)`.
+    pub frac: f64,
+    /// Concurrent tenants driving the server during the cell.
+    pub tenants: usize,
+}
+
+impl NetCell {
+    /// The cell's label (what the matrix prints and `--cells` filters on).
+    pub fn label(&self) -> String {
+        format!("{}/t{}@{:.2}", self.kind, self.tenants, self.frac)
+    }
+
+    /// The cut offset for a clean run that moved `clean_bytes` on the
+    /// faulted direction: strictly inside the stream, past the first
+    /// frame header so cuts land mid-conversation, never before byte 1.
+    pub fn cut_offset(&self, clean_bytes: u64) -> u64 {
+        ((clean_bytes as f64 * self.frac) as u64).max(1)
+    }
+}
+
+/// Enumerates the matrix: every fault kind × kill-point × tenant count.
+pub fn net_cells(tenant_counts: &[usize], fracs: &[f64]) -> Vec<NetCell> {
+    let mut cells = Vec::with_capacity(tenant_counts.len() * fracs.len() * NetFaultKind::ALL.len());
+    for &tenants in tenant_counts {
+        for &kind in NetFaultKind::ALL {
+            for &frac in fracs {
+                cells.push(NetCell {
+                    kind,
+                    frac,
+                    tenants,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_conn_offset() {
+        let a = NetFaultPlan::new(NetFaultKind::PartialWrites, 7, 0, 100);
+        let b = NetFaultPlan::new(NetFaultKind::PartialWrites, 7, 0, 100);
+        for off in 0..2000 {
+            assert_eq!(a.write_chunk(off), b.write_chunk(off));
+            assert_eq!(a.write_pause(off), b.write_pause(off));
+            assert_eq!(a.read_pause(off), b.read_pause(off));
+        }
+        // A different connection index reshuffles the schedule.
+        let c = NetFaultPlan::new(NetFaultKind::PartialWrites, 7, 1, 100);
+        assert!((0..2000).any(|off| a.write_chunk(off) != c.write_chunk(off)));
+    }
+
+    #[test]
+    fn chunks_are_short_and_positive() {
+        let p = NetFaultPlan::new(NetFaultKind::PartialWrites, 42, 3, 10);
+        for off in 0..5000 {
+            let c = p.write_chunk(off);
+            assert!((1..=8).contains(&c));
+        }
+    }
+
+    #[test]
+    fn cuts_fire_exactly_at_the_cut_point_on_their_direction() {
+        let s = NetFaultPlan::new(NetFaultKind::CutSend, 1, 0, 64);
+        assert!(!s.cuts_send(63) && s.cuts_send(64) && s.cuts_send(65));
+        assert!(!s.cuts_recv(64));
+        let r = NetFaultPlan::new(NetFaultKind::CutRecv, 1, 0, 64);
+        assert!(!r.cuts_recv(63) && r.cuts_recv(64));
+        assert!(!r.cuts_send(1 << 40));
+    }
+
+    #[test]
+    fn trickle_pauses_once_then_single_bytes() {
+        let t = NetFaultPlan::new(NetFaultKind::Trickle, 9, 0, 32);
+        assert_eq!(t.write_pause(31), None);
+        assert_eq!(t.write_pause(32), Some(t.long_stall));
+        assert_eq!(t.write_pause(33), None);
+        assert_eq!(t.write_chunk(31), usize::MAX);
+        assert_eq!(t.write_chunk(32), 1);
+        assert_eq!(t.write_chunk(999), 1);
+    }
+
+    #[test]
+    fn stalls_recur_but_are_not_constant() {
+        let w = NetFaultPlan::new(NetFaultKind::WriteStall, 5, 2, 10);
+        let paused = (0..1000).filter(|&o| w.write_pause(o).is_some()).count();
+        assert!(paused > 50 && paused < 500, "paused {paused}/1000");
+        // Stall kinds never fragment or cut.
+        assert_eq!(w.write_chunk(3), usize::MAX);
+        assert!(!w.cuts_send(1 << 40));
+    }
+
+    #[test]
+    fn matrix_enumerates_every_axis_combination() {
+        let cells = net_cells(&[1, 3], &[0.2, 0.8]);
+        assert_eq!(cells.len(), 2 * NetFaultKind::ALL.len() * 2);
+        let labels: std::collections::HashSet<String> = cells.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), cells.len(), "labels must be unique");
+        for c in &cells {
+            assert!(c.cut_offset(1000) >= 1);
+            assert!(c.cut_offset(0) == 1, "cut offset is never 0");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for &k in NetFaultKind::ALL {
+            assert_eq!(NetFaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(NetFaultKind::parse("no-such-fault"), None);
+    }
+}

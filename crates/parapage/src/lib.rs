@@ -76,9 +76,10 @@ pub mod prelude {
     pub use parapage_conform::{
         check_concurrent_cache, check_corruption_rejection, check_resume, check_sharded_ledgers,
         check_wal_corruption, competitive_envelope, conform_matrix, conform_run,
-        differential_sweep, explore, explore_all, resume_matrix, scenarios, wal_chaos_matrix,
-        ConcurrentCell, ConformReport, DiffReport, EnvelopeReport, ExploreMode, ExploreReport,
-        ResumeCell, WalCell, WalCorruption, CONFORM_POLICIES,
+        differential_sweep, explore, explore_all, net_cells, resume_matrix, scenarios,
+        wal_chaos_matrix, ConcurrentCell, ConformReport, DiffReport, EnvelopeReport, ExploreMode,
+        ExploreReport, NetCell, NetFaultKind, NetFaultPlan, ResumeCell, WalCell, WalCorruption,
+        CONFORM_POLICIES,
     };
     pub use parapage_core::{
         audit_greedy, check_well_rounded, green_opt, green_opt_fast, green_opt_fast_normalized,
@@ -88,10 +89,11 @@ pub mod prelude {
         RebootingGreen, SrptPartition, StaticPartition, UcpPartition, UniversalGreen,
     };
     pub use parapage_sched::{
-        run_engine, run_engine_faults, run_engine_sharded, run_engine_traced, run_engine_with,
-        run_engine_with_faults, run_shared_lru, CrashPlan, Engine, EngineError, EngineOpts,
-        EngineSnapshot, FaultPlan, NullSink, RecoveryReport, RunResult, SnapshotError, Supervisor,
-        SupervisorError, SupervisorOpts, TraceEvent, TraceRecorder, TraceSink, DEFAULT_MAX_TIME,
+        capped_backoff, jittered_backoff, run_engine, run_engine_faults, run_engine_sharded,
+        run_engine_traced, run_engine_with, run_engine_with_faults, run_shared_lru, CrashPlan,
+        Engine, EngineError, EngineOpts, EngineSnapshot, FaultPlan, NullSink, RecoveryReport,
+        RunResult, SnapshotError, Supervisor, SupervisorError, SupervisorOpts, TraceEvent,
+        TraceRecorder, TraceSink, DEFAULT_MAX_TIME,
     };
     pub use parapage_workloads::{
         build_workload, fault_scenario, shared_hotset_workload, AdversarialConfig,

@@ -64,8 +64,8 @@ pub use metrics::RunResult;
 pub use shared::{run_shared_lru, run_shared_lru_bandwidth};
 pub use snapshot::{workload_fingerprint, EngineSnapshot, SnapshotError};
 pub use supervisor::{
-    CrashPlan, EpochControl, EpochStatus, RecoveryReport, Supervisor, SupervisorError,
-    SupervisorOpts,
+    capped_backoff, jittered_backoff, CrashPlan, EpochControl, EpochStatus, RecoveryReport,
+    Supervisor, SupervisorError, SupervisorOpts,
 };
 pub use trace::{DigestSink, NullSink, TraceEvent, TraceRecorder, TraceSink};
 pub use wal::{

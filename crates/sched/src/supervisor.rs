@@ -51,6 +51,27 @@ use crate::snapshot::SnapshotError;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::wal::{recover, CheckpointStore, MemStore, WalCursor};
 
+/// Capped exponential backoff: `base * 2^attempt`, saturating at `cap`.
+/// `attempt` is 0-based (the first retry waits `base`). This is the one
+/// backoff the workspace uses — the supervisor between crash recoveries,
+/// and the resilient wire client between reconnects — so retry cadence is
+/// tuned in exactly one place.
+pub fn capped_backoff(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16)).min(cap)
+}
+
+/// [`capped_backoff`] with deterministic jitter: the delay is scaled into
+/// `[½, 1]` of the capped value by a pure function of `(seed, attempt)`,
+/// so a thundering herd of clients with distinct seeds de-synchronizes
+/// while any single schedule stays exactly reproducible.
+pub fn jittered_backoff(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+    let full = capped_backoff(base, cap, attempt);
+    let mix = parapage_cache::fnv1a64_seeded(seed, &attempt.to_le_bytes());
+    // Map the top 16 mix bits onto [1/2, 1] of the full delay.
+    let scale = 0.5 + 0.5 * ((mix >> 48) as f64 / 65535.0);
+    full.mul_f64(scale)
+}
+
 /// Deterministic crashpoints: engine ticks at which the supervised run
 /// panics, each firing at most once per supervised run.
 #[derive(Clone, Debug, Default)]
@@ -581,11 +602,8 @@ impl Supervisor {
                         last_crash: crash_note,
                     });
                 }
-                let backoff = self
-                    .opts
-                    .backoff_base
-                    .saturating_mul(1u32 << (crashes - 1).min(16))
-                    .min(self.opts.backoff_cap);
+                let backoff =
+                    capped_backoff(self.opts.backoff_base, self.opts.backoff_cap, crashes - 1);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }

@@ -7,15 +7,25 @@
 //! two drives with the same configuration submit byte-identical requests —
 //! which is what lets the crash-isolation and migration tests compare full
 //! reply streams across runs.
+//!
+//! Every tenant drives through a
+//! [`ResilientClient`](crate::resilient::ResilientClient): transport
+//! faults (optionally injected with [`DriveCfg::fault`]) are absorbed by
+//! reconnect/re-attach/replay, the recovery work is tallied in
+//! [`DriveReport::retry`], and only *unrecovered* failures count as
+//! [`DriveReport::protocol_errors`] — the number `--expect-clean` gates
+//! on.
 
 use std::net::SocketAddr;
 use std::time::Instant;
 
 use parapage::cache::PageId;
+use parapage::conform::{NetFaultKind, NetFaultPlan};
 use parapage::workloads::{build_workload, SeqSpec};
 
 use crate::client::Client;
 use crate::protocol::{Frame, ServerStats, TenantConfig};
+use crate::resilient::{ResilientClient, RetryCounters, RetryOpts};
 
 /// What to replay and against whom.
 #[derive(Clone, Debug)]
@@ -44,6 +54,12 @@ pub struct DriveCfg {
     pub shards: usize,
     /// Send `Shutdown` after the drive completes.
     pub shutdown: bool,
+    /// Inject this transport fault into every tenant's *first* connection
+    /// (`None` drives clean). The resilient client is expected to absorb
+    /// it; anything unrecovered shows up in `protocol_errors`.
+    pub fault: Option<NetFaultKind>,
+    /// Byte offset at which an injected fault takes effect.
+    pub fault_at: u64,
 }
 
 impl Default for DriveCfg {
@@ -60,6 +76,8 @@ impl Default for DriveCfg {
             seed: 42,
             shards: 4,
             shutdown: false,
+            fault: None,
+            fault_at: 4096,
         }
     }
 }
@@ -151,9 +169,13 @@ pub struct DriveReport {
     pub throughput: f64,
     /// Per-batch round-trip latency percentiles.
     pub latency: LatencyUs,
-    /// Transport/framing/decode failures plus `Error` frames received
-    /// where a `BatchDone` was expected. Zero on a healthy run.
+    /// *Unrecovered* failures: typed client errors after the retry budget,
+    /// plus `Stats`/`Shutdown` call failures. Zero on a healthy run —
+    /// including runs whose transport faults were absorbed by retries.
     pub protocol_errors: u64,
+    /// Recovery work the resilient clients performed: reconnects,
+    /// retries, replays, shed notices absorbed, deadline expiries.
+    pub retry: RetryCounters,
     /// Every reply frame each tenant received, in order — the stream the
     /// equivalence tests compare byte-for-byte (via `Frame`'s `Eq`).
     pub replies: Vec<Vec<Frame>>,
@@ -180,6 +202,20 @@ impl DriveReport {
             self.protocol_errors
         )
     }
+
+    /// One-line recovery summary (reconnects, retries, replays, sheds,
+    /// timeouts — the work the resilient clients did to keep
+    /// `protocol_errors` at zero).
+    pub fn retry_line(&self) -> String {
+        format!(
+            "recovered: {} reconnects, {} retries, {} replays, {} sheds, {} timeouts",
+            self.retry.reconnects,
+            self.retry.retries,
+            self.retry.replays,
+            self.retry.sheds,
+            self.retry.timeouts
+        )
+    }
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -197,6 +233,7 @@ struct TenantOutcome {
     latencies_us: Vec<u64>,
     errors: u64,
     replies: Vec<Frame>,
+    retry: RetryCounters,
 }
 
 fn drive_tenant(cfg: &DriveCfg, t: usize) -> TenantOutcome {
@@ -206,49 +243,43 @@ fn drive_tenant(cfg: &DriveCfg, t: usize) -> TenantOutcome {
         latencies_us: Vec::new(),
         errors: 0,
         replies: Vec::new(),
+        retry: RetryCounters::default(),
     };
-    let mut client = match Client::connect(cfg.addr) {
-        Ok(c) => c,
-        Err(_) => {
-            out.errors += 1;
-            return out;
-        }
+    let opts = RetryOpts {
+        seed: cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ..RetryOpts::default()
     };
-    match client.hello(cfg.tenant_config(t)) {
-        Ok(Frame::HelloAck { .. }) => {}
-        Ok(other) => {
-            out.errors += 1;
-            out.replies.push(other);
-            return out;
-        }
-        Err(_) => {
-            out.errors += 1;
-            return out;
-        }
+    let mut client = ResilientClient::new(cfg.addr, cfg.tenant_config(t), opts);
+    if let Some(kind) = cfg.fault {
+        client = client.with_faults(vec![NetFaultPlan::new(
+            kind,
+            cfg.seed ^ t as u64,
+            0,
+            cfg.fault_at,
+        )]);
     }
     for batch in 0..cfg.batches {
         let seqs = cfg.workload(t, batch);
         let submitted: u64 = seqs.iter().map(|s| s.len() as u64).sum();
         let start = Instant::now();
-        match client.call(&Frame::Batch { batch, seqs }) {
-            Ok(reply @ Frame::BatchDone { .. }) => {
+        match client.run_batch(&seqs) {
+            Ok(reply) => {
                 let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 out.latencies_us.push(us);
                 out.requests += submitted;
                 out.batches += 1;
                 out.replies.push(reply);
             }
-            Ok(other) => {
-                out.errors += 1;
-                out.replies.push(other);
-            }
             Err(_) => {
+                // Typed and final (budget exhausted, rejected, or
+                // divergence): an unrecovered error ends this tenant.
                 out.errors += 1;
-                return out;
+                break;
             }
         }
     }
-    let _ = client.call(&Frame::Goodbye);
+    client.goodbye();
+    out.retry = client.counters();
     out
 }
 
@@ -273,12 +304,14 @@ pub fn drive(cfg: &DriveCfg) -> DriveReport {
     let mut requests = 0u64;
     let mut batches = 0u64;
     let mut protocol_errors = 0u64;
+    let mut retry = RetryCounters::default();
     let mut latencies: Vec<u64> = Vec::new();
     let mut replies = Vec::with_capacity(outcomes.len());
     for o in outcomes {
         requests += o.requests;
         batches += o.batches;
         protocol_errors += o.errors;
+        retry.absorb(&o.retry);
         latencies.extend_from_slice(&o.latencies_us);
         replies.push(o.replies);
     }
@@ -316,6 +349,7 @@ pub fn drive(cfg: &DriveCfg) -> DriveReport {
             max: latencies.last().copied().unwrap_or(0),
         },
         protocol_errors,
+        retry,
         replies,
         stats,
     }

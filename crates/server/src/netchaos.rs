@@ -1,0 +1,522 @@
+//! The `parapage chaos --net` matrix: every transport fault kind × cut
+//! point × tenant count, each cell checked byte-for-byte against a clean
+//! run.
+//!
+//! Each cell boots a fresh server, drives the same deterministic workload
+//! the clean baseline ran (same tenant names, so the reply-chain seeds
+//! match), and injects one [`NetFaultPlan`] per tenant into the *first*
+//! connection. Cut points are sized from the clean run's observed
+//! per-tenant byte counts ([`NetCell::cut_offset`]), so a fraction of
+//! `0.6` reliably lands inside the traffic — usually mid-frame. The bar,
+//! per cell:
+//!
+//! * every tenant's reply stream is **byte-identical** to the clean run's
+//!   (`Frame` equality over the full stream — chain digests included);
+//! * **zero unrecovered errors** — the resilient client absorbed every
+//!   fault;
+//! * for severing faults (cuts, slow-loris), the client actually
+//!   reconnected at least once — proof the fault bit.
+//!
+//! Two special cells extend the grid: **idle-expiry** retires a tenant to
+//! its checkpoint blob via the server's idle TTL and requires a re-attach
+//! to *continue* the reply chain byte-identically, and **shed** drives a
+//! client through a connection-capped server and requires the typed
+//! [`Frame::Busy`] path to absorb the overload.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use parapage::cache::fnv1a64_seeded;
+use parapage::conform::{net_cells, NetCell, NetFaultPlan};
+
+use crate::client::Client;
+use crate::drive::DriveCfg;
+use crate::protocol::Frame;
+use crate::resilient::{ResilientClient, RetryCounters, RetryOpts};
+use crate::server::{serve, ServeOpts};
+
+/// Matrix tuning.
+#[derive(Clone, Debug)]
+pub struct NetChaosOpts {
+    /// Base seed; every cell derives its fault schedule from it.
+    pub seed: u64,
+    /// Reduced grid (one cut fraction, one tenant count) for CI smoke.
+    pub quick: bool,
+    /// Batches per tenant per run.
+    pub batches: u64,
+    /// Total page requests per run (spread across tenants and batches).
+    pub requests: u64,
+    /// Only run cells whose label contains one of these (lower-cased)
+    /// substrings; empty runs everything.
+    pub filters: Vec<String>,
+}
+
+impl Default for NetChaosOpts {
+    fn default() -> Self {
+        NetChaosOpts {
+            seed: 42,
+            quick: false,
+            batches: 3,
+            requests: 3_000,
+            filters: Vec::new(),
+        }
+    }
+}
+
+/// One cell's verdict.
+#[derive(Clone, Debug)]
+pub struct NetCellOutcome {
+    /// Cell label (`kind/tN@frac`, `idle-expiry`, or `shed`).
+    pub label: String,
+    /// Whether the cell met the bar.
+    pub passed: bool,
+    /// Failure reason, or a short pass note.
+    pub detail: String,
+    /// Recovery work the clients performed.
+    pub retry: RetryCounters,
+}
+
+/// The whole matrix's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct NetChaosReport {
+    /// Every cell run, in order.
+    pub cells: Vec<NetCellOutcome>,
+    /// Cells excluded by the label filter.
+    pub skipped: usize,
+}
+
+impl NetChaosReport {
+    /// `true` when every cell passed.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| c.passed)
+    }
+
+    /// Number of failed cells.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| !c.passed).count()
+    }
+}
+
+/// The small, fast engine configuration every cell drives.
+fn drive_cfg(addr: SocketAddr, tenants: usize, opts: &NetChaosOpts) -> DriveCfg {
+    DriveCfg {
+        addr,
+        tenants,
+        batches: opts.batches,
+        requests: opts.requests,
+        p: 2,
+        k: 16,
+        s: 8,
+        policy: "det-par".into(),
+        seed: opts.seed,
+        shards: 2,
+        shutdown: false,
+        fault: None,
+        fault_at: 0,
+    }
+}
+
+/// Server options for matrix cells: a short read deadline (the trickle
+/// cell's long stall must trip it) and no idle expiry.
+fn cell_serve_opts() -> ServeOpts {
+    ServeOpts {
+        read_timeout: Some(Duration::from_millis(80)),
+        ..ServeOpts::default()
+    }
+}
+
+/// One tenant's observed run: its reply stream, recovery counters, and
+/// clean wire byte counts (used to size later cut points).
+struct TenantRun {
+    replies: Vec<Frame>,
+    retry: RetryCounters,
+    sent: u64,
+    received: u64,
+    error: Option<String>,
+}
+
+/// Drives `cfg.tenants` resilient clients concurrently, tenant `t` using
+/// `plans[t]` on its first connection.
+fn run_group(cfg: &DriveCfg, plans: &[Option<NetFaultPlan>], seed: u64) -> Vec<TenantRun> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.tenants)
+            .map(|t| {
+                let plan = plans.get(t).copied().flatten();
+                scope.spawn(move || {
+                    let opts = RetryOpts {
+                        seed: seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        ..RetryOpts::default()
+                    };
+                    let mut client = ResilientClient::new(cfg.addr, cfg.tenant_config(t), opts);
+                    if let Some(plan) = plan {
+                        client = client.with_faults(vec![plan]);
+                    }
+                    let mut run = TenantRun {
+                        replies: Vec::new(),
+                        retry: RetryCounters::default(),
+                        sent: 0,
+                        received: 0,
+                        error: None,
+                    };
+                    for batch in 0..cfg.batches {
+                        let seqs = cfg.workload(t, batch);
+                        match client.run_batch(&seqs) {
+                            Ok(reply) => run.replies.push(reply),
+                            Err(e) => {
+                                run.error = Some(format!("batch {batch}: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    client.goodbye();
+                    run.retry = client.counters();
+                    (run.sent, run.received) = client.wire_bytes();
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread panicked"))
+            .collect()
+    })
+}
+
+/// Boots a server, runs a clean baseline, and returns its per-tenant runs.
+fn clean_baseline(tenants: usize, opts: &NetChaosOpts) -> Result<Vec<TenantRun>, String> {
+    let handle =
+        serve("127.0.0.1:0", cell_serve_opts()).map_err(|e| format!("clean baseline bind: {e}"))?;
+    let cfg = drive_cfg(handle.addr(), tenants, opts);
+    let runs = run_group(&cfg, &vec![None; tenants], opts.seed);
+    // Shut down through the handle, not the wire: a wire `Shutdown` is
+    // admission-gated, so a still-draining connection slot could shed it
+    // (`Busy`) and strand the join.
+    handle.shutdown();
+    handle.join();
+    for (t, run) in runs.iter().enumerate() {
+        if let Some(e) = &run.error {
+            return Err(format!("clean baseline tenant {t} failed: {e}"));
+        }
+    }
+    Ok(runs)
+}
+
+/// Runs one fault cell against a fresh server and judges it against the
+/// clean baseline.
+fn run_cell(cell: &NetCell, clean: &[TenantRun], opts: &NetChaosOpts) -> NetCellOutcome {
+    let mut out = NetCellOutcome {
+        label: cell.label(),
+        passed: false,
+        detail: String::new(),
+        retry: RetryCounters::default(),
+    };
+    let handle = match serve("127.0.0.1:0", cell_serve_opts()) {
+        Ok(h) => h,
+        Err(e) => {
+            out.detail = format!("bind: {e}");
+            return out;
+        }
+    };
+    let cfg = drive_cfg(handle.addr(), cell.tenants, opts);
+    let plans: Vec<Option<NetFaultPlan>> = (0..cell.tenants)
+        .map(|t| {
+            // Write-side faults cut against the clean run's sent bytes,
+            // read-side faults against its received bytes, so the cut
+            // lands inside the traffic it perturbs.
+            let clean_bytes = if cell.kind.on_recv() {
+                clean[t].received
+            } else {
+                clean[t].sent
+            };
+            let cell_seed = fnv1a64_seeded(opts.seed, cell.label().as_bytes()) ^ t as u64;
+            Some(NetFaultPlan::new(
+                cell.kind,
+                cell_seed,
+                0,
+                cell.cut_offset(clean_bytes),
+            ))
+        })
+        .collect();
+    let runs = run_group(&cfg, &plans, opts.seed ^ 0xbeef);
+    handle.shutdown();
+    handle.join();
+
+    let mut reconnects = 0u64;
+    for (t, run) in runs.iter().enumerate() {
+        out.retry.absorb(&run.retry);
+        reconnects += run.retry.reconnects;
+        if let Some(e) = &run.error {
+            out.detail = format!("tenant {t} unrecovered: {e}");
+            return out;
+        }
+        if run.replies != clean[t].replies {
+            out.detail = format!(
+                "tenant {t} reply stream diverged from clean run ({} vs {} replies)",
+                run.replies.len(),
+                clean[t].replies.len()
+            );
+            return out;
+        }
+    }
+    if cell.kind.severs() && reconnects == 0 {
+        out.detail = "severing fault produced no reconnects (cut never landed)".into();
+        return out;
+    }
+    out.passed = true;
+    out.detail = format!("recovered {} events", out.retry.recovered());
+    out
+}
+
+/// The idle-expiry cell: a tenant goes idle past the TTL, is retired to
+/// its checkpoint blob, and a re-attach must *continue* the session —
+/// same reply chain, byte-identical `BatchDone`s — with at least one
+/// expiry counted.
+fn run_expiry_cell(opts: &NetChaosOpts) -> NetCellOutcome {
+    let mut out = NetCellOutcome {
+        label: "idle-expiry/t1".into(),
+        passed: false,
+        detail: String::new(),
+        retry: RetryCounters::default(),
+    };
+    let fail = |out: &mut NetCellOutcome, d: String| {
+        out.detail = d;
+    };
+
+    // Control: both batches over one unbroken session.
+    let control = match clean_baseline(1, opts) {
+        Ok(runs) => runs,
+        Err(e) => {
+            fail(&mut out, e);
+            return out;
+        }
+    };
+    if control[0].replies.len() < 2 {
+        fail(&mut out, "control run produced fewer than 2 batches".into());
+        return out;
+    }
+
+    let ttl = Duration::from_millis(30);
+    let handle = match serve(
+        "127.0.0.1:0",
+        ServeOpts {
+            idle_ttl: Some(ttl),
+            ..cell_serve_opts()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            fail(&mut out, format!("bind: {e}"));
+            return out;
+        }
+    };
+    let cfg = drive_cfg(handle.addr(), 1, opts);
+    let verdict = (|| -> Result<(), String> {
+        // Batch 0 on a first connection, then detach.
+        let mut c = Client::connect(cfg.addr).map_err(|e| format!("connect: {e}"))?;
+        match c.hello(cfg.tenant_config(0)) {
+            Ok(Frame::HelloAck { next_batch: 0, .. }) => {}
+            other => return Err(format!("first hello: {other:?}")),
+        }
+        let first = c
+            .call(&Frame::Batch {
+                batch: 0,
+                seqs: cfg.workload(0, 0),
+            })
+            .map_err(|e| format!("batch 0: {e}"))?;
+        if first != control[0].replies[0] {
+            return Err("batch 0 reply diverged from control".into());
+        }
+        let chain_after_0 = match first {
+            Frame::BatchDone { chain, .. } => chain,
+            ref other => return Err(format!("batch 0 reply: {other:?}")),
+        };
+        let _ = c.call(&Frame::Goodbye);
+        drop(c);
+
+        // Wait for the reaper to retire the tenant.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.stats().expiries == 0 {
+            if Instant::now() >= deadline {
+                return Err("tenant never expired (reaper idle?)".into());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Re-attach: the restored session must continue, not restart.
+        let mut c = Client::connect(cfg.addr).map_err(|e| format!("reconnect: {e}"))?;
+        match c.hello(cfg.tenant_config(0)) {
+            Ok(Frame::HelloAck {
+                next_batch,
+                reply_chain,
+                ..
+            }) => {
+                if next_batch != 1 {
+                    return Err(format!(
+                        "restored session expects batch {next_batch}, not 1 — restarted?"
+                    ));
+                }
+                if reply_chain != chain_after_0 {
+                    return Err("restored reply chain does not continue batch 0's".into());
+                }
+            }
+            other => return Err(format!("re-attach hello: {other:?}")),
+        }
+        let second = c
+            .call(&Frame::Batch {
+                batch: 1,
+                seqs: cfg.workload(0, 1),
+            })
+            .map_err(|e| format!("batch 1: {e}"))?;
+        if second != control[0].replies[1] {
+            return Err("batch 1 reply diverged from control after expiry restore".into());
+        }
+        let _ = c.call(&Frame::Goodbye);
+        Ok(())
+    })();
+    let expiries = handle.stats().expiries;
+    handle.shutdown();
+    handle.join();
+    match verdict {
+        Ok(()) => {
+            out.passed = true;
+            out.detail = format!("restored after {expiries} expiry(ies), chain continued");
+        }
+        Err(e) => fail(&mut out, e),
+    }
+    out
+}
+
+/// The shed cell: a connection-capped server answers overload with a
+/// typed [`Frame::Busy`]; the resilient client absorbs the shed notices
+/// and still gets the clean run's reply.
+fn run_shed_cell(opts: &NetChaosOpts) -> NetCellOutcome {
+    let mut out = NetCellOutcome {
+        label: "shed/t1".into(),
+        passed: false,
+        detail: String::new(),
+        retry: RetryCounters::default(),
+    };
+
+    let control = match clean_baseline(1, opts) {
+        Ok(runs) => runs,
+        Err(e) => {
+            out.detail = e;
+            return out;
+        }
+    };
+
+    let handle = match serve(
+        "127.0.0.1:0",
+        ServeOpts {
+            max_conns: 1,
+            busy_retry_ms: 5,
+            ..cell_serve_opts()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            out.detail = format!("bind: {e}");
+            return out;
+        }
+    };
+    let cfg = drive_cfg(handle.addr(), 1, opts);
+
+    // Occupy the single connection slot, then release it mid-retry.
+    let occupier = Client::connect(cfg.addr);
+    let verdict = (|| -> Result<RetryCounters, String> {
+        let mut occupier = occupier.map_err(|e| format!("occupier connect: {e}"))?;
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            let _ = occupier.call(&Frame::Goodbye);
+        });
+        let retry_opts = RetryOpts {
+            max_attempts: 16,
+            seed: opts.seed,
+            ..RetryOpts::default()
+        };
+        let mut client = ResilientClient::new(cfg.addr, cfg.tenant_config(0), retry_opts);
+        let mut replies = Vec::new();
+        for batch in 0..cfg.batches {
+            let seqs = cfg.workload(0, batch);
+            let reply = client
+                .run_batch(&seqs)
+                .map_err(|e| format!("batch {batch} through shedding: {e}"))?;
+            replies.push(reply);
+        }
+        client.goodbye();
+        let _ = release.join();
+        if replies != control[0].replies {
+            return Err("reply stream diverged from clean run".into());
+        }
+        let counters = client.counters();
+        if counters.sheds == 0 {
+            return Err("client never observed a typed Busy (cap never hit)".into());
+        }
+        Ok(counters)
+    })();
+    let shed = handle.stats().shed;
+    handle.shutdown();
+    handle.join();
+    match verdict {
+        Ok(counters) => {
+            out.retry = counters;
+            if shed == 0 {
+                out.detail = "server counted no shed connections".into();
+            } else {
+                out.passed = true;
+                out.detail = format!("absorbed {} Busy notices ({} shed)", counters.sheds, shed);
+            }
+        }
+        Err(e) => out.detail = e,
+    }
+    out
+}
+
+/// Runs the full matrix (or the `quick` reduction) and collects a report.
+///
+/// # Errors
+/// Only infrastructure failures (a clean baseline that cannot run); cell
+/// failures land in the report.
+pub fn net_chaos_matrix(opts: &NetChaosOpts) -> Result<NetChaosReport, String> {
+    let tenant_counts: &[usize] = if opts.quick { &[2] } else { &[1, 3] };
+    let fracs: &[f64] = if opts.quick {
+        &[0.6]
+    } else {
+        &[0.25, 0.6, 0.9]
+    };
+    let keep = |label: &str| {
+        opts.filters.is_empty()
+            || opts
+                .filters
+                .iter()
+                .any(|f| label.to_ascii_lowercase().contains(f))
+    };
+
+    let mut report = NetChaosReport::default();
+    for &tenants in tenant_counts {
+        let cells: Vec<NetCell> = net_cells(&[tenants], fracs);
+        if cells.iter().all(|c| !keep(&c.label())) {
+            report.skipped += cells.len();
+            continue;
+        }
+        let clean = clean_baseline(tenants, opts)?;
+        for cell in &cells {
+            if !keep(&cell.label()) {
+                report.skipped += 1;
+                continue;
+            }
+            report.cells.push(run_cell(cell, &clean, opts));
+        }
+    }
+    if keep("idle-expiry") {
+        report.cells.push(run_expiry_cell(opts));
+    } else {
+        report.skipped += 1;
+    }
+    if keep("shed") {
+        report.cells.push(run_shed_cell(opts));
+    } else {
+        report.skipped += 1;
+    }
+    Ok(report)
+}

@@ -28,7 +28,15 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ppwf";
 
 /// Protocol version spoken by this crate; [`Frame::Hello`] carries it and
 /// the server rejects a mismatch with a typed [`Frame::Error`].
-pub const PROTO_VERSION: u16 = 1;
+///
+/// Version 2 (the chaos-layer revision) extended [`Frame::HelloAck`] with
+/// the re-attach resume coordinates (`next_batch`, `reply_chain`) and
+/// added [`Frame::Busy`] (admission-level load shedding) and
+/// [`Frame::Replay`] (re-delivery of the last acked `BatchDone`). A v1
+/// `Hello` still *decodes* — version negotiation happens above the codec —
+/// so an old client is turned away with a typed `BAD_VERSION` error, never
+/// a silent drop.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Bytes of a wire frame before the payload: magic, sequence, length.
 pub const WIRE_HEADER: usize = 4 + 8 + 4;
@@ -70,6 +78,9 @@ pub mod error_code {
     /// A `Hello` re-attached to an existing tenant with different
     /// parameters.
     pub const CONFIG_MISMATCH: u16 = 7;
+    /// The peer stalled past the server's per-session read deadline
+    /// mid-frame (slow-loris); the connection is closed after this error.
+    pub const TIMED_OUT: u16 = 8;
 }
 
 /// Frame payload tags (first payload byte).
@@ -89,6 +100,8 @@ mod tag {
     pub const SHUTDOWN: u8 = 13;
     pub const SHUTDOWN_ACK: u8 = 14;
     pub const ERROR: u8 = 15;
+    pub const BUSY: u8 = 16;
+    pub const REPLAY: u8 = 17;
 }
 
 /// Everything a [`Frame::Hello`] declares about the tenant's engine
@@ -133,6 +146,11 @@ pub struct ServerStats {
     pub wal_records: u64,
     /// Checkpoint bytes written across all tenant runs.
     pub checkpoint_bytes: u64,
+    /// Idle tenants retired to their checkpointed session state (a later
+    /// re-attach restores them; see the server's idle-TTL).
+    pub expiries: u64,
+    /// Connections shed at admission with a typed [`Frame::Busy`].
+    pub shed: u64,
 }
 
 /// One protocol message. Every variant round-trips through
@@ -155,6 +173,15 @@ pub enum Frame {
         /// Requests this tenant may still submit before admission control
         /// rejects its batches.
         budget_left: u64,
+        /// The batch sequence number the server expects next — the resume
+        /// coordinate a re-attaching client compares against its own
+        /// cursor to decide between re-sending and [`Frame::Replay`].
+        next_batch: u64,
+        /// The tenant's reply-chain digest after its last acked batch. A
+        /// re-attaching client re-seeds its expected chain from this, so
+        /// a replayed stream either lines up byte-identically or the
+        /// mismatch surfaces as a typed divergence — never silently.
+        reply_chain: u64,
     },
     /// Client → server: one batch of per-processor request sequences to
     /// run through the tenant's supervised engine.
@@ -236,6 +263,23 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Server → client: admission-level load shedding. The server is at
+    /// its connection cap; it answers with this frame *instead of* a
+    /// silent drop, then closes. A well-behaved client backs off at least
+    /// `retry_after_ms` before reconnecting.
+    Busy {
+        /// Suggested minimum back-off before the next attempt.
+        retry_after_ms: u32,
+    },
+    /// Client → server: re-deliver the `BatchDone` of `batch`, which the
+    /// server acked but the client never saw (the connection died while
+    /// the reply was in flight). The server answers with the cached frame
+    /// verbatim — same digest, same chain — or a typed `BAD_STATE` error
+    /// if `batch` is not the tenant's most recently served batch.
+    Replay {
+        /// The batch whose reply went missing.
+        batch: u64,
+    },
 }
 
 impl Frame {
@@ -259,11 +303,15 @@ impl Frame {
                 session,
                 max_frame,
                 budget_left,
+                next_batch,
+                reply_chain,
             } => {
                 w.put_u8(tag::HELLO_ACK);
                 w.put_u64(*session);
                 w.put_u64(*max_frame);
                 w.put_u64(*budget_left);
+                w.put_u64(*next_batch);
+                w.put_u64(*reply_chain);
             }
             Frame::Batch { batch, seqs } => {
                 w.put_u8(tag::BATCH);
@@ -322,6 +370,8 @@ impl Frame {
                 w.put_u64(stats.migrations);
                 w.put_u64(stats.wal_records);
                 w.put_u64(stats.checkpoint_bytes);
+                w.put_u64(stats.expiries);
+                w.put_u64(stats.shed);
             }
             Frame::Goodbye => w.put_u8(tag::GOODBYE),
             Frame::GoodbyeAck => w.put_u8(tag::GOODBYE_ACK),
@@ -331,6 +381,14 @@ impl Frame {
                 w.put_u8(tag::ERROR);
                 w.put_u16(*code);
                 w.put_bytes(message.as_bytes());
+            }
+            Frame::Busy { retry_after_ms } => {
+                w.put_u8(tag::BUSY);
+                w.put_u32(*retry_after_ms);
+            }
+            Frame::Replay { batch } => {
+                w.put_u8(tag::REPLAY);
+                w.put_u64(*batch);
             }
         }
         w.into_bytes()
@@ -371,6 +429,8 @@ impl Frame {
                 session: r.get_u64()?,
                 max_frame: r.get_u64()?,
                 budget_left: r.get_u64()?,
+                next_batch: r.get_u64()?,
+                reply_chain: r.get_u64()?,
             },
             tag::BATCH => {
                 let batch = r.get_u64()?;
@@ -427,6 +487,8 @@ impl Frame {
                     migrations: r.get_u64()?,
                     wal_records: r.get_u64()?,
                     checkpoint_bytes: r.get_u64()?,
+                    expiries: r.get_u64()?,
+                    shed: r.get_u64()?,
                 },
             },
             tag::GOODBYE => Frame::Goodbye,
@@ -436,6 +498,12 @@ impl Frame {
             tag::ERROR => Frame::Error {
                 code: r.get_u16()?,
                 message: get_name(&mut r, MAX_FRAME)?,
+            },
+            tag::BUSY => Frame::Busy {
+                retry_after_ms: r.get_u32()?,
+            },
+            tag::REPLAY => Frame::Replay {
+                batch: r.get_u64()?,
             },
             _ => return Err(CodecError::Invalid("unknown frame tag")),
         };
@@ -537,6 +605,15 @@ pub enum WireError {
     Codec(CodecError),
     /// The peer closed the connection cleanly at a frame boundary.
     Closed,
+    /// A configured read deadline expired. `mid_frame` distinguishes a
+    /// peer that stalled with a frame partly delivered (slow-loris — the
+    /// server answers with a typed `TIMED_OUT` error and closes) from one
+    /// that is merely idle between frames (closed quietly; a resilient
+    /// client re-attaches on its next request).
+    TimedOut {
+        /// Whether bytes of the next frame had already arrived.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -545,6 +622,10 @@ impl std::fmt::Display for WireError {
             WireError::Io(e) => write!(f, "transport error: {e}"),
             WireError::Codec(e) => write!(f, "protocol error: {e}"),
             WireError::Closed => write!(f, "connection closed"),
+            WireError::TimedOut { mid_frame: true } => write!(f, "read deadline expired mid-frame"),
+            WireError::TimedOut { mid_frame: false } => {
+                write!(f, "read deadline expired at a frame boundary")
+            }
         }
     }
 }
@@ -608,7 +689,7 @@ impl WireState {
     /// header byte is [`WireError::Closed`].
     pub fn read_frame(&mut self, r: &mut impl std::io::Read) -> Result<Frame, WireError> {
         let mut buf = vec![0u8; WIRE_HEADER];
-        read_exact_or_closed(r, &mut buf)?;
+        read_exact_or_closed(r, &mut buf, false)?;
         let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         if len > MAX_FRAME {
             return Err(WireError::Codec(CodecError::Invalid(
@@ -616,8 +697,7 @@ impl WireState {
             )));
         }
         buf.resize(WIRE_HEADER + len + 8, 0);
-        r.read_exact(&mut buf[WIRE_HEADER..])
-            .map_err(WireError::Io)?;
+        read_exact_or_closed(r, &mut buf[WIRE_HEADER..], true)?;
         let wf = parse_wire(&buf, self.chain, self.seq)?;
         let frame = Frame::decode_payload(wf.payload)?;
         self.seq += 1;
@@ -627,15 +707,32 @@ impl WireState {
 }
 
 /// `read_exact`, except a clean EOF before the first byte is
-/// [`WireError::Closed`] instead of an I/O error.
-fn read_exact_or_closed(r: &mut impl std::io::Read, buf: &mut [u8]) -> Result<(), WireError> {
+/// [`WireError::Closed`] instead of an I/O error, and an expired read
+/// deadline (`WouldBlock`/`TimedOut` from a socket with a read timeout) is
+/// the typed [`WireError::TimedOut`] — `mid_frame` once any byte of the
+/// frame (`started`, or a previous chunk of it) has been seen.
+fn read_exact_or_closed(
+    r: &mut impl std::io::Read,
+    buf: &mut [u8],
+    started: bool,
+) -> Result<(), WireError> {
     let mut filled = 0usize;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Err(WireError::Closed),
+            Ok(0) if filled == 0 && !started => return Err(WireError::Closed),
             Ok(0) => return Err(WireError::Codec(CodecError::UnexpectedEof)),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(WireError::TimedOut {
+                    mid_frame: started || filled > 0,
+                })
+            }
             Err(e) => return Err(WireError::Io(e)),
         }
     }

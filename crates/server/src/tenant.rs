@@ -21,7 +21,9 @@
 //! counters (restarts, migrations, checkpoint bytes) are deliberately kept
 //! out of the reply chain and surface only through `Stats`.
 
-use parapage::cache::{fnv1a64, fnv1a64_seeded, PageId, ShardedLru, SnapWriter};
+use parapage::cache::{
+    decode_framed, fnv1a64, fnv1a64_seeded, PageId, ShardedLru, SnapReader, SnapWriter,
+};
 use parapage::core::{
     BlackboxGreenPacker, BoxAllocator, DetPar, ModelParams, PropMissPartition, RandGreen, RandPar,
     StaticPartition, UcpPartition,
@@ -34,7 +36,7 @@ use parapage::sched::{
 use crate::protocol::{error_code, Frame, TenantConfig};
 
 /// Chain seed of a tenant's `BatchDone` reply chain.
-fn reply_chain_seed(tenant: &str) -> u64 {
+pub(crate) fn reply_chain_seed(tenant: &str) -> u64 {
     fnv1a64_seeded(fnv1a64(b"parapage-reply/1"), tenant.as_bytes())
 }
 
@@ -115,6 +117,12 @@ pub struct TenantSession {
     chain: u64,
     kills: Vec<PendingAt>,
     migrations_pending: Vec<PendingAt>,
+    /// The last `BatchDone` served, cached verbatim for
+    /// [`Frame::Replay`](crate::protocol::Frame::Replay). Because the
+    /// protocol is strictly request/reply, at most one reply can ever be
+    /// in doubt, so a one-frame cache suffices for byte-identical
+    /// resumption.
+    last_reply: Option<Frame>,
     // Operational counters (outside the reply chain).
     batches: u64,
     requests: u64,
@@ -153,6 +161,7 @@ impl TenantSession {
             chain,
             kills: Vec::new(),
             migrations_pending: Vec::new(),
+            last_reply: None,
             batches: 0,
             requests: 0,
             restarts: 0,
@@ -170,6 +179,37 @@ impl TenantSession {
     /// Remaining request budget.
     pub fn budget_left(&self) -> u64 {
         self.budget_left
+    }
+
+    /// The batch sequence number this session expects next — the resume
+    /// coordinate a re-attaching client sees in `HelloAck`.
+    pub fn next_batch(&self) -> u64 {
+        self.next_batch
+    }
+
+    /// The reply-chain digest after the last acked batch.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// Re-delivers the cached reply for `batch` verbatim — the recovery
+    /// path for a client whose `BatchDone` was lost to a transport fault.
+    ///
+    /// # Errors
+    /// `BAD_STATE` when `batch` is not the last served batch (only the
+    /// most recent reply is cached; asking for anything else means the
+    /// client's cursor has diverged beyond recovery).
+    pub fn replay(&self, batch: u64) -> Result<Frame, (u16, String)> {
+        match &self.last_reply {
+            Some(frame @ Frame::BatchDone { batch: b, .. }) if *b == batch => Ok(frame.clone()),
+            _ => Err((
+                error_code::BAD_STATE,
+                format!(
+                    "no cached reply for batch {batch} (next expected batch is {})",
+                    self.next_batch
+                ),
+            )),
+        }
     }
 
     /// Operational counters for `Stats` aggregation.
@@ -300,7 +340,106 @@ impl TenantSession {
         self.wal_records += report.wal_records;
         self.checkpoint_bytes += report.checkpoint_bytes;
 
-        Ok(self.reply_for(batch, &report.result))
+        let reply = self.reply_for(batch, &report.result);
+        self.last_reply = Some(reply.clone());
+        Ok(reply)
+    }
+
+    /// Serializes the session into a digest-protected checkpoint blob —
+    /// everything a future [`TenantSession::restore`] needs to continue
+    /// the reply chain byte-identically: config, budget, batch cursor,
+    /// chain digest, the cached last reply, and the operational counters.
+    /// This is what survives idle-tenant expiry.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_bytes(self.config.tenant.as_bytes());
+        w.put_usize(self.config.p);
+        w.put_usize(self.config.k);
+        w.put_u64(self.config.s);
+        w.put_bytes(self.config.policy.as_bytes());
+        w.put_u64(self.config.seed);
+        w.put_usize(self.config.shards);
+        w.put_u64(self.budget_left);
+        w.put_u64(self.next_batch);
+        w.put_u64(self.chain);
+        match &self.last_reply {
+            Some(frame) => w.put_bytes(&frame.encode_payload()),
+            None => w.put_bytes(&[]),
+        }
+        w.put_u64(self.batches);
+        w.put_u64(self.requests);
+        w.put_u64(self.restarts);
+        w.put_u64(self.migrations);
+        w.put_u64(self.wal_records);
+        w.put_u64(self.checkpoint_bytes);
+        w.into_framed()
+    }
+
+    /// Rebuilds a session from a [`TenantSession::checkpoint`] blob. The
+    /// restored session *continues* — same chain, same batch cursor, same
+    /// remaining budget — rather than restarting, which is what makes
+    /// re-attach after idle expiry indistinguishable from an unbroken
+    /// session on the wire.
+    ///
+    /// # Errors
+    /// A rendered decode error on any corruption (the blob is framed and
+    /// digest-checked end to end).
+    pub fn restore(blob: &[u8], opts: TenantOpts) -> Result<TenantSession, String> {
+        let payload = decode_framed(blob).map_err(|e| format!("session blob: {e}"))?;
+        let mut r = SnapReader::new(payload);
+        let get_string = |r: &mut SnapReader<'_>, what: &str| -> Result<String, String> {
+            let bytes = r.get_bytes().map_err(|e| format!("{what}: {e}"))?;
+            String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what}: invalid utf-8"))
+        };
+        let tenant = get_string(&mut r, "tenant name")?;
+        let p = r.get_usize().map_err(|e| format!("p: {e}"))?;
+        let k = r.get_usize().map_err(|e| format!("k: {e}"))?;
+        let s = r.get_u64().map_err(|e| format!("s: {e}"))?;
+        let policy = get_string(&mut r, "policy name")?;
+        let seed = r.get_u64().map_err(|e| format!("seed: {e}"))?;
+        let shards = r.get_usize().map_err(|e| format!("shards: {e}"))?;
+        let budget_left = r.get_u64().map_err(|e| format!("budget: {e}"))?;
+        let next_batch = r.get_u64().map_err(|e| format!("next_batch: {e}"))?;
+        let chain = r.get_u64().map_err(|e| format!("chain: {e}"))?;
+        let reply_bytes = r.get_bytes().map_err(|e| format!("last reply: {e}"))?;
+        let last_reply = if reply_bytes.is_empty() {
+            None
+        } else {
+            Some(Frame::decode_payload(reply_bytes).map_err(|e| format!("last reply: {e}"))?)
+        };
+        let batches = r.get_u64().map_err(|e| format!("batches: {e}"))?;
+        let requests = r.get_u64().map_err(|e| format!("requests: {e}"))?;
+        let restarts = r.get_u64().map_err(|e| format!("restarts: {e}"))?;
+        let migrations = r.get_u64().map_err(|e| format!("migrations: {e}"))?;
+        let wal_records = r.get_u64().map_err(|e| format!("wal_records: {e}"))?;
+        let checkpoint_bytes = r.get_u64().map_err(|e| format!("checkpoint_bytes: {e}"))?;
+        if !r.is_exhausted() {
+            return Err(format!("session blob: {} trailing bytes", r.remaining()));
+        }
+        Ok(TenantSession {
+            config: TenantConfig {
+                tenant,
+                p,
+                k,
+                s,
+                policy,
+                seed,
+                shards,
+            },
+            opts,
+            budget_left,
+            next_batch,
+            chain,
+            kills: Vec::new(),
+            migrations_pending: Vec::new(),
+            last_reply,
+            batches,
+            requests,
+            restarts,
+            migrations,
+            wal_records,
+            checkpoint_bytes,
+        })
     }
 
     /// Builds the deterministic `BatchDone` for a result, folding it into

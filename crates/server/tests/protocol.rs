@@ -36,6 +36,8 @@ fn all_frames() -> Vec<Frame> {
             session: 7,
             max_frame: MAX_FRAME as u64,
             budget_left: 1_000_000,
+            next_batch: 5,
+            reply_chain: 0xc0ff_ee00_dead_beef,
         },
         Frame::Batch {
             batch: 3,
@@ -74,6 +76,8 @@ fn all_frames() -> Vec<Frame> {
                 migrations: 2,
                 wal_records: 40,
                 checkpoint_bytes: 65536,
+                expiries: 2,
+                shed: 5,
             },
         },
         Frame::Goodbye,
@@ -84,6 +88,8 @@ fn all_frames() -> Vec<Frame> {
             code: 5,
             message: "malformed frame".into(),
         },
+        Frame::Busy { retry_after_ms: 25 },
+        Frame::Replay { batch: 4 },
     ]
 }
 
@@ -343,7 +349,9 @@ proptest! {
         match rx.read_frame(&mut Cursor::new(buf[..cut].to_vec())) {
             Ok(_) => prop_assert!(false, "truncated frame parsed"),
             Err(WireError::Closed) => prop_assert!(cut == 0, "Closed mid-frame at {cut}"),
-            Err(WireError::Codec(_)) | Err(WireError::Io(_)) => {}
+            // A Cursor never reports a read timeout, but the arm keeps
+            // the match total over the typed error space.
+            Err(WireError::Codec(_)) | Err(WireError::Io(_)) | Err(WireError::TimedOut { .. }) => {}
         }
     }
 }

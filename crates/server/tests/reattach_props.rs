@@ -1,0 +1,120 @@
+//! Property-based re-attach equivalence: sever a session at an
+//! *arbitrary* byte offset, in either direction, and the resilient
+//! client's recovered reply stream must be byte-identical to an unbroken
+//! run — or the failure must surface as a typed [`ClientError`]. Silent
+//! divergence (an `Ok` stream that differs from the clean one) is the one
+//! outcome that must never happen, at any cut point.
+
+use proptest::prelude::*;
+
+use parapage::cache::PageId;
+use parapage::conform::{NetFaultKind, NetFaultPlan};
+use parapage_server::protocol::{Frame, TenantConfig};
+use parapage_server::server::{serve, ServeOpts};
+use parapage_server::{ResilientClient, RetryOpts};
+
+const BATCHES: u64 = 2;
+
+fn config() -> TenantConfig {
+    TenantConfig {
+        tenant: "prop".into(),
+        p: 2,
+        k: 8,
+        s: 4,
+        policy: "det-par".into(),
+        seed: 3,
+        shards: 2,
+    }
+}
+
+fn workload(batch: u64) -> Vec<Vec<PageId>> {
+    (0..2u64)
+        .map(|x| {
+            (0..20u64)
+                .map(|i| PageId((batch * 5 + x * 3 + i) % 10))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the whole session through a resilient client against a fresh
+/// server, with `plans` as the transport fault schedule.
+fn run_session(plans: Vec<NetFaultPlan>, seed: u64) -> Result<Vec<Frame>, String> {
+    let handle = serve("127.0.0.1:0", ServeOpts::default()).map_err(|e| format!("bind: {e}"))?;
+    let mut client = ResilientClient::new(
+        handle.addr(),
+        config(),
+        RetryOpts {
+            seed,
+            ..RetryOpts::default()
+        },
+    )
+    .with_faults(plans);
+    let mut replies = Vec::new();
+    let mut error = None;
+    for batch in 0..BATCHES {
+        match client.run_batch(&workload(batch)) {
+            Ok(reply) => replies.push(reply),
+            Err(e) => {
+                // Typed failure: allowed. Record and stop — the property
+                // only forbids an Ok stream that diverges.
+                error = Some(format!("{e}"));
+                break;
+            }
+        }
+    }
+    client.goodbye();
+    handle.shutdown();
+    handle.join();
+    match error {
+        Some(e) => Err(e),
+        None => Ok(replies),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One severing fault on the first connection, at an arbitrary byte
+    /// offset in either direction. The digest chain is re-seeded from the
+    /// server's acked state on re-attach, so the recovered stream must be
+    /// byte-identical to the clean run's — and since the fault dies with
+    /// connection 0, recovery must in fact always succeed.
+    #[test]
+    fn any_cut_point_resumes_byte_identically(
+        kind_is_recv in any::<bool>(),
+        cut in 1u64..700,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let clean = run_session(Vec::new(), seed).expect("clean run failed");
+        prop_assert_eq!(clean.len() as u64, BATCHES);
+
+        let kind = if kind_is_recv { NetFaultKind::CutRecv } else { NetFaultKind::CutSend };
+        let replies = run_session(vec![NetFaultPlan::new(kind, seed, 0, cut)], seed)
+            .expect("single-connection cut must be recoverable");
+        prop_assert_eq!(replies, clean, "recovered stream diverged from clean run");
+    }
+
+    /// Cuts on *both* of the first two connections — recovery may
+    /// legitimately exhaust its budget, but an `Ok` stream must still be
+    /// byte-identical: typed error or identical, never silent divergence.
+    #[test]
+    fn double_cut_is_identical_or_typed(
+        first_is_recv in any::<bool>(),
+        cut0 in 1u64..700,
+        cut1 in 1u64..700,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let clean = run_session(Vec::new(), seed).expect("clean run failed");
+
+        let kind0 = if first_is_recv { NetFaultKind::CutRecv } else { NetFaultKind::CutSend };
+        let kind1 = if first_is_recv { NetFaultKind::CutSend } else { NetFaultKind::CutRecv };
+        let plans = vec![
+            NetFaultPlan::new(kind0, seed, 0, cut0),
+            NetFaultPlan::new(kind1, seed ^ 0xd1ce, 1, cut1),
+        ];
+        if let Ok(replies) = run_session(plans, seed) {
+            prop_assert_eq!(replies, clean, "recovered stream diverged from clean run");
+        }
+    }
+}

@@ -32,8 +32,15 @@ cargo run -q -p parapage-cli --release -- chaos --quick --wal
 echo "==> parapage bench --quick (smoke + determinism gate)"
 cargo run -q -p parapage-cli --release -- bench --quick --out /tmp/parapage-bench-smoke.json
 
+echo "==> parapage chaos --quick --net (network chaos matrix)"
+cargo run -q -p parapage-cli --release -- chaos --quick --net
+
 echo "==> parapage drive (serve smoke: in-process server, clean shutdown)"
 cargo run -q -p parapage-cli --release -- drive --requests 50000 --tenants 3 \
   --batches 2 --expect-clean
+
+echo "==> parapage drive --fault (recovery smoke: severed connections absorbed)"
+cargo run -q -p parapage-cli --release -- drive --requests 50000 --tenants 3 \
+  --batches 2 --fault cut-send --expect-clean
 
 echo "All checks passed."
