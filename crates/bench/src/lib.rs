@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod recipes;
 pub mod suite;
 

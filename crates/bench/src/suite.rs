@@ -26,10 +26,20 @@
 //! | `server/wire-codec`   | serve protocol frame encode/verify/decode  |
 //! | `concurrent/sharded-access` | pool workers on one shared sharded LRU |
 //! | `concurrent/lockfree-index` | pool workers on one shared lock-free map |
+//! | `ops/engine-step`     | raw engine event throughput (ticks/sec)    |
+//! | `ops/lru-access`      | packed-LRU access throughput (single shard)|
+//! | `ops/sharded-access`  | sharded-LRU routing + access, one thread   |
 //!
 //! The two `checkpoint/*` entries additionally record their total payload
 //! bytes (a deterministic function of the workload), pinning the WAL's
 //! O(changes) size advantage over O(state) snapshots in the trajectory.
+//!
+//! The three `ops/*` entries are single-thread microbenchmarks of the
+//! hot-path rewrite (packed LRU, batched grant dispatch): their `runs`
+//! count individual operations (engine events / cache accesses), so
+//! `runs_per_sec_threads1` reads directly as ops/sec. Release builds are
+//! pinned against the floors in [`OPS_FLOORS`] by
+//! `bench/tests/ops_regression.rs` and by the `parapage bench` exit gate.
 
 use std::time::Instant;
 
@@ -190,6 +200,13 @@ impl SuiteReport {
 
     /// Serializes the report as the `BENCH_<n>.json` document.
     pub fn to_json(&self, bench_id: &str) -> String {
+        self.to_json_with(bench_id, None)
+    }
+
+    /// Like [`SuiteReport::to_json`], with an optional `"baseline"` block
+    /// comparing this generation's single-thread rates against a prior
+    /// `BENCH_<n>.json` (the `parapage bench --baseline` path).
+    pub fn to_json_with(&self, bench_id: &str, baseline: Option<&BaselineComparison>) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"bench_id\": \"{bench_id}\",\n"));
@@ -236,17 +253,185 @@ impl SuiteReport {
         s.push_str(&format!(
             "  \"gate\": {{ \"min_speedup\": {SPEEDUP_GATE}, \"host_cores\": {}, \
              \"enforced\": {}, \"waived\": {}, \
-             \"waived_reason\": {}, \"passed\": {} }}\n",
+             \"waived_reason\": {}, \"passed\": {} }}{}\n",
             self.host_cores,
             self.gate_enforced(),
             !self.gate_enforced(),
             self.gate_waived_reason()
                 .map(|r| format!("\"{r}\""))
                 .unwrap_or_else(|| "null".to_string()),
-            self.gate_passed()
+            self.gate_passed(),
+            if baseline.is_some() { "," } else { "" }
         ));
+        if let Some(cmp) = baseline {
+            s.push_str(&cmp.to_json_block(!self.quick));
+        }
         s.push_str("}\n");
         s
+    }
+}
+
+/// Minimum aggregate single-thread improvement over a `--baseline`
+/// generation: the geometric mean of per-entry ops/sec ratios across the
+/// entries both generations share must reach this bar on a full-recipe
+/// run. The geometric mean is the standard cross-benchmark throughput
+/// aggregate — it weights every entry equally instead of letting the
+/// slowest entry's wall time dominate.
+pub const BASELINE_IMPROVEMENT_GATE: f64 = 1.3;
+
+/// One entry shared between this report and a baseline generation.
+pub struct BaselineDelta {
+    /// Entry name (present in both generations).
+    pub name: String,
+    /// Baseline single-thread throughput (runs/sec).
+    pub base_rate: f64,
+    /// This report's single-thread throughput (runs/sec).
+    pub new_rate: f64,
+}
+
+impl BaselineDelta {
+    /// Per-entry improvement factor (`> 1` means faster now).
+    pub fn ratio(&self) -> f64 {
+        self.new_rate / self.base_rate.max(1e-9)
+    }
+}
+
+/// The single-thread comparison of one suite run against a prior
+/// `BENCH_<n>.json`.
+pub struct BaselineComparison {
+    /// `bench_id` of the baseline document.
+    pub baseline_id: String,
+    /// Shared entries, in this report's recipe order.
+    pub entries: Vec<BaselineDelta>,
+}
+
+impl BaselineComparison {
+    /// Aggregate improvement: geometric mean of the shared entries'
+    /// per-entry ratios (1.0 when no entries are shared).
+    pub fn aggregate_improvement(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.entries.iter().map(|e| e.ratio().max(1e-9).ln()).sum();
+        (log_sum / self.entries.len() as f64).exp()
+    }
+
+    /// Gate verdict: enforced only on full-recipe runs (`--quick` is too
+    /// small to time reliably), vacuously true otherwise.
+    pub fn gate_passed(&self, enforced: bool) -> bool {
+        !enforced || self.aggregate_improvement() >= BASELINE_IMPROVEMENT_GATE
+    }
+
+    /// The `"baseline"` JSON block embedded in `BENCH_<n>.json`.
+    fn to_json_block(&self, enforced: bool) -> String {
+        let mut s = String::new();
+        s.push_str("  \"baseline\": {\n");
+        s.push_str(&format!("    \"bench_id\": \"{}\",\n", self.baseline_id));
+        s.push_str("    \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{ \"name\": \"{}\", \"base_runs_per_sec\": {:.3}, \
+                 \"runs_per_sec\": {:.3}, \"improvement\": {:.3} }}{}\n",
+                e.name,
+                e.base_rate,
+                e.new_rate,
+                e.ratio(),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("    ],\n");
+        s.push_str(&format!(
+            "    \"aggregate_improvement\": {:.3},\n",
+            self.aggregate_improvement()
+        ));
+        s.push_str(&format!(
+            "    \"gate\": {{ \"min_improvement\": {BASELINE_IMPROVEMENT_GATE}, \
+             \"enforced\": {enforced}, \"passed\": {} }}\n",
+            self.gate_passed(enforced)
+        ));
+        s.push_str("  }\n");
+        s
+    }
+}
+
+/// Hand-parses `(bench_id, per-entry single-thread rates)` out of a prior
+/// `BENCH_<n>.json` — the suite's own writer format, one entry object per
+/// line, so a line scan suffices (the tree deliberately has no JSON
+/// dependency).
+pub fn parse_baseline(json: &str) -> Result<(String, Vec<(String, f64)>), String> {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let tail = &line[start..];
+        let end = tail
+            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        tail[..end].parse().ok()
+    }
+    let mut bench_id = None;
+    let mut entries = Vec::new();
+    let mut in_baseline_block = false;
+    for line in json.lines() {
+        // A baseline document may itself embed a "baseline" block from an
+        // even earlier generation; its entries must not be mistaken for
+        // the document's own.
+        if line.trim_start().starts_with("\"baseline\"") {
+            in_baseline_block = true;
+        }
+        if bench_id.is_none() && !in_baseline_block {
+            if let Some(id) = str_field(line, "bench_id") {
+                bench_id = Some(id);
+            }
+        }
+        if in_baseline_block {
+            continue;
+        }
+        if let (Some(name), Some(rate)) = (
+            str_field(line, "name"),
+            num_field(line, "runs_per_sec_threads1"),
+        ) {
+            entries.push((name, rate));
+        }
+    }
+    let id = bench_id.ok_or("baseline file has no \"bench_id\" field")?;
+    if entries.is_empty() {
+        return Err(format!(
+            "baseline {id} has no entries with runs_per_sec_threads1"
+        ));
+    }
+    Ok((id, entries))
+}
+
+impl SuiteReport {
+    /// Compares this report's single-thread rates against a parsed
+    /// baseline, keeping only the entries both generations share.
+    pub fn compare_baseline(
+        &self,
+        baseline_id: &str,
+        base_rates: &[(String, f64)],
+    ) -> BaselineComparison {
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let (_, base_rate) = base_rates.iter().find(|(n, _)| n == e.name)?;
+                Some(BaselineDelta {
+                    name: e.name.to_string(),
+                    base_rate: *base_rate,
+                    new_rate: e.runs as f64 / e.secs_base.max(1e-9),
+                })
+            })
+            .collect();
+        BaselineComparison {
+            baseline_id: baseline_id.to_string(),
+            entries,
+        }
     }
 }
 
@@ -403,19 +588,23 @@ pub fn checkpoint_cost(quick: bool, seed: u64, wal: bool) -> EntryOut {
     let mut sink = NullSink;
     let mut bytes = 0u64;
     let mut epochs = 0usize;
-    let mut ticks = 0u64;
+    // Cut epochs on the engine's logical clock (events processed), not on
+    // step() calls: one step may process a whole timestamp batch, and an
+    // epoch is a fixed amount of *work*, exactly as the supervisor counts.
+    let mut next_ckpt = CKPT_EPOCH;
     while engine
         .step(&mut alloc, &mut sink)
         .expect("bench engine step")
     {
-        ticks += 1;
-        if ticks % CKPT_EPOCH == 0 {
+        let ticks = engine.ticks();
+        if ticks >= next_ckpt {
             epochs += 1;
             bytes += if wal {
                 engine.wal_delta(&alloc).expect("wal delta").encode().len() as u64
             } else {
                 engine.snapshot(&alloc).expect("snapshot").encode().len() as u64
             };
+            next_ckpt = ticks - ticks % CKPT_EPOCH + CKPT_EPOCH;
         }
     }
     let mut d = Digest::new();
@@ -570,22 +759,151 @@ fn entry_concurrent_lockfree(quick: bool, seed: u64) -> EntryOut {
     EntryOut::plain(UNITS * per, d.finish())
 }
 
-/// Runs the full recipe: every entry once under `threads(1)` and once
-/// under `threads(threads_par)`, with wall time and result digest per leg.
-pub fn run_suite(quick: bool, seed: u64, threads_par: usize) -> SuiteReport {
-    type EntryFn = fn(bool, u64) -> EntryOut;
-    let recipe: &[(&'static str, bool, EntryFn)] = &[
-        ("engine/det-par", false, entry_engine),
-        ("sweep/policy-grid", true, entry_policy_grid),
-        ("sweep/differential", true, entry_differential),
-        ("sweep/conform-matrix", true, entry_conform_matrix),
-        ("sweep/envelope", true, entry_envelope),
-        ("checkpoint/full-snapshot", false, entry_ckpt_full),
-        ("checkpoint/wal-delta", false, entry_ckpt_wal),
-        ("server/wire-codec", false, entry_wire_codec),
-        ("concurrent/sharded-access", true, entry_concurrent_sharded),
-        ("concurrent/lockfree-index", true, entry_concurrent_lockfree),
-    ];
+/// Entry 11: raw engine event throughput. One det-par run stepped to
+/// completion with a null sink and no checkpoint traffic; `runs` counts
+/// events processed (the engine's tick clock), so `runs_per_sec_threads1`
+/// reads as engine events per second. This is the number the batched
+/// grant dispatch and arena-backed ledgers move.
+fn entry_ops_engine_step(quick: bool, seed: u64) -> EntryOut {
+    let repeats = if quick { 3 } else { 8 };
+    let params = ModelParams::new(8, 128, 16);
+    let w = bench_workload(8, 128, if quick { 4000 } else { 20000 }, seed);
+    let opts = EngineOpts::default();
+    let plan = FaultPlan::none();
+    let mut total_ticks = 0u64;
+    let mut d = Digest::new();
+    for _ in 0..repeats {
+        let mut alloc = DetPar::new(&params);
+        let mut engine = Engine::new(&mut alloc, w.seqs(), &params, &opts, &plan, |_| {
+            LruCache::new(0)
+        });
+        let mut sink = NullSink;
+        while engine.step(&mut alloc, &mut sink).expect("ops engine step") {}
+        let ticks = engine.ticks();
+        total_ticks += ticks;
+        let res = engine.into_result(&alloc);
+        d.write(&format!("ticks={ticks}"));
+        digest_run(&mut d, &res);
+    }
+    EntryOut::plain(total_ticks as usize, d.finish())
+}
+
+/// The deterministic page stream behind both `ops/*-access` entries: an
+/// LCG whose draws mostly land in a hot set half the cache's size (hits
+/// after warmup) and occasionally in a universe four times the capacity
+/// (misses + evictions), so the packed LRU's promote, evict, and
+/// index-probe paths all stay hot.
+fn ops_access_page(x: &mut u64, capacity: u64) -> PageId {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    if *x & 3 != 0 {
+        PageId((*x >> 16) % (capacity / 2))
+    } else {
+        PageId((*x >> 16) % (capacity * 4))
+    }
+}
+
+/// Entry 12: packed-LRU access throughput — the innermost operation of
+/// every simulated request, measured bare: one `LruCache`, one thread,
+/// a mixed hit/miss stream. `runs` counts accesses.
+fn entry_ops_lru_access(quick: bool, seed: u64) -> EntryOut {
+    const K: usize = 256;
+    let accesses = if quick { 200_000 } else { 1_000_000 };
+    let mut cache = LruCache::new(K);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut x = seed | 1;
+    for _ in 0..accesses {
+        let page = ops_access_page(&mut x, K as u64);
+        if cache.access(page).is_hit() {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    let mut d = Digest::new();
+    d.write(&format!("hits={hits} misses={misses} len={}", cache.len()));
+    EntryOut::plain(accesses, d.finish())
+}
+
+/// Entry 13: sharded-LRU access throughput on a single thread — the same
+/// stream as `ops/lru-access` but through [`ShardedLru`]'s route + lock +
+/// access path, isolating the sharding overhead from contention (which
+/// `concurrent/sharded-access` measures separately).
+fn entry_ops_sharded_access(quick: bool, seed: u64) -> EntryOut {
+    const K: usize = 256;
+    let accesses = if quick { 150_000 } else { 750_000 };
+    let cache = ShardedLru::with_shards(K, 8);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut x = seed | 1;
+    for _ in 0..accesses {
+        let page = ops_access_page(&mut x, K as u64);
+        if cache.access_shared(page).is_hit() {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    let mut d = Digest::new();
+    d.write(&format!(
+        "hits={hits} misses={misses} len={}",
+        cache.len_shared()
+    ));
+    EntryOut::plain(accesses, d.finish())
+}
+
+/// Minimum sustained single-thread throughput, in runs (operations) per
+/// second of the `threads(1)` leg, for the `ops/*` entries.
+///
+/// The floors are deliberately ~4× below the rates measured on the
+/// development host at the time they were pinned, so scheduler noise and
+/// slower CI hardware do not trip them — only a real hot-path regression
+/// (an extra hash probe per access, a lost batching path) should. They
+/// are meaningless for unoptimized builds; both consumers
+/// (`bench/tests/ops_regression.rs` and the `parapage bench` exit gate)
+/// skip them under `cfg(debug_assertions)`.
+pub const OPS_FLOORS: &[(&str, f64)] = &[
+    ("ops/engine-step", 50_000.0),
+    ("ops/lru-access", 12_000_000.0),
+    ("ops/sharded-access", 5_000_000.0),
+];
+
+impl SuiteReport {
+    /// Single-thread throughput (runs per second of the `threads(1)` leg)
+    /// of the named entry, if present.
+    pub fn ops_rate(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.runs as f64 / e.secs_base.max(1e-9))
+    }
+
+    /// The `ops/*` floors that failed: `(name, measured, floor)` per entry
+    /// whose single-thread throughput fell below its [`OPS_FLOORS`] bar.
+    /// Empty means pass. Callers must gate on release builds themselves —
+    /// the floors are not meaningful for debug builds.
+    pub fn ops_floor_failures(&self) -> Vec<(&'static str, f64, f64)> {
+        OPS_FLOORS
+            .iter()
+            .filter_map(|&(name, floor)| {
+                let rate = self.ops_rate(name)?;
+                (rate < floor).then_some((name, rate, floor))
+            })
+            .collect()
+    }
+}
+
+/// A suite entry's measurement function.
+type EntryFn = fn(bool, u64) -> EntryOut;
+
+/// Measures each recipe entry twice — `threads(1)` and
+/// `threads(threads_par)` — and assembles the report.
+fn measure_recipe(
+    recipe: &[(&'static str, bool, EntryFn)],
+    quick: bool,
+    seed: u64,
+    threads_par: usize,
+) -> SuiteReport {
     let entries = recipe
         .iter()
         .map(|&(name, parallel, f)| {
@@ -623,4 +941,38 @@ pub fn run_suite(quick: bool, seed: u64, threads_par: usize) -> SuiteReport {
         quick,
         seed,
     }
+}
+
+/// The three single-thread `ops/*` microbench entries, shared by the full
+/// recipe and [`run_ops_suite`].
+const OPS_RECIPE: &[(&str, bool, EntryFn)] = &[
+    ("ops/engine-step", false, entry_ops_engine_step),
+    ("ops/lru-access", false, entry_ops_lru_access),
+    ("ops/sharded-access", false, entry_ops_sharded_access),
+];
+
+/// Runs only the `ops/*` entries (both legs pinned to one worker) — the
+/// regression-floor test drives this without paying for the full recipe.
+pub fn run_ops_suite(quick: bool, seed: u64) -> SuiteReport {
+    measure_recipe(OPS_RECIPE, quick, seed, 1)
+}
+
+/// Runs the full recipe: every entry once under `threads(1)` and once
+/// under `threads(threads_par)`, with wall time and result digest per leg.
+pub fn run_suite(quick: bool, seed: u64, threads_par: usize) -> SuiteReport {
+    let recipe: &[(&'static str, bool, EntryFn)] = &[
+        ("engine/det-par", false, entry_engine),
+        ("sweep/policy-grid", true, entry_policy_grid),
+        ("sweep/differential", true, entry_differential),
+        ("sweep/conform-matrix", true, entry_conform_matrix),
+        ("sweep/envelope", true, entry_envelope),
+        ("checkpoint/full-snapshot", false, entry_ckpt_full),
+        ("checkpoint/wal-delta", false, entry_ckpt_wal),
+        ("server/wire-codec", false, entry_wire_codec),
+        ("concurrent/sharded-access", true, entry_concurrent_sharded),
+        ("concurrent/lockfree-index", true, entry_concurrent_lockfree),
+    ];
+    let full: Vec<(&'static str, bool, EntryFn)> =
+        recipe.iter().chain(OPS_RECIPE.iter()).copied().collect();
+    measure_recipe(&full, quick, seed, threads_par)
 }

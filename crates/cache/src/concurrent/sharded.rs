@@ -28,7 +28,7 @@ use std::sync::Mutex;
 use crate::checkpoint::{fnv1a64, Checkpoint, CodecError, SnapReader, SnapWriter};
 use crate::lru::LruCache;
 use crate::policy::{Access, Cache};
-use crate::types::PageId;
+use crate::types::{PageId, Time};
 
 use super::yieldpoint::yield_point;
 
@@ -144,6 +144,26 @@ impl<C: Cache> ShardedCache<C> {
         outcome
     }
 
+    /// Concurrent fused fit-check-and-access: one route, one lock
+    /// acquisition, one shard probe — versus two of each for the default
+    /// peek-then-access split (which would also be racy across the two lock
+    /// acquisitions). The ledger records the access only when it happens,
+    /// so replay evidence stays exact.
+    pub fn access_if_fits_shared(
+        &self,
+        page: PageId,
+        remaining: Time,
+        miss_penalty: u64,
+    ) -> Option<Access> {
+        yield_point("shard-lock");
+        let mut shard = self.shard(self.shard_of(page));
+        let outcome = shard.cache.access_if_fits(page, remaining, miss_penalty)?;
+        if self.record_ledgers.load(Ordering::SeqCst) {
+            shard.ledger.push((page, outcome));
+        }
+        Some(outcome)
+    }
+
     /// Concurrent residency probe.
     pub fn contains_shared(&self, page: PageId) -> bool {
         yield_point("shard-lock");
@@ -173,6 +193,15 @@ impl<C: Cache> ShardedCache<C> {
 impl<C: Cache> Cache for ShardedCache<C> {
     fn access(&mut self, page: PageId) -> Access {
         self.access_shared(page)
+    }
+
+    fn access_if_fits(
+        &mut self,
+        page: PageId,
+        remaining: Time,
+        miss_penalty: u64,
+    ) -> Option<Access> {
+        self.access_if_fits_shared(page, remaining, miss_penalty)
     }
 
     fn contains(&self, page: PageId) -> bool {

@@ -51,6 +51,7 @@ pub mod mattson;
 pub mod policy;
 pub mod sampling;
 pub mod stats;
+pub mod testshim;
 pub mod two_queue;
 pub mod types;
 pub mod window;
@@ -73,6 +74,7 @@ pub use mattson::{miss_curve, stack_distances, MissCurve};
 pub use policy::{Access, Cache};
 pub use sampling::{sampled_miss_curve, SampledCurve};
 pub use stats::CacheStats;
+pub use testshim::MapLru;
 pub use two_queue::TwoQueueCache;
 pub use types::{PageId, ProcId, Time};
 pub use window::{run_box, run_box_budget, run_window, WindowOutcome};

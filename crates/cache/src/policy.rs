@@ -1,6 +1,6 @@
 //! The common interface implemented by every online cache simulator.
 
-use crate::types::PageId;
+use crate::types::{PageId, Time};
 
 /// Outcome of a single page access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +44,30 @@ pub trait Cache {
     /// Accessing through a zero-capacity cache reports a miss and caches
     /// nothing (the page is streamed through).
     fn access(&mut self, page: PageId) -> Access;
+
+    /// Access `page` only if its full cost (1 for a hit, `miss_penalty` for
+    /// a miss) fits within `remaining` time steps; returns `None` — leaving
+    /// the cache untouched — otherwise.
+    ///
+    /// Semantically equivalent to peeking with [`Cache::contains`] and then
+    /// calling [`Cache::access`] when the cost fits, which is exactly the
+    /// default implementation. Implementations with a hashed index should
+    /// override this to fuse the peek and the access into a single probe —
+    /// this is the innermost call of the box-window loop
+    /// ([`crate::run_window`]), so the duplicate lookup it removes is paid
+    /// once per simulated request.
+    fn access_if_fits(
+        &mut self,
+        page: PageId,
+        remaining: Time,
+        miss_penalty: u64,
+    ) -> Option<Access> {
+        let cost = if self.contains(page) { 1 } else { miss_penalty };
+        if cost > remaining {
+            return None;
+        }
+        Some(self.access(page))
+    }
 
     /// Whether `page` is currently resident.
     fn contains(&self, page: PageId) -> bool;

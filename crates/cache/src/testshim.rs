@@ -1,0 +1,217 @@
+//! Test-only reference implementations kept for differential testing.
+//!
+//! [`MapLru`] is the pre-packed LRU verbatim: an arena-allocated intrusive
+//! list indexed by `HashMap<PageId, u32>`. It is *not* used anywhere in the
+//! hot path — it exists so `tests/lru_differential.rs` can drive random
+//! request streams through both implementations and assert identical
+//! hit/miss/evict behaviour and identical checkpoint bytes. Keeping the old
+//! code compiled (rather than comparing against a hand-written model) means
+//! the differential test pins the packed rewrite against the exact
+//! semantics the rest of the workspace was built on.
+
+use std::collections::HashMap;
+
+use crate::checkpoint::{Checkpoint, CodecError, SnapReader, SnapWriter};
+use crate::policy::{Access, Cache};
+use crate::types::PageId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// The old `HashMap`-indexed LRU, preserved as a differential-test oracle.
+///
+/// Behaviour (including the checkpoint byte encoding) is intentionally
+/// frozen; do not "improve" this type — fixes belong in
+/// [`crate::LruCache`], and this oracle exists to catch them diverging.
+#[derive(Clone, Debug)]
+pub struct MapLru {
+    capacity: usize,
+    /// page -> arena slot
+    map: HashMap<PageId, u32>,
+    arena: Vec<Node>,
+    free: Vec<u32>,
+    /// most-recently-used slot
+    head: u32,
+    /// least-recently-used slot
+    tail: u32,
+}
+
+impl MapLru {
+    /// Creates an empty cache holding at most `capacity` pages.
+    ///
+    /// (The old implementation clamped its pre-size at `1 << 20`; that only
+    /// affected allocation, not behaviour, so the oracle simply pre-sizes
+    /// nothing.)
+    pub fn new(capacity: usize) -> Self {
+        MapLru {
+            capacity,
+            map: HashMap::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Pages currently resident, most-recently-used first.
+    pub fn pages_mru_first(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.arena[cur as usize];
+            out.push(n.page);
+            cur = n.next;
+        }
+        out
+    }
+
+    /// Evicts and returns the least-recently-used page, if any.
+    pub fn pop_lru(&mut self) -> Option<PageId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let page = self.arena[slot as usize].page;
+        self.unlink(slot);
+        self.map.remove(&page);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.arena[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.arena[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        {
+            let n = &mut self.arena[slot as usize];
+            n.prev = NIL;
+            n.next = self.head;
+        }
+        if self.head != NIL {
+            self.arena[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn alloc(&mut self, page: PageId) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            slot
+        } else {
+            let slot = self.arena.len() as u32;
+            self.arena.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        }
+    }
+}
+
+impl Cache for MapLru {
+    fn access(&mut self, page: PageId) -> Access {
+        if let Some(&slot) = self.map.get(&page) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return Access::Hit;
+        }
+        if self.capacity == 0 {
+            return Access::Miss;
+        }
+        if self.map.len() >= self.capacity {
+            self.pop_lru();
+        }
+        let slot = self.alloc(page);
+        self.push_front(slot);
+        self.map.insert(page, slot);
+        Access::Miss
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > capacity {
+            self.pop_lru();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.arena.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+impl Checkpoint for MapLru {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.capacity);
+        let pages = self.pages_mru_first();
+        w.put_len(pages.len());
+        for p in pages {
+            w.put_page(p);
+        }
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), CodecError> {
+        let capacity = r.get_usize()?;
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(CodecError::Invalid("LRU resident count exceeds capacity"));
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(r.get_page()?);
+        }
+        self.clear();
+        self.capacity = capacity;
+        for &p in pages.iter().rev() {
+            if self.access(p) == Access::Hit {
+                return Err(CodecError::Invalid("duplicate page in LRU checkpoint"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -58,20 +58,13 @@ pub fn run_window<C: Cache>(
     let mut remaining = budget;
     let mut stats = CacheStats::default();
     while idx < seq.len() {
-        let page = seq[idx];
-        // Peek the cost without mutating: a request only runs if it fits.
-        let cost = if cache.contains(page) {
-            1
-        } else {
-            miss_penalty
-        };
-        if cost > remaining {
+        // One fused probe decides fit and serves the request; a request
+        // only runs if its full cost fits (no partial fetches).
+        let Some(outcome) = cache.access_if_fits(seq[idx], remaining, miss_penalty) else {
             break;
-        }
-        let outcome = cache.access(page);
-        debug_assert_eq!(outcome.cost(miss_penalty), cost);
+        };
         stats.record(outcome.is_hit());
-        remaining -= cost;
+        remaining -= outcome.cost(miss_penalty);
         idx += 1;
     }
     WindowOutcome {

@@ -1,0 +1,180 @@
+//! Differential test: packed open-addressing [`LruCache`] vs the frozen
+//! `HashMap`-indexed oracle [`MapLru`] (`testshim`).
+//!
+//! The packed rewrite (ISSUE 10) must be observationally identical to the
+//! old implementation: same hit/miss outcome per access, same eviction
+//! (checked via `pop_lru` order and resident sets), same checkpoint bytes,
+//! and same behaviour through resize/clear churn. Random request streams
+//! drive both side by side and compare after every single operation.
+
+use proptest::prelude::*;
+
+use parapage_cache::{Cache, Checkpoint, LruCache, MapLru, PageId, SnapReader, SnapWriter};
+
+fn checkpoint_bytes<C: Checkpoint>(c: &C) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    c.save(&mut w);
+    w.into_bytes()
+}
+
+/// One comparison point: every observable the two caches expose.
+fn assert_same_state(packed: &LruCache, oracle: &MapLru, ctx: &str) {
+    assert_eq!(packed.len(), oracle.len(), "{ctx}: len");
+    assert_eq!(packed.capacity(), oracle.capacity(), "{ctx}: capacity");
+    assert_eq!(
+        packed.pages_mru_first(),
+        oracle.pages_mru_first(),
+        "{ctx}: recency order"
+    );
+    assert_eq!(
+        checkpoint_bytes(packed),
+        checkpoint_bytes(oracle),
+        "{ctx}: checkpoint bytes"
+    );
+}
+
+fn seq_strategy(universe: u64, max_len: usize) -> impl Strategy<Value = Vec<PageId>> {
+    prop::collection::vec((0..universe).prop_map(PageId), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same hit/miss sequence, same recency order, same checkpoint bytes
+    /// after every access.
+    #[test]
+    fn access_streams_are_identical(seq in seq_strategy(48, 200), cap in 0usize..24) {
+        let mut packed = LruCache::new(cap);
+        let mut oracle = MapLru::new(cap);
+        for (i, &page) in seq.iter().enumerate() {
+            prop_assert_eq!(
+                packed.contains(page),
+                oracle.contains(page),
+                "contains({:?}) before access {}", page, i
+            );
+            let a = packed.access(page);
+            let b = oracle.access(page);
+            prop_assert_eq!(a, b, "access #{} on {:?}", i, page);
+            assert_same_state(&packed, &oracle, &format!("after access #{i}"));
+        }
+        // Identical eviction order all the way down.
+        loop {
+            let a = packed.pop_lru();
+            let b = oracle.pop_lru();
+            prop_assert_eq!(a, b, "pop_lru order");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Interleaved resize/clear churn keeps the two in lockstep.
+    #[test]
+    fn resize_and_clear_churn_is_identical(
+        seq in seq_strategy(32, 120),
+        caps in prop::collection::vec(0usize..20, 1..6),
+    ) {
+        let mut packed = LruCache::new(caps[0]);
+        let mut oracle = MapLru::new(caps[0]);
+        for (i, &page) in seq.iter().enumerate() {
+            if i % 17 == 16 {
+                let cap = caps[i % caps.len()];
+                packed.resize(cap);
+                oracle.resize(cap);
+                assert_same_state(&packed, &oracle, &format!("after resize to {cap}"));
+            }
+            if i % 41 == 40 {
+                packed.clear();
+                oracle.clear();
+                assert_same_state(&packed, &oracle, "after clear");
+            }
+            prop_assert_eq!(packed.access(page), oracle.access(page), "access #{}", i);
+        }
+        assert_same_state(&packed, &oracle, "final");
+    }
+
+    /// A checkpoint written by either implementation restores into the
+    /// other byte-identically (resume equivalence across the rewrite).
+    #[test]
+    fn checkpoints_cross_load(seq in seq_strategy(40, 150), cap in 1usize..24) {
+        let mut packed = LruCache::new(cap);
+        let mut oracle = MapLru::new(cap);
+        for &page in &seq {
+            packed.access(page);
+            oracle.access(page);
+        }
+        let bytes = checkpoint_bytes(&packed);
+        prop_assert_eq!(&bytes, &checkpoint_bytes(&oracle), "save bytes");
+
+        // Old bytes -> new impl.
+        let mut restored_packed = LruCache::new(0);
+        restored_packed.load(&mut SnapReader::new(&bytes)).unwrap();
+        // New bytes -> old impl.
+        let mut restored_oracle = MapLru::new(0);
+        restored_oracle.load(&mut SnapReader::new(&bytes)).unwrap();
+
+        assert_same_state(&restored_packed, &restored_oracle, "after cross-load");
+        prop_assert_eq!(restored_packed.pages_mru_first(), packed.pages_mru_first());
+
+        // Both restored caches evolve identically from here.
+        for &page in seq.iter().take(30) {
+            prop_assert_eq!(
+                restored_packed.access(page),
+                restored_oracle.access(page),
+                "post-restore access"
+            );
+        }
+        assert_same_state(&restored_packed, &restored_oracle, "post-restore final");
+    }
+
+    /// The fused single-probe path takes exactly the decisions the
+    /// peek-then-access oracle takes under a shrinking budget.
+    #[test]
+    fn access_if_fits_matches_oracle(
+        seq in seq_strategy(32, 150),
+        cap in 0usize..16,
+        budget in 0u64..600,
+        penalty in 1u64..20,
+    ) {
+        let mut packed = LruCache::new(cap);
+        let mut oracle = MapLru::new(cap);
+        let mut remaining = budget;
+        for (i, &page) in seq.iter().enumerate() {
+            let expect = {
+                let cost = if oracle.contains(page) { 1 } else { penalty };
+                if cost > remaining { None } else { Some(oracle.access(page)) }
+            };
+            let got = packed.access_if_fits(page, remaining, penalty);
+            prop_assert_eq!(got, expect, "access_if_fits #{} on {:?}", i, page);
+            if let Some(acc) = got {
+                remaining -= acc.cost(penalty);
+            }
+            assert_same_state(&packed, &oracle, &format!("after fused access #{i}"));
+        }
+    }
+}
+
+/// Non-proptest pin: the old implementation pre-sized at `1 << 20` and the
+/// new one must stay correct past that boundary (see
+/// `boundary_capacity_holds_every_resident` in `lru.rs` for the large-scale
+/// variant; here we cross-check the two impls right at a big power of two,
+/// sized down so the differential run stays fast).
+#[test]
+fn large_capacity_agrees_with_oracle() {
+    let cap = 1 << 15;
+    let mut packed = LruCache::new(cap);
+    let mut oracle = MapLru::new(cap);
+    for v in 0..(cap as u64 + 100) {
+        assert_eq!(packed.access(PageId(v)), oracle.access(PageId(v)));
+    }
+    // Mixed hits after wrap-around.
+    for v in (100..200u64).chain(40_000..40_050) {
+        assert_eq!(
+            packed.access(PageId(v)),
+            oracle.access(PageId(v)),
+            "page {v}"
+        );
+    }
+    assert_eq!(packed.pages_mru_first(), oracle.pages_mru_first());
+    assert_eq!(checkpoint_bytes(&packed), checkpoint_bytes(&oracle));
+}

@@ -49,6 +49,11 @@ impl BoxAllocator for StaticPartition {
         Ok(())
     }
 
+    fn oblivious(&self) -> bool {
+        // Pure function of (k, p, proc): never reads observe feedback.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "STATIC-EQUAL"
     }

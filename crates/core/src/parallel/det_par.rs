@@ -319,6 +319,13 @@ impl BoxAllocator for DetPar {
         Ok(())
     }
 
+    fn oblivious(&self) -> bool {
+        // The paper's Algorithm 1 is oblivious by construction: decisions
+        // depend only on the grant/finish history, never on hit/miss
+        // feedback (observe/observe_accesses keep their no-op defaults).
+        true
+    }
+
     fn name(&self) -> &'static str {
         "DET-PAR"
     }

@@ -208,6 +208,12 @@ impl<A: BoxAllocator> BoxAllocator for HardenedAllocator<A> {
         Ok(())
     }
 
+    fn oblivious(&self) -> bool {
+        // The wrapper's own state (budget ledger) evolves only through
+        // grant/on_fault, so batch-safety is exactly the inner policy's.
+        self.inner.oblivious()
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }

@@ -130,6 +130,35 @@ pub trait BoxAllocator {
     /// Next allocation for processor `proc` starting at time `now`.
     fn grant(&mut self, proc: ProcId, now: Time) -> Grant;
 
+    /// `true` when this policy's decisions are a pure function of its own
+    /// grant/finish history — it never reads the feedback channels
+    /// ([`BoxAllocator::observe`] / [`BoxAllocator::observe_accesses`] keep
+    /// their no-op defaults). All of the paper's algorithms are oblivious;
+    /// the monitors (PROP-MISS, SRPT, UCP, bb-green) are not.
+    ///
+    /// The engine uses this as a *batching license*: for an oblivious
+    /// policy, several processors whose grants expire at the same timestamp
+    /// can be decided with one [`BoxAllocator::grant_batch`] call before
+    /// any of their windows run, because no feedback from window `x` can
+    /// influence the decision for window `y`. Declaring `true` while
+    /// implementing `observe*` is a contract violation — the conform
+    /// differential sweep will catch the divergence.
+    fn oblivious(&self) -> bool {
+        false
+    }
+
+    /// Decide grants for a batch of processors whose previous grants all
+    /// expired at the same `now`, in the engine's canonical (ascending
+    /// processor-id) order. `procs` holds the ids; the result must be the
+    /// grants in the same order.
+    ///
+    /// The default simply loops over [`BoxAllocator::grant`], which is
+    /// always correct; policies with per-call overhead worth amortizing can
+    /// override it. Only called when [`BoxAllocator::oblivious`] is `true`.
+    fn grant_batch(&mut self, procs: &[ProcId], now: Time, out: &mut Vec<Grant>) {
+        out.extend(procs.iter().map(|&p| self.grant(p, now)));
+    }
+
     /// Notification that `proc` completed its sequence at time `now`.
     fn on_proc_finished(&mut self, proc: ProcId, now: Time);
 

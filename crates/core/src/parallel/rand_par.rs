@@ -358,6 +358,12 @@ impl BoxAllocator for RandPar {
         Ok(())
     }
 
+    fn oblivious(&self) -> bool {
+        // Randomized but still oblivious: coin flips come from the policy's
+        // own RNG stream, never from hit/miss feedback.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "RAND-PAR"
     }

@@ -46,8 +46,9 @@ use parapage_cache::{
     run_window, Cache, CacheStats, Checkpoint, LruCache, PageId, ProcId, SnapReader, SnapWriter,
     Time,
 };
-use parapage_core::{BoxAllocator, FaultEvent, Interval, ModelParams};
+use parapage_core::{BoxAllocator, FaultEvent, Grant, Interval, ModelParams};
 
+use crate::arena::ChunkVec;
 use crate::error::EngineError;
 use crate::fault::{FaultCursor, FaultPlan};
 use crate::metrics::RunResult;
@@ -258,7 +259,9 @@ pub struct Engine<'a, C: Cache> {
     timelines: Vec<Vec<Interval>>,
     // Height deltas for the peak-memory audit: (time, delta); at equal
     // times, releases (< 0) sort before acquisitions (post-hoc sort).
-    deltas: Vec<(Time, i64)>,
+    // Chunked bump storage: the ledger grows for the whole run, and the
+    // arena appends without ever recopying the history.
+    deltas: ChunkVec<(Time, i64)>,
     // Online usage tracking for memory-limit enforcement. The enforced
     // limit starts at `opts.memory_limit` and only tightens: a
     // MemoryPressure fault activates (or shrinks) it mid-run.
@@ -279,6 +282,13 @@ pub struct Engine<'a, C: Cache> {
     ckpt_deltas_len: usize,
     ckpt_timeline_lens: Vec<usize>,
     dirty_caches: Vec<bool>,
+    // Reusable scratch for batched grant dispatch (always empty between
+    // steps, so it never appears in snapshots): the timestamp batch being
+    // processed, the subset actually requesting grants, and the policy's
+    // answers. Allocated once, reused every batch.
+    batch: Vec<(u32, Option<Time>)>,
+    batch_req: Vec<ProcId>,
+    batch_grants: Vec<Grant>,
 }
 
 impl<'a, C: Cache> Engine<'a, C> {
@@ -322,7 +332,7 @@ impl<'a, C: Cache> Engine<'a, C> {
             memory_integral: 0,
             grants_issued: 0,
             timelines: vec![Vec::new(); p],
-            deltas: Vec::new(),
+            deltas: ChunkVec::new(),
             live_usage: 0,
             releases: BinaryHeap::new(),
             current_limit: opts.memory_limit,
@@ -335,6 +345,9 @@ impl<'a, C: Cache> Engine<'a, C> {
             ckpt_deltas_len: 0,
             ckpt_timeline_lens: vec![0; p],
             dirty_caches: vec![false; p],
+            batch: Vec::new(),
+            batch_req: Vec::new(),
+            batch_grants: Vec::new(),
         }
     }
 
@@ -421,29 +434,135 @@ impl<'a, C: Cache> Engine<'a, C> {
                 cap: self.opts.max_time,
             });
         }
+        // Batched dispatch: for an oblivious policy, every grant expiring at
+        // this timestamp can be decided with one policy call before any of
+        // the windows run — no feedback channel exists through which window
+        // `x` could influence the decision for window `y` (see
+        // `BoxAllocator::oblivious`). The batch is closed once drained:
+        // completions at `now` sorted *before* these grant events and were
+        // already popped, and processing a grant only enqueues events
+        // strictly after `now` (durations are ≥ 1, and a completion takes
+        // ≥ 1 served request costing ≥ 1). Non-oblivious policies keep the
+        // strict per-event interleaving.
+        if alloc.oblivious() {
+            debug_assert!(self.batch.is_empty());
+            self.batch
+                .push((xi, self.fault_cursor.stalled_until(x, now)));
+            while let Some(&Reverse((t, k, yi))) = self.heap.peek() {
+                if t != now || k != EV_GRANT {
+                    break;
+                }
+                self.heap.pop();
+                // The logical clock counts events processed, batched or not.
+                self.ticks += 1;
+                self.batch
+                    .push((yi, self.fault_cursor.stalled_until(yi as usize, now)));
+            }
+            return self.run_grant_batch(alloc, sink, now);
+        }
         // A frozen processor gets no grant: defer the request to the stall
         // window's end (recorded as a height-0 interval so timelines stay
         // contiguous).
         if let Some(until) = self.fault_cursor.stalled_until(x, now) {
-            if self.opts.record_timelines {
-                self.timelines[x].push(Interval {
-                    start: now,
-                    end: until,
-                    height: 0,
-                });
-            }
-            self.emit(
-                sink,
-                &TraceEvent::StallDeferred {
-                    proc: ProcId(xi),
-                    at: now,
-                    until,
-                },
-            );
-            self.heap.push(Reverse((until, EV_GRANT, xi)));
+            self.defer_stalled(sink, now, xi, until);
             return Ok(true);
         }
         let grant = alloc.grant(ProcId(xi), now);
+        self.apply_grant(alloc, sink, now, xi, grant)?;
+        Ok(true)
+    }
+
+    /// The stall-deferral path shared by the scalar and batched dispatchers:
+    /// a frozen processor gets no grant; its request is re-queued at the
+    /// stall window's end, recorded as a height-0 interval so timelines stay
+    /// contiguous.
+    fn defer_stalled(&mut self, sink: &mut impl TraceSink, now: Time, xi: u32, until: Time) {
+        if self.opts.record_timelines {
+            self.timelines[xi as usize].push(Interval {
+                start: now,
+                end: until,
+                height: 0,
+            });
+        }
+        self.emit(
+            sink,
+            &TraceEvent::StallDeferred {
+                proc: ProcId(xi),
+                at: now,
+                until,
+            },
+        );
+        self.heap.push(Reverse((until, EV_GRANT, xi)));
+    }
+
+    /// Decides and applies the timestamp batch sitting in `self.batch`
+    /// (ascending processor order, as the heap popped it): one
+    /// `grant_batch` call for the non-stalled processors, then windows run
+    /// and trace events are emitted in exactly the order the scalar path
+    /// would have produced — stalls interleaved in place.
+    fn run_grant_batch(
+        &mut self,
+        alloc: &mut dyn BoxAllocator,
+        sink: &mut impl TraceSink,
+        now: Time,
+    ) -> Result<bool, EngineError> {
+        self.batch_req.clear();
+        self.batch_req.extend(
+            self.batch
+                .iter()
+                .filter(|(_, stalled)| stalled.is_none())
+                .map(|&(yi, _)| ProcId(yi)),
+        );
+        self.batch_grants.clear();
+        if !self.batch_req.is_empty() {
+            alloc.grant_batch(&self.batch_req, now, &mut self.batch_grants);
+            assert_eq!(
+                self.batch_grants.len(),
+                self.batch_req.len(),
+                "policy {} returned {} grants for a batch of {}",
+                alloc.name(),
+                self.batch_grants.len(),
+                self.batch_req.len(),
+            );
+        }
+        // Move the scratch out so `apply_grant` can borrow `self`; restored
+        // below to keep the allocations (an errored engine is abandoned, so
+        // the early returns may leak the scratch capacity, nothing else).
+        let batch = std::mem::take(&mut self.batch);
+        let grants = std::mem::take(&mut self.batch_grants);
+        let mut gi = 0usize;
+        let mut result = Ok(());
+        for &(yi, stalled) in &batch {
+            if let Some(until) = stalled {
+                self.defer_stalled(sink, now, yi, until);
+            } else {
+                let grant = grants[gi];
+                gi += 1;
+                result = self.apply_grant(alloc, sink, now, yi, grant);
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        self.batch = batch;
+        self.batch_grants = grants;
+        self.batch.clear();
+        result?;
+        Ok(true)
+    }
+
+    /// Applies one already-decided grant for processor `xi` at `now`: runs
+    /// the window, emits `Grant`/`Window`, maintains every audit ledger, and
+    /// re-queues the processor's next event.
+    fn apply_grant(
+        &mut self,
+        alloc: &mut dyn BoxAllocator,
+        sink: &mut impl TraceSink,
+        now: Time,
+        xi: u32,
+        grant: Grant,
+    ) -> Result<(), EngineError> {
+        let x = xi as usize;
         if grant.duration == 0 {
             return Err(EngineError::ZeroDurationGrant {
                 policy: alloc.name(),
@@ -577,7 +696,7 @@ impl<'a, C: Cache> Engine<'a, C> {
         } else if !out.finished {
             self.heap.push(Reverse((end, EV_GRANT, xi)));
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Finalizes the run into a [`RunResult`]. Call only once
@@ -587,7 +706,7 @@ impl<'a, C: Cache> Engine<'a, C> {
         debug_assert_eq!(self.remaining, 0);
 
         // Peak concurrent memory from the delta trace.
-        let mut deltas = self.deltas;
+        let mut deltas = self.deltas.to_vec();
         deltas.sort_unstable_by_key(|&(t, d)| (t, d));
         let mut cur = 0i64;
         let mut peak = 0i64;
@@ -654,7 +773,7 @@ impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
             } else {
                 Vec::new()
             },
-            deltas: self.deltas.clone(),
+            deltas: self.deltas.to_vec(),
             live_usage: self.live_usage,
             releases,
             current_limit: self.current_limit,
@@ -715,7 +834,11 @@ impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
             heap,
             remaining: self.remaining,
             deltas_base: self.ckpt_deltas_len as u64,
-            deltas_suffix: self.deltas[self.ckpt_deltas_len..].to_vec(),
+            deltas_suffix: self
+                .deltas
+                .iter_from(self.ckpt_deltas_len)
+                .copied()
+                .collect(),
             timeline_bases: if self.opts.record_timelines {
                 self.ckpt_timeline_lens.iter().map(|&n| n as u64).collect()
             } else {
@@ -790,7 +913,7 @@ impl<'a, C: Cache + Checkpoint> Engine<'a, C> {
         } else {
             snap.timelines.clone()
         };
-        self.deltas = snap.deltas.clone();
+        self.deltas.assign(&snap.deltas);
         self.live_usage = snap.live_usage;
         self.releases = snap.releases.iter().map(|&e| Reverse(e)).collect();
         self.current_limit = snap.current_limit;

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -53,6 +54,7 @@ pub mod supervisor;
 pub mod trace;
 pub mod wal;
 
+pub use arena::ChunkVec;
 pub use engine::{
     run_engine, run_engine_faults, run_engine_sharded, run_engine_traced, run_engine_with,
     run_engine_with_faults, run_engine_with_faults_traced, Engine, EngineOpts, DEFAULT_MAX_TIME,

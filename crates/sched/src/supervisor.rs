@@ -511,20 +511,30 @@ impl Supervisor {
                 // emission counter) after a crash, so the unwind-safety
                 // assertion is sound.
                 let stretch = catch_unwind(AssertUnwindSafe(|| -> Result<Stretch, EngineError> {
-                    for step in 0..self.opts.epoch_ticks {
+                    // An epoch is `epoch_ticks` *events* on the engine's
+                    // logical clock, not `epoch_ticks` step() calls: one
+                    // step may process a whole timestamp batch, so the
+                    // boundary can overshoot by at most one batch.
+                    let epoch_end = engine.ticks() + self.opts.epoch_ticks;
+                    let mut step = 0usize;
+                    while engine.ticks() < epoch_end {
                         if !engine.step(&mut *alloc, &mut gate)? {
                             return Ok(Stretch::Done);
                         }
                         let tick = engine.ticks();
-                        if let Some(i) = crash_plan
+                        // Crossing test, not equality: one engine step may
+                        // process a whole timestamp batch of events, so the
+                        // logical clock can jump past a planned tick.
+                        if let Some((i, _)) = crash_plan
                             .ticks()
                             .iter()
-                            .position(|&t| t == tick)
-                            .filter(|&i| !fired[i])
+                            .enumerate()
+                            .find(|&(i, &t)| t <= tick && !fired[i])
                         {
                             fired[i] = true;
                             panic!("injected crash at tick {tick}");
                         }
+                        step += 1;
                         if step % 64 == 63 && attempt_start.elapsed() >= self.opts.watchdog {
                             return Ok(Stretch::Watchdog);
                         }

@@ -224,15 +224,32 @@ impl DigestSink {
     }
 }
 
+/// `fmt::Write` adapter that FNV-hashes the formatted bytes as they are
+/// produced, so [`DigestSink`] absorbs a `Debug` rendering without ever
+/// materializing the string. Hashes exactly the bytes a `String` render
+/// would, so digests are unchanged from the allocating implementation.
+struct FnvWriter {
+    digest: u64,
+}
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.as_bytes() {
+            self.digest ^= *b as u64;
+            self.digest = self.digest.wrapping_mul(DigestSink::FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
 impl TraceSink for DigestSink {
     fn emit(&mut self, event: &TraceEvent) {
         use std::fmt::Write;
-        let mut rendered = String::new();
-        let _ = write!(rendered, "{event:?}");
-        for b in rendered.as_bytes() {
-            self.digest ^= *b as u64;
-            self.digest = self.digest.wrapping_mul(Self::FNV_PRIME);
-        }
+        let mut w = FnvWriter {
+            digest: self.digest,
+        };
+        let _ = write!(w, "{event:?}");
+        self.digest = w.digest;
         // Separator byte so event boundaries can't alias.
         self.digest ^= 0xff;
         self.digest = self.digest.wrapping_mul(Self::FNV_PRIME);
@@ -309,6 +326,52 @@ mod tests {
         d3.emit(&b);
         d3.emit(&a);
         assert_ne!(d1.digest(), d3.digest(), "order must matter");
+    }
+
+    /// The allocation-free digest must equal an FNV over the materialized
+    /// `Debug` string — the exact bytes the original implementation hashed
+    /// (digest stability across the rewrite).
+    #[test]
+    fn digest_matches_string_render() {
+        let events = [
+            TraceEvent::Grant {
+                proc: ProcId(2),
+                at: 17,
+                height: 8,
+                duration: 80,
+                release_at: 97,
+            },
+            TraceEvent::Window {
+                proc: ProcId(2),
+                at: 17,
+                served: 12,
+                hits: 9,
+                fetches: 3,
+                evictions: 1,
+                time_used: 39,
+                finished: false,
+            },
+            TraceEvent::Fault {
+                at: 20,
+                event: FaultEvent::MemoryPressure {
+                    at: 20,
+                    new_limit: 16,
+                },
+            },
+        ];
+        let mut sink = DigestSink::new();
+        let mut want = DigestSink::FNV_OFFSET;
+        for ev in &events {
+            sink.emit(ev);
+            for b in format!("{ev:?}").as_bytes() {
+                want ^= *b as u64;
+                want = want.wrapping_mul(DigestSink::FNV_PRIME);
+            }
+            want ^= 0xff;
+            want = want.wrapping_mul(DigestSink::FNV_PRIME);
+        }
+        assert_eq!(sink.digest(), want);
+        assert_eq!(sink.count(), 3);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Perf-trajectory benchmark: builds the release CLI and runs the fixed
-# `parapage bench` recipe, writing BENCH_4.json at the repo root.
+# `parapage bench` recipe, writing BENCH_5.json at the repo root.
 #
 # Usage: scripts/bench.sh [--quick] [--threads N] [--seed N] [--out FILE]
+#                         [--baseline BENCH_n.json] [--profile]
 # (flags pass through to `parapage bench`).
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -29,7 +29,10 @@ cargo run -q -p parapage-cli --release -- chaos --quick
 echo "==> parapage chaos --quick --wal (WAL corruption matrix)"
 cargo run -q -p parapage-cli --release -- chaos --quick --wal
 
-echo "==> parapage bench --quick (smoke + determinism gate)"
+echo "==> ops regression floors (release microbench pins)"
+cargo test -q -p parapage-bench --release --test ops_regression
+
+echo "==> parapage bench --quick (smoke + determinism + ops-floor gate)"
 cargo run -q -p parapage-cli --release -- bench --quick --out /tmp/parapage-bench-smoke.json
 
 echo "==> parapage chaos --quick --net (network chaos matrix)"

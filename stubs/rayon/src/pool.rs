@@ -186,30 +186,63 @@ pub fn execute<T: Send>(tasks: Tasks<'_, T>) -> Vec<T> {
     let slots: Vec<Mutex<Option<Unit<'_, T>>>> =
         units.into_iter().map(|u| Mutex::new(Some(u))).collect();
     let cursor = AtomicUsize::new(0);
-    // Chunked claiming amortizes the cursor traffic when units are tiny
-    // while still rebalancing heavy tails (chunks are far smaller than a
-    // static 1/threads split).
-    let chunk = (n / ((extra + 1) * 8)).max(1);
+    let workers = extra + 1;
     let (tx, rx) = mpsc::channel::<(usize, Result<Vec<T>, String>)>();
 
-    let worker = |tx: mpsc::Sender<(usize, Result<Vec<T>, String>)>| loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= n {
-            break;
-        }
-        let end = (start + chunk).min(n);
-        for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
-            let unit = slot
-                .lock()
-                .expect("pool slot lock poisoned")
-                .take()
-                .expect("pool unit claimed twice");
-            let report =
-                catch_unwind(AssertUnwindSafe(unit)).map_err(|p| payload_string(p.as_ref()));
-            // The receiver outlives the scope, so send only fails if
-            // the caller is already unwinding; dropping the output is
-            // fine then.
-            let _ = tx.send((i, report));
+    // Adaptive chunked claiming. Chunk sizes only affect *which worker runs
+    // which unit*, never the output (slot-indexed assembly), so the sizing
+    // below is free to use wall-clock measurements:
+    //
+    // * each worker's first claim is a small probe to estimate per-item
+    //   cost;
+    // * later claims are sized so one claim covers ~TARGET_CHUNK_NANOS of
+    //   work — tiny units get coarse chunks that amortize the cursor and
+    //   channel traffic, heavy units get fine chunks;
+    // * every claim is capped at `remaining / workers`, so the tail still
+    //   rebalances (a worker stuck on a heavy unit strands at most one
+    //   worker-share of the queue behind it).
+    const TARGET_CHUNK_NANOS: u64 = 250_000;
+    let probe_chunk = (n / (workers * 8)).clamp(1, 64);
+    let worker = |tx: mpsc::Sender<(usize, Result<Vec<T>, String>)>| {
+        let mut est_nanos_per_item: u64 = 0;
+        loop {
+            let claimed = cursor.load(Ordering::Relaxed);
+            if claimed >= n {
+                break;
+            }
+            let desired = match TARGET_CHUNK_NANOS.checked_div(est_nanos_per_item) {
+                None => probe_chunk,
+                Some(c) => c.max(1) as usize,
+            };
+            let balance_cap = ((n - claimed) / workers).max(1);
+            let chunk = desired.min(balance_cap);
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let t0 = std::time::Instant::now();
+            for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
+                let unit = slot
+                    .lock()
+                    .expect("pool slot lock poisoned")
+                    .take()
+                    .expect("pool unit claimed twice");
+                let report =
+                    catch_unwind(AssertUnwindSafe(unit)).map_err(|p| payload_string(p.as_ref()));
+                // The receiver outlives the scope, so send only fails if
+                // the caller is already unwinding; dropping the output is
+                // fine then.
+                let _ = tx.send((i, report));
+            }
+            let per_item = (t0.elapsed().as_nanos() as u64 / (end - start) as u64).max(1);
+            // Smooth across claims so one outlier unit does not whipsaw
+            // the chunk size.
+            est_nanos_per_item = if est_nanos_per_item == 0 {
+                per_item
+            } else {
+                (est_nanos_per_item + per_item) / 2
+            };
         }
     };
     std::thread::scope(|s| {
